@@ -1,0 +1,38 @@
+// Regenerates Table 1 of the paper: "OpenGL ES Implementation Breakdown" —
+// standard and extension function counts for iOS, Android (Tegra-class) and
+// the Khronos registry, computed from the machine-readable API registries.
+#include <cstdio>
+
+#include "glcore/api_registry.h"
+
+int main() {
+  using namespace cycada::glcore;
+  const ApiRegistry& ios = ios_registry();
+  const ApiRegistry& android = android_registry();
+  const ApiRegistry& khronos = khronos_registry();
+
+  std::printf("Table 1: OpenGL ES Implementation Breakdown\n");
+  std::printf("%-34s %8s %8s %8s\n", "OpenGL ES", "iOS", "Android", "Khronos");
+  std::printf("%-34s %8zu %8zu %8zu\n", "1.0 Standard Functions",
+              ios.gles1_functions.size(), android.gles1_functions.size(),
+              khronos.gles1_functions.size());
+  std::printf("%-34s %8zu %8zu %8zu\n", "2.0 Standard Functions",
+              ios.gles2_functions.size(), android.gles2_functions.size(),
+              khronos.gles2_functions.size());
+  std::printf("%-34s %8d %8d %8d\n", "Extension Functions",
+              count_extension_functions(ios), count_extension_functions(android),
+              count_extension_functions(khronos));
+  std::printf("%-34s %8d %8d %8s\n", "Common Extension Functions",
+              count_common_extension_functions(ios, android),
+              count_common_extension_functions(android, ios), "-");
+  std::printf("%-34s %8zu %8zu %8zu\n", "Extensions", ios.extensions.size(),
+              android.extensions.size(), khronos.extensions.size());
+  std::printf("%-34s %8d %8d %8s\n", "Extensions not in Android",
+              count_extensions_not_in(ios, android), 0, "-");
+  std::printf("%-34s %8d %8d %8s\n", "Extensions not in iOS", 0,
+              count_extensions_not_in(android, ios), "-");
+  std::printf(
+      "\nPaper values: 145/145/145, 142/142/142, 94/42/285, 27/27/-, "
+      "50/60/174, 33/0/-, 0/43/-\n");
+  return 0;
+}

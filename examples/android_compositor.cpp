@@ -1,0 +1,112 @@
+// The Android half of the story: two "apps" render into their own EGL
+// window surfaces and Surface Flinger composes them onto the display —
+// the pipeline of the paper's Figure 2 (GLES -> GraphicBuffer ->
+// Surface Flinger / HW Composer). The same buffers Cycada shares with iOS
+// code are the ones the compositor scans out.
+#include <cmath>
+#include <cstdio>
+
+#include "android_gl/egl.h"
+#include "android_gl/surface_flinger.h"
+#include "android_gl/vendor.h"
+#include "glport/system_config.h"
+
+using namespace cycada;
+using namespace cycada::android_gl;
+
+namespace {
+
+// A status-bar-ish gradient app.
+void render_status_bar(AndroidEgl* egl, EglSurface* surface,
+                       EglContext* context) {
+  egl->eglMakeCurrent(surface, context);
+  glcore::GlesEngine& gl = *egl->gles();
+  gl.glViewport(0, 0, surface->width(), surface->height());
+  gl.glClearColor(0.05f, 0.05f, 0.1f, 1.f);
+  gl.glClear(glcore::GL_COLOR_BUFFER_BIT);
+  gl.glMatrixMode(glcore::GL_PROJECTION);
+  gl.glLoadIdentity();
+  gl.glOrthof(-1, 1, -1, 1, -1, 1);
+  gl.glMatrixMode(glcore::GL_MODELVIEW);
+  gl.glLoadIdentity();
+  gl.glEnableClientState(glcore::GL_VERTEX_ARRAY);
+  gl.glColor4f(0.2f, 0.8f, 0.4f, 1.f);
+  const float bar[] = {-0.9f, -0.5f, 0.5f, -0.5f, 0.5f, 0.5f,
+                       -0.9f, -0.5f, 0.5f, 0.5f,  -0.9f, 0.5f};
+  gl.glVertexPointer(2, glcore::GL_FLOAT, 0, bar);
+  gl.glDrawArrays(glcore::GL_TRIANGLES, 0, 6);
+  gl.glDisableClientState(glcore::GL_VERTEX_ARRAY);
+  egl->eglSwapBuffers(surface);
+}
+
+// A "game" app drawing a spinning fan.
+void render_game(AndroidEgl* egl, EglSurface* surface, EglContext* context,
+                 int frame) {
+  egl->eglMakeCurrent(surface, context);
+  glcore::GlesEngine& gl = *egl->gles();
+  gl.glViewport(0, 0, surface->width(), surface->height());
+  gl.glClearColor(0.1f, 0.02f, 0.02f, 1.f);
+  gl.glClear(glcore::GL_COLOR_BUFFER_BIT);
+  gl.glMatrixMode(glcore::GL_PROJECTION);
+  gl.glLoadIdentity();
+  gl.glOrthof(-1, 1, -1, 1, -1, 1);
+  gl.glMatrixMode(glcore::GL_MODELVIEW);
+  gl.glLoadIdentity();
+  gl.glRotatef(frame * 15.f, 0, 0, 1);
+  gl.glEnableClientState(glcore::GL_VERTEX_ARRAY);
+  for (int blade = 0; blade < 4; ++blade) {
+    gl.glPushMatrix();
+    gl.glRotatef(blade * 90.f, 0, 0, 1);
+    gl.glColor4f(1.f, 0.5f + 0.1f * blade, 0.1f, 1.f);
+    const float tri[] = {0.f, 0.f, 0.9f, 0.15f, 0.9f, -0.15f};
+    gl.glVertexPointer(2, glcore::GL_FLOAT, 0, tri);
+    gl.glDrawArrays(glcore::GL_TRIANGLES, 0, 3);
+    gl.glPopMatrix();
+  }
+  gl.glDisableClientState(glcore::GL_VERTEX_ARRAY);
+  egl->eglSwapBuffers(surface);
+}
+
+}  // namespace
+
+int main() {
+  glport::apply_system_config(glport::SystemConfig::kAndroid);
+  SurfaceFlinger::instance().reset();
+
+  AndroidEgl* egl = open_android_egl();
+  if (egl == nullptr || egl->eglInitialize() != EGL_TRUE) {
+    std::fprintf(stderr, "EGL init failed\n");
+    return 1;
+  }
+  EglSurface* status_bar = egl->eglCreateWindowSurface(160, 24);
+  EglSurface* game = egl->eglCreateWindowSurface(120, 100);
+  EglContext* context = egl->eglCreateContext(1);
+  if (status_bar == nullptr || game == nullptr || context == nullptr) {
+    std::fprintf(stderr, "surface/context setup failed\n");
+    return 1;
+  }
+
+  SurfaceFlinger& flinger = SurfaceFlinger::instance();
+  flinger.add_layer(game, 20, 26, /*z=*/0);
+  const auto overlay = flinger.add_layer(status_bar, 0, 0, /*z=*/1, 0.9f);
+  (void)overlay;
+
+  render_status_bar(egl, status_bar, context);
+  for (int frame = 0; frame < 12; ++frame) {
+    render_game(egl, game, context, frame);
+  }
+  const Image display = flinger.compose(160, 130);
+  const bool wrote = display.write_ppm("compositor.ppm");
+
+  std::printf("Android compositor (Surface Flinger path of Figure 2)\n");
+  std::printf("  layers composed:  %zu\n", flinger.layer_count());
+  std::printf("  display:          160x130 -> %s\n",
+              wrote ? "compositor.ppm" : "(write failed)");
+  std::printf("  status bar pixel: 0x%08x (translucent over game)\n",
+              display.at(30, 12));
+  std::printf("  game pixel:       0x%08x\n", display.at(80, 76));
+  std::printf("  GL errors:        %s\n",
+              egl->gles()->glGetError() == glcore::GL_NO_ERROR ? "none"
+                                                               : "present!");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// The paper's §8 scenario: an iOS game that renders its scene with GLES v1
+// fixed-function calls while a WebKit view renders an HTML "about" page with
+// GLES v2 — two GLES API versions live in ONE process. Stock Android locks
+// a process to a single vendor GLES connection; Cycada's dynamic library
+// replication gives each EAGLContext its own replica of the whole vendor
+// stack, so both versions run side by side.
+#include <cmath>
+#include <cstdio>
+
+#include "glport/system_config.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/gles.h"
+#include "linker/linker.h"
+#include "android_gl/vendor.h"
+#include "webkit/browser.h"
+
+using namespace cycada;
+using namespace cycada::ios_gl;
+
+namespace {
+
+// The GLES1 game scene: a spinning "ship" (triangle fan) over a starfield.
+void render_game_frame(int frame) {
+  glClearColor(0.01f, 0.01f, 0.05f, 1.f);
+  glClear(glcore::GL_COLOR_BUFFER_BIT);
+  glMatrixMode(glcore::GL_PROJECTION);
+  glLoadIdentity();
+  glOrthof(-1.f, 1.f, -1.f, 1.f, -1.f, 1.f);
+  glMatrixMode(glcore::GL_MODELVIEW);
+  glLoadIdentity();
+
+  glEnableClientState(glcore::GL_VERTEX_ARRAY);
+  // Stars.
+  glColor4f(1.f, 1.f, 0.9f, 1.f);
+  glPointSize(2.f);
+  float stars[32];
+  for (int i = 0; i < 16; ++i) {
+    stars[2 * i] = std::sin(i * 2.39996f) * (0.2f + 0.05f * i);
+    stars[2 * i + 1] = std::cos(i * 2.39996f) * (0.2f + 0.05f * i);
+  }
+  glVertexPointer(2, glcore::GL_FLOAT, 0, stars);
+  glDrawArrays(glcore::GL_POINTS, 0, 16);
+  // Ship.
+  glPushMatrix();
+  glRotatef(frame * 12.f, 0.f, 0.f, 1.f);
+  glScalef(0.4f, 0.4f, 1.f);
+  glColor4f(0.9f, 0.4f, 0.1f, 1.f);
+  const float ship[] = {0.f, 1.f, -0.7f, -0.8f, 0.f, -0.4f, 0.7f, -0.8f};
+  glVertexPointer(2, glcore::GL_FLOAT, 0, ship);
+  glDrawArrays(glcore::GL_TRIANGLE_FAN, 0, 4);
+  glPopMatrix();
+  glDisableClientState(glcore::GL_VERTEX_ARRAY);
+}
+
+}  // namespace
+
+int main() {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+
+  // GLES v1 context for the game (its own vendor-stack replica).
+  auto game = EAGLContext::init_with_api(EAGLRenderingAPI::kOpenGLES1,
+                                         /*drawable*/ 96, 96);
+  if (!game.is_ok()) {
+    std::fprintf(stderr, "game context failed\n");
+    return 1;
+  }
+  EAGLContext::set_current_context(*game);
+  GLuint fbo = 0, rbo = 0;
+  glGenFramebuffers(1, &fbo);
+  glGenRenderbuffers(1, &rbo);
+  glBindRenderbuffer(glcore::GL_RENDERBUFFER, rbo);
+  (void)(*game)->renderbuffer_storage_from_drawable(rbo, CAEAGLLayer{96, 96});
+  glBindFramebuffer(glcore::GL_FRAMEBUFFER, fbo);
+  glFramebufferRenderbuffer(glcore::GL_FRAMEBUFFER,
+                            glcore::GL_COLOR_ATTACHMENT0,
+                            glcore::GL_RENDERBUFFER, rbo);
+  glViewport(0, 0, 96, 96);
+
+  // GLES v2 WebKit view for the "about" page — SAME process, different
+  // EAGLContext, different GLES version.
+  auto web_port = glport::make_ios_port();
+  if (!web_port->init(160, 120, 2).is_ok()) {
+    std::fprintf(stderr, "web view failed (version lock not bypassed?)\n");
+    return 1;
+  }
+  webkit::Browser about(*web_port, /*jit_enabled=*/false);
+  (void)about.load(
+      "<body bg=#10141c><h1 color=#ffb000>About</h1>"
+      "<p color=#c0c8d0>Star Courier 1.0 — rendered with OpenGL ES 1.1."
+      " This page is rendered with OpenGL ES 2.0 via WebKit, in the same"
+      " process, thanks to dynamic library replication.</p></body>");
+
+  // Animate the game while the about page stays up.
+  for (int frame = 0; frame < 30; ++frame) {
+    EAGLContext::set_current_context(*game);
+    glBindFramebuffer(glcore::GL_FRAMEBUFFER, fbo);
+    render_game_frame(frame);
+    (void)(*game)->present_renderbuffer(rbo);
+  }
+
+  (void)(*game)->screen_snapshot().write_ppm("game_gles1.ppm");
+  (void)about.screen().write_ppm("about_gles2.ppm");
+
+  linker::Linker& linker = linker::Linker::instance();
+  std::printf("Multi-version game (paper §8)\n");
+  std::printf("  GLES1 game frames:     30 (game_gles1.ppm)\n");
+  std::printf("  GLES2 about page:      rendered (about_gles2.ppm)\n");
+  std::printf("  vendor GLES copies:    %d (1 shared + 1 per EAGLContext)\n",
+              linker.live_copy_count(android_gl::kVendorGlesLib));
+  std::printf("  libui_wrapper copies:  %d\n",
+              linker.live_copy_count(android_gl::kUiWrapperLib));
+  std::printf("  game GL errors:        %s\n",
+              glGetError() == glcore::GL_NO_ERROR ? "none" : "present!");
+  EAGLContext::clear_current_context();
+  return 0;
+}

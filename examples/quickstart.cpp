@@ -1,0 +1,98 @@
+// Quickstart: run an unmodified "iOS app" code path on Cycada.
+//
+// The app below is written exactly the way an iOS app would be written —
+// EAGL for the drawable, the iOS GLES2 API for rendering, presentRenderbuffer
+// to show the frame. Under the hood every GL call is a diplomat into a
+// dlforce-replicated Android vendor GLES stack driving the software GPU.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "glport/system_config.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/gles.h"
+
+using namespace cycada;
+using namespace cycada::ios_gl;
+
+int main() {
+  // Boot the simulated device: Android tablet running Cycada, the calling
+  // thread registered as an iOS-persona app thread.
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+
+  // --- iOS app code starts here -------------------------------------------
+  auto context = EAGLContext::init_with_api(EAGLRenderingAPI::kOpenGLES2,
+                                            /*drawable*/ 128, 128);
+  if (!context.is_ok()) {
+    std::fprintf(stderr, "EAGLContext failed: %s\n",
+                 context.status().to_string().c_str());
+    return 1;
+  }
+  EAGLContext::set_current_context(*context);
+
+  // EAGL pattern: render into an offscreen framebuffer whose renderbuffer
+  // is backed by the layer.
+  GLuint fbo = 0, rbo = 0;
+  glGenFramebuffers(1, &fbo);
+  glGenRenderbuffers(1, &rbo);
+  glBindRenderbuffer(glcore::GL_RENDERBUFFER, rbo);
+  (void)(*context)->renderbuffer_storage_from_drawable(rbo,
+                                                       CAEAGLLayer{128, 128});
+  glBindFramebuffer(glcore::GL_FRAMEBUFFER, fbo);
+  glFramebufferRenderbuffer(glcore::GL_FRAMEBUFFER, glcore::GL_COLOR_ATTACHMENT0,
+                            glcore::GL_RENDERBUFFER, rbo);
+  glViewport(0, 0, 128, 128);
+
+  // A gradient triangle via the programmable pipeline.
+  const char* vs_src =
+      "attribute vec4 a_position; attribute vec4 a_color; uniform mat4 u_mvp;"
+      "varying vec4 v_color;"
+      "void main() { gl_Position = u_mvp * a_position; v_color = a_color; }";
+  const char* fs_src =
+      "varying vec4 v_color; void main() { gl_FragColor = v_color; }";
+  const GLuint vs = glCreateShader(glcore::GL_VERTEX_SHADER);
+  const GLuint fs = glCreateShader(glcore::GL_FRAGMENT_SHADER);
+  glShaderSource(vs, 1, &vs_src, nullptr);
+  glShaderSource(fs, 1, &fs_src, nullptr);
+  glCompileShader(vs);
+  glCompileShader(fs);
+  const GLuint program = glCreateProgram();
+  glAttachShader(program, vs);
+  glAttachShader(program, fs);
+  glLinkProgram(program);
+  glUseProgram(program);
+  const float identity[16] = {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+  glUniformMatrix4fv(glGetUniformLocation(program, "u_mvp"), 1,
+                     glcore::GL_FALSE, identity);
+
+  glClearColor(0.08f, 0.08f, 0.12f, 1.f);
+  glClear(glcore::GL_COLOR_BUFFER_BIT);
+  const float positions[] = {-0.9f, -0.8f, 0.9f, -0.8f, 0.f, 0.9f};
+  const float colors[] = {1, 0, 0, 1, 0, 1, 0, 1, 0, 0, 1, 1};
+  glEnableVertexAttribArray(0);
+  glEnableVertexAttribArray(1);
+  glVertexAttribPointer(0, 2, glcore::GL_FLOAT, glcore::GL_FALSE, 0, positions);
+  glVertexAttribPointer(1, 4, glcore::GL_FLOAT, glcore::GL_FALSE, 0, colors);
+  glDrawArrays(glcore::GL_TRIANGLES, 0, 3);
+
+  // Show the frame (the multi diplomat that draws the offscreen buffer into
+  // the default framebuffer and swaps).
+  (void)(*context)->present_renderbuffer(rbo);
+  // --- iOS app code ends here ---------------------------------------------
+
+  const Image screen = (*context)->screen_snapshot();
+  const bool wrote = screen.write_ppm("quickstart.ppm");
+  std::printf("Cycada quickstart\n");
+  std::printf("  GL errors:        %s\n",
+              glGetError() == glcore::GL_NO_ERROR ? "none" : "present!");
+  std::printf("  screen:           %dx%d, corner=0x%08x center=0x%08x\n",
+              screen.width(), screen.height(), screen.at(2, 2),
+              screen.at(64, 80));
+  std::printf("  screenshot:       %s\n",
+              wrote ? "quickstart.ppm" : "(write failed)");
+  std::printf("  vendor via bridge: %s\n",
+              reinterpret_cast<const char*>(glGetString(glcore::GL_VENDOR)));
+  EAGLContext::clear_current_context();
+  return 0;
+}

@@ -1,0 +1,382 @@
+#include "android_gl/egl.h"
+
+#include <cstring>
+
+#include "android_gl/ui_wrapper.h"
+#include "android_gl/vendor.h"
+#include "gpu/device.h"
+#include "kernel/libc.h"
+#include "util/log.h"
+
+namespace cycada::android_gl {
+
+namespace {
+gpu::GpuDevice& device() { return gpu::GpuDevice::instance(); }
+
+// Packs a small EGLint into the TLS error slot.
+void* pack_error(EGLint error) {
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(error));
+}
+EGLint unpack_error(void* value) {
+  return static_cast<EGLint>(reinterpret_cast<std::intptr_t>(value));
+}
+}  // namespace
+
+AndroidEgl::AndroidEgl() {
+  tls_connection_key_ = kernel::libc::pthread_key_create();
+  tls_context_key_ = kernel::libc::pthread_key_create();
+  tls_error_key_ = kernel::libc::pthread_key_create();
+}
+
+AndroidEgl::~AndroidEgl() {
+  for (kernel::TlsKey key :
+       {tls_connection_key_, tls_context_key_, tls_error_key_}) {
+    if (key != kernel::kInvalidTlsKey) kernel::libc::pthread_key_delete(key);
+  }
+}
+
+void* AndroidEgl::symbol(std::string_view name) {
+  if (name == "egl_wrapper") return this;
+  return nullptr;
+}
+
+void AndroidEgl::set_error(EGLint error) {
+  kernel::libc::pthread_setspecific(tls_error_key_, pack_error(error));
+}
+
+EGLint AndroidEgl::eglGetError() {
+  void* stored = kernel::libc::pthread_getspecific(tls_error_key_);
+  kernel::libc::pthread_setspecific(tls_error_key_, nullptr);
+  return stored == nullptr ? EGL_SUCCESS : unpack_error(stored);
+}
+
+EGLBoolean AndroidEgl::eglInitialize() {
+  std::lock_guard lock(mutex_);
+  if (process_connection_ != nullptr) return EGL_TRUE;
+  // Load the (shared) vendor library — the one vendor connection the stock
+  // wrapper permits per process.
+  auto handle = linker::Linker::instance().dlopen(kVendorGlesLib);
+  if (!handle.is_ok()) {
+    set_error(EGL_NOT_INITIALIZED);
+    return EGL_FALSE;
+  }
+  auto connection = std::make_unique<EglConnection>();
+  connection->library = std::move(handle.value());
+  connection->engine = engine_from_handle(connection->library);
+  connection->id = 0;
+  if (connection->engine == nullptr) {
+    set_error(EGL_NOT_INITIALIZED);
+    return EGL_FALSE;
+  }
+  process_connection_ = std::move(connection);
+  return EGL_TRUE;
+}
+
+EGLBoolean AndroidEgl::eglTerminate() {
+  std::lock_guard lock(mutex_);
+  contexts_.clear();
+  surfaces_.clear();
+  images_.clear();
+  mc_connections_.clear();
+  if (process_connection_ != nullptr) {
+    (void)linker::Linker::instance().dlclose(
+        std::move(process_connection_->library));
+    process_connection_.reset();
+  }
+  return EGL_TRUE;
+}
+
+EglConnection* AndroidEgl::current_connection() {
+  void* stored = kernel::libc::pthread_getspecific(tls_connection_key_);
+  if (stored != nullptr) return static_cast<EglConnection*>(stored);
+  return process_connection_.get();
+}
+
+EglConnection* AndroidEgl::connection_by_id(int id) {
+  std::lock_guard lock(mutex_);
+  if (id == 0) return process_connection_.get();
+  for (const auto& connection : mc_connections_) {
+    if (connection->id == id) return connection.get();
+  }
+  return nullptr;
+}
+
+glcore::GlesEngine* AndroidEgl::gles() {
+  EglConnection* connection = current_connection();
+  return connection == nullptr ? nullptr : connection->engine;
+}
+
+EglSurface* AndroidEgl::create_surface(int width, int height, bool window) {
+  if (width <= 0 || height <= 0) {
+    set_error(EGL_BAD_PARAMETER);
+    return nullptr;
+  }
+  auto surface = std::make_unique<EglSurface>();
+  surface->width_ = width;
+  surface->height_ = height;
+  const int buffer_count = window ? 2 : 1;
+  for (int i = 0; i < buffer_count; ++i) {
+    auto buffer = gmem::GrallocAllocator::instance().allocate(
+        width, height, PixelFormat::kRgba8888,
+        gmem::kUsageGpuRenderTarget | gmem::kUsageComposer);
+    if (!buffer.is_ok()) {
+      set_error(EGL_BAD_PARAMETER);
+      return nullptr;
+    }
+    surface->buffers_[i] = std::move(buffer.value());
+    surface->targets_[i] = device().create_target_external(
+        surface->buffers_[i]->pixels32(), width, height,
+        surface->buffers_[i]->stride_px(), /*with_depth=*/true);
+  }
+  if (!window) {
+    surface->buffers_[1] = surface->buffers_[0];
+    surface->targets_[1] = surface->targets_[0];
+  }
+  std::lock_guard lock(mutex_);
+  surfaces_.push_back(std::move(surface));
+  return surfaces_.back().get();
+}
+
+EglSurface* AndroidEgl::eglCreateWindowSurface(int width, int height) {
+  if (process_connection_ == nullptr) {
+    set_error(EGL_NOT_INITIALIZED);
+    return nullptr;
+  }
+  return create_surface(width, height, /*window=*/true);
+}
+
+EglSurface* AndroidEgl::eglCreatePbufferSurface(int width, int height) {
+  if (process_connection_ == nullptr) {
+    set_error(EGL_NOT_INITIALIZED);
+    return nullptr;
+  }
+  return create_surface(width, height, /*window=*/false);
+}
+
+EGLBoolean AndroidEgl::eglDestroySurface(EglSurface* surface) {
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(
+      surfaces_.begin(), surfaces_.end(),
+      [surface](const auto& owned) { return owned.get() == surface; });
+  if (it == surfaces_.end()) {
+    set_error(EGL_BAD_SURFACE);
+    return EGL_FALSE;
+  }
+  (void)device().destroy_target((*it)->targets_[0]);
+  if ((*it)->targets_[1] != (*it)->targets_[0]) {
+    (void)device().destroy_target((*it)->targets_[1]);
+  }
+  surfaces_.erase(it);
+  return EGL_TRUE;
+}
+
+EglContext* AndroidEgl::eglCreateContext(int gles_version) {
+  EglConnection* connection = current_connection();
+  if (connection == nullptr) {
+    set_error(EGL_NOT_INITIALIZED);
+    return nullptr;
+  }
+  if (gles_version != 1 && gles_version != 2) {
+    set_error(EGL_BAD_PARAMETER);
+    return nullptr;
+  }
+  std::lock_guard lock(mutex_);
+  // The Android restriction of paper §8: one GLES API version per vendor
+  // connection. The first context locks the connection's version.
+  if (connection->locked_version != 0 &&
+      connection->locked_version != gles_version) {
+    set_error(EGL_BAD_MATCH);
+    return nullptr;
+  }
+  const glcore::ContextId engine_context =
+      connection->engine->create_context(gles_version);
+  if (engine_context == glcore::kNoContext) {
+    set_error(EGL_BAD_PARAMETER);
+    return nullptr;
+  }
+  connection->locked_version = gles_version;
+  auto context = std::make_unique<EglContext>();
+  context->connection = connection;
+  context->engine_context = engine_context;
+  context->version = gles_version;
+  context->creator = kernel::sys_gettid();
+  contexts_.push_back(std::move(context));
+  return contexts_.back().get();
+}
+
+EGLBoolean AndroidEgl::eglDestroyContext(EglContext* context) {
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(
+      contexts_.begin(), contexts_.end(),
+      [context](const auto& owned) { return owned.get() == context; });
+  if (it == contexts_.end()) {
+    set_error(EGL_BAD_CONTEXT);
+    return EGL_FALSE;
+  }
+  (void)(*it)->connection->engine->destroy_context((*it)->engine_context);
+  contexts_.erase(it);
+  return EGL_TRUE;
+}
+
+EGLBoolean AndroidEgl::eglMakeCurrent(EglSurface* surface,
+                                      EglContext* context) {
+  if (context == nullptr) {
+    kernel::libc::pthread_setspecific(tls_context_key_, nullptr);
+    if (glcore::GlesEngine* engine = gles()) {
+      (void)engine->make_current(glcore::kNoContext, gpu::kNoHandle);
+    }
+    return EGL_TRUE;
+  }
+  // Android's creator-affinity rule (paper §7): this is the check thread
+  // impersonation exists to satisfy.
+  if (!android_thread_affinity_ok(context->creator)) {
+    set_error(EGL_BAD_ACCESS);
+    return EGL_FALSE;
+  }
+  const gpu::RenderTargetHandle target =
+      surface != nullptr ? surface->back_target() : gpu::kNoHandle;
+  const Status status =
+      context->connection->engine->make_current(context->engine_context,
+                                                target);
+  if (!status.is_ok()) {
+    set_error(EGL_BAD_CONTEXT);
+    return EGL_FALSE;
+  }
+  kernel::libc::pthread_setspecific(tls_connection_key_, context->connection);
+  kernel::libc::pthread_setspecific(tls_context_key_, context);
+  return EGL_TRUE;
+}
+
+EglContext* AndroidEgl::eglGetCurrentContext() {
+  return static_cast<EglContext*>(
+      kernel::libc::pthread_getspecific(tls_context_key_));
+}
+
+EGLBoolean AndroidEgl::eglSwapBuffers(EglSurface* surface) {
+  if (surface == nullptr) {
+    set_error(EGL_BAD_SURFACE);
+    return EGL_FALSE;
+  }
+  // Retire all queued rendering into the back buffer, then flip.
+  device().flush();
+  surface->back_ = 1 - surface->back_;
+  // Composition handoff (HW-Composer scanout of the new front buffer).
+  {
+    const gmem::GraphicBuffer& front = surface->front_buffer();
+    auto* pixels = const_cast<gmem::GraphicBuffer&>(front).pixels32();
+    surface->scanout_.resize(static_cast<std::size_t>(surface->width_) *
+                             surface->height_);
+    for (int y = 0; y < surface->height_; ++y) {
+      std::memcpy(
+          surface->scanout_.data() +
+              static_cast<std::size_t>(y) * surface->width_,
+          pixels + static_cast<std::size_t>(y) * front.stride_px(),
+          static_cast<std::size_t>(surface->width_) * sizeof(std::uint32_t));
+    }
+  }
+  // Rendering continues into the new back buffer.
+  EglContext* context = eglGetCurrentContext();
+  if (context != nullptr) {
+    (void)context->connection->engine->set_default_target(
+        surface->back_target());
+  }
+  return EGL_TRUE;
+}
+
+glcore::EglImage* AndroidEgl::eglCreateImageKHR(gmem::BufferId buffer_id) {
+  auto buffer = gmem::GrallocAllocator::instance().find(buffer_id);
+  if (buffer == nullptr) {
+    set_error(EGL_BAD_PARAMETER);
+    return nullptr;
+  }
+  auto image = std::make_unique<glcore::EglImage>();
+  image->buffer = std::move(buffer);
+  std::lock_guard lock(mutex_);
+  images_.push_back(std::move(image));
+  return images_.back().get();
+}
+
+EGLBoolean AndroidEgl::eglDestroyImageKHR(glcore::EglImage* image) {
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(
+      images_.begin(), images_.end(),
+      [image](const auto& owned) { return owned.get() == image; });
+  if (it == images_.end()) {
+    set_error(EGL_BAD_PARAMETER);
+    return EGL_FALSE;
+  }
+  images_.erase(it);
+  return EGL_TRUE;
+}
+
+int AndroidEgl::eglReInitializeMC() {
+  // DLR: replicate libui_wrapper and, through its dependency closure, the
+  // whole vendor GLES stack (paper §8.1.1). The replica becomes the calling
+  // thread's connection.
+  auto replica = linker::Linker::instance().dlforce(kUiWrapperLib);
+  if (!replica.is_ok()) {
+    set_error(EGL_NOT_INITIALIZED);
+    return 0;
+  }
+  auto connection = std::make_unique<EglConnection>();
+  connection->library = std::move(replica.value());
+  connection->engine = engine_from_handle(connection->library);
+  connection->ui_wrapper = static_cast<UiWrapper*>(
+      linker::Linker::instance().dlsym(connection->library, "ui_wrapper"));
+  if (connection->engine == nullptr || connection->ui_wrapper == nullptr) {
+    set_error(EGL_NOT_INITIALIZED);
+    return 0;
+  }
+  std::lock_guard lock(mutex_);
+  connection->id = next_connection_id_++;
+  EglConnection* raw = connection.get();
+  mc_connections_.push_back(std::move(connection));
+  kernel::libc::pthread_setspecific(tls_connection_key_, raw);
+  return raw->id;
+}
+
+EGLBoolean AndroidEgl::eglSwitchMC(int connection_id) {
+  EglConnection* connection = connection_by_id(connection_id);
+  if (connection == nullptr) {
+    set_error(EGL_BAD_PARAMETER);
+    return EGL_FALSE;
+  }
+  kernel::libc::pthread_setspecific(tls_connection_key_, connection);
+  return EGL_TRUE;
+}
+
+EGLBoolean AndroidEgl::eglGetTLSMC(void** tls_vals, int nvals) {
+  if (tls_vals == nullptr || nvals < 2) {
+    set_error(EGL_BAD_PARAMETER);
+    return EGL_FALSE;
+  }
+  tls_vals[0] = kernel::libc::pthread_getspecific(tls_connection_key_);
+  tls_vals[1] = kernel::libc::pthread_getspecific(tls_context_key_);
+  return EGL_TRUE;
+}
+
+EGLBoolean AndroidEgl::eglSetTLSMC(void* const* tls_vals, int nvals) {
+  if (tls_vals == nullptr || nvals < 2) {
+    set_error(EGL_BAD_PARAMETER);
+    return EGL_FALSE;
+  }
+  kernel::libc::pthread_setspecific(tls_connection_key_, tls_vals[0]);
+  kernel::libc::pthread_setspecific(tls_context_key_, tls_vals[1]);
+  return EGL_TRUE;
+}
+
+AndroidEgl* open_android_egl() {
+  register_android_graphics_libraries();
+  auto handle = linker::Linker::instance().dlopen(kEglLib);
+  if (!handle.is_ok()) return nullptr;
+  auto* egl = static_cast<AndroidEgl*>(
+      linker::Linker::instance().dlsym(handle.value(), "egl_wrapper"));
+  // The wrapper is process-shared; pin a reference so it is never unloaded
+  // (matches how libEGL stays resident for process lifetime). Pins from
+  // before a linker reset are stale but never dereferenced again.
+  static std::vector<linker::Handle>* pinned = new std::vector<linker::Handle>;
+  pinned->push_back(std::move(handle.value()));
+  return egl;
+}
+
+}  // namespace cycada::android_gl

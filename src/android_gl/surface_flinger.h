@@ -1,0 +1,54 @@
+// Surface Flinger (paper Figure 2): the Android system compositor. Window
+// surfaces register as layers; compose() blends each layer's *front*
+// GraphicBuffer onto the display in z-order through the HW-Composer-style
+// path (a CPU blit here — the composition happens from the same zero-copy
+// buffers the GPU rendered into, which is the property that matters).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "android_gl/egl.h"
+#include "util/image.h"
+
+namespace cycada::android_gl {
+
+class SurfaceFlinger {
+ public:
+  static SurfaceFlinger& instance();
+
+  void reset();
+
+  using LayerId = int;
+
+  // Registers a window surface as a layer. Higher z composes on top.
+  LayerId add_layer(EglSurface* surface, int x, int y, int z_order,
+                    float alpha = 1.f);
+  Status remove_layer(LayerId id);
+  Status set_layer_position(LayerId id, int x, int y);
+  Status set_layer_alpha(LayerId id, float alpha);
+  std::size_t layer_count() const;
+
+  // Composites all layers onto a display of the given size (black
+  // background). Surfaces' front buffers are read as-is — what eglSwapBuffers
+  // last published.
+  Image compose(int display_width, int display_height);
+
+ private:
+  SurfaceFlinger() = default;
+
+  struct Layer {
+    EglSurface* surface = nullptr;
+    int x = 0;
+    int y = 0;
+    int z_order = 0;
+    float alpha = 1.f;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<LayerId, Layer> layers_;
+  LayerId next_id_ = 1;
+};
+
+}  // namespace cycada::android_gl

@@ -1,0 +1,46 @@
+// The Android vendor graphics libraries, registered with the simulated
+// linker under their device names:
+//
+//   libGLESv2_tegra.so  -> a GlesEngine configured with the Tegra extension
+//                          set (depends on libnvrm.so -> libnvos.so, the
+//                          chain the paper names in §8.1)
+//   libnvrm.so, libnvos.so -> vendor support libraries with per-copy globals
+//   libEGL.so           -> the open-source EGL wrapper (AndroidEgl)
+//   libui_wrapper.so    -> the Cycada support library of §8.1.1/§8.2
+//                          (depends on libGLESv2_tegra.so)
+//
+// Replicating libui_wrapper.so with dlforce therefore re-instances the whole
+// vendor stack, giving each iOS EAGLContext its own GLES connection.
+#pragma once
+
+#include "glcore/engine.h"
+#include "linker/linker.h"
+
+namespace cycada::android_gl {
+
+inline constexpr const char* kVendorGlesLib = "libGLESv2_tegra.so";
+inline constexpr const char* kNvRmLib = "libnvrm.so";
+inline constexpr const char* kNvOsLib = "libnvos.so";
+inline constexpr const char* kEglLib = "libEGL.so";
+inline constexpr const char* kUiWrapperLib = "libui_wrapper.so";
+
+// Registers all Android graphics library images with the linker (idempotent).
+void register_android_graphics_libraries();
+
+// Vendor GLES library instance: owns one GlesEngine per loaded copy.
+class VendorGles : public linker::LibraryInstance {
+ public:
+  VendorGles();
+  void* symbol(std::string_view name) override;
+  glcore::GlesEngine& engine() { return engine_; }
+
+ private:
+  glcore::GlesEngine engine_;
+  int vendor_global_ = 0;  // exported so DLR tests can check per-copy addresses
+};
+
+// Fetches the GlesEngine out of a loaded vendor-library handle (the "HMI"
+// lookup Android's EGL wrapper performs after dlopen).
+glcore::GlesEngine* engine_from_handle(const linker::Handle& handle);
+
+}  // namespace cycada::android_gl

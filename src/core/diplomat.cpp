@@ -1,0 +1,65 @@
+#include "core/diplomat.h"
+
+namespace cycada::core {
+
+DiplomatRegistry& DiplomatRegistry::instance() {
+  static DiplomatRegistry* registry = new DiplomatRegistry();
+  return *registry;
+}
+
+void DiplomatRegistry::reset() {
+  // Entries are process-lifetime: call sites cache DiplomatEntry references
+  // in function-local statics (the paper's step-1 symbol cache), so entries
+  // must never be destroyed. Reset only clears statistics.
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    entry->calls.store(0);
+    entry->total_ns.store(0);
+  }
+  profiling_.store(false);
+}
+
+DiplomatEntry& DiplomatRegistry::entry(std::string_view name,
+                                       DiplomatPattern pattern) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) return *it->second;
+  auto entry = std::make_unique<DiplomatEntry>();
+  entry->name = std::string(name);
+  entry->pattern = pattern;
+  DiplomatEntry& ref = *entry;
+  entries_.emplace(entry->name, std::move(entry));
+  return ref;
+}
+
+void DiplomatRegistry::clear_stats() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    entry->calls.store(0);
+    entry->total_ns.store(0);
+  }
+}
+
+std::vector<DiplomatSnapshot> DiplomatRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<DiplomatSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry->pattern, entry->calls.load(),
+                   entry->total_ns.load()});
+  }
+  return out;
+}
+
+namespace detail {
+long errno_linux_to_darwin(long linux_errno) {
+  switch (linux_errno) {
+    case 11: return 35;   // EAGAIN
+    case 38: return 78;   // ENOSYS
+    case 35: return 11;   // EDEADLK
+    default: return linux_errno;
+  }
+}
+}  // namespace detail
+
+}  // namespace cycada::core

@@ -1,0 +1,153 @@
+// Diplomats: Cycada's mechanism for calling domestic (Android) code from
+// foreign (iOS) apps (paper §3).
+//
+// A diplomat executes the paper's eleven-step procedure:
+//   (1) on first invocation, resolve and cache the domestic entry point in a
+//       locally-scoped static; (2) run a prelude in the foreign persona;
+//   (3-5) marshal arguments across the set_persona syscall; (6) invoke the
+//   domestic function; (7-8) marshal the return value back across the second
+//   set_persona syscall; (9) convert domestic TLS values such as errno into
+//   the foreign TLS area; (10) run a postlude in the foreign persona;
+//   (11) return to the foreign caller.
+//
+// The four usage patterns of §4.1 — direct, indirect, data-dependent and
+// multi — classify how much wrapper logic surrounds that core procedure,
+// and the registry records the classification plus per-function call
+// statistics (the data behind Tables 2 and Figures 7-10).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/libc.h"
+#include "util/clock.h"
+
+namespace cycada::core {
+
+enum class DiplomatPattern : std::uint8_t {
+  kDirect,         // straight invocation of one Android function
+  kIndirect,       // small foreign-side wrapper redirecting/re-arranging
+  kDataDependent,  // input-dependent logic, may skip the Android call
+  kMulti,          // coalesces several Android functions
+  kUnimplemented,  // registered but never called by real apps
+};
+
+constexpr std::string_view pattern_name(DiplomatPattern pattern) {
+  switch (pattern) {
+    case DiplomatPattern::kDirect: return "direct";
+    case DiplomatPattern::kIndirect: return "indirect";
+    case DiplomatPattern::kDataDependent: return "data-dependent";
+    case DiplomatPattern::kMulti: return "multi";
+    case DiplomatPattern::kUnimplemented: return "unimplemented";
+  }
+  return "?";
+}
+
+// One registered diplomat. Entries live for the registry's lifetime;
+// call-site statics hold pointers to them (step 1's cached symbol).
+struct DiplomatEntry {
+  std::string name;
+  DiplomatPattern pattern = DiplomatPattern::kDirect;
+  // Step-1 cache: the resolved domestic entry point (opaque).
+  std::atomic<void*> cached_symbol{nullptr};
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::int64_t> total_ns{0};
+
+  void record(std::int64_t ns) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    total_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+};
+
+struct DiplomatSnapshot {
+  std::string name;
+  DiplomatPattern pattern;
+  std::uint64_t calls;
+  std::int64_t total_ns;
+};
+
+class DiplomatRegistry {
+ public:
+  static DiplomatRegistry& instance();
+
+  void reset();
+  // Finds or creates the entry for `name`.
+  DiplomatEntry& entry(std::string_view name, DiplomatPattern pattern);
+
+  // Per-function timing for Figures 7-10; off by default (adds two clock
+  // reads per diplomat call when on).
+  void set_profiling(bool enabled) { profiling_.store(enabled); }
+  bool profiling() const { return profiling_.load(std::memory_order_relaxed); }
+  void clear_stats();
+  std::vector<DiplomatSnapshot> snapshot() const;
+
+ private:
+  DiplomatRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<DiplomatEntry>, std::less<>> entries_;
+  std::atomic<bool> profiling_{false};
+};
+
+// Hooks shared by a library's diplomats ("library-wide prelude and postlude
+// operations", §3). Both run in the foreign persona.
+struct DiplomatHooks {
+  std::function<void()> prelude;
+  std::function<void()> postlude;
+};
+
+namespace detail {
+// Darwin errno for a Linux errno (diplomat step 9).
+long errno_linux_to_darwin(long linux_errno);
+}  // namespace detail
+
+// Executes `domestic` under the full diplomat procedure and returns its
+// result. The calling thread's persona is restored afterwards (normally it
+// is the iOS persona; nesting is supported).
+template <typename Fn>
+auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
+                   Fn&& domestic) {
+  DiplomatRegistry& registry = DiplomatRegistry::instance();
+  const bool profiling = registry.profiling();
+  const std::int64_t start_ns = profiling ? now_ns() : 0;
+
+  // Step 2: prelude in the foreign persona.
+  if (hooks.prelude) hooks.prelude();
+
+  // Steps 3-5: arguments live in `domestic`'s closure (the stack); switch
+  // the kernel ABI personality and TLS pointer to the domestic persona.
+  kernel::Kernel& kernel = kernel::Kernel::instance();
+  const kernel::Persona caller_persona = kernel.current_thread().persona();
+  kernel::sys_set_persona(kernel::Persona::kAndroid);
+
+  long domestic_errno = 0;
+  const auto finish = [&] {
+    // Capture domestic TLS state, then switch back (steps 7-9).
+    domestic_errno = kernel::libc::get_errno();
+    kernel::sys_set_persona(caller_persona);
+    if (caller_persona == kernel::Persona::kIos) {
+      kernel::libc::set_errno(detail::errno_linux_to_darwin(domestic_errno));
+    }
+    // Step 10: postlude in the foreign persona.
+    if (hooks.postlude) hooks.postlude();
+    if (profiling) entry.record(now_ns() - start_ns);
+    entry.calls.fetch_add(profiling ? 0 : 1, std::memory_order_relaxed);
+  };
+
+  if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {
+    domestic();  // step 6
+    finish();
+  } else {
+    auto result = domestic();  // steps 6-7 (result saved on the stack)
+    finish();
+    return result;  // step 11
+  }
+}
+
+}  // namespace cycada::core

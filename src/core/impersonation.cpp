@@ -1,0 +1,128 @@
+#include "core/impersonation.h"
+
+#include "util/log.h"
+
+namespace cycada::core {
+
+namespace {
+// Per-thread nesting depth of graphics-diplomat prelude/postlude windows.
+thread_local int t_graphics_depth = 0;
+}  // namespace
+
+GraphicsTlsTracker& GraphicsTlsTracker::instance() {
+  static GraphicsTlsTracker* tracker = new GraphicsTlsTracker();
+  return *tracker;
+}
+
+void GraphicsTlsTracker::install() {
+  std::lock_guard lock(mutex_);
+  if (installed_) return;
+  kernel::Kernel& kernel = kernel::Kernel::instance();
+  create_hook_ = kernel.add_key_create_hook(
+      [this](kernel::TlsKey key) { on_key_created(key); });
+  delete_hook_ = kernel.add_key_delete_hook(
+      [this](kernel::TlsKey key) { on_key_deleted(key); });
+  installed_ = true;
+}
+
+void GraphicsTlsTracker::reset() {
+  std::lock_guard lock(mutex_);
+  if (installed_) {
+    kernel::Kernel& kernel = kernel::Kernel::instance();
+    kernel.remove_key_create_hook(create_hook_);
+    kernel.remove_key_delete_hook(delete_hook_);
+    installed_ = false;
+  }
+  keys_.clear();
+  t_graphics_depth = 0;
+}
+
+void GraphicsTlsTracker::enter_graphics_diplomat() { ++t_graphics_depth; }
+
+void GraphicsTlsTracker::exit_graphics_diplomat() {
+  if (t_graphics_depth > 0) --t_graphics_depth;
+}
+
+bool GraphicsTlsTracker::in_graphics_diplomat() const {
+  return t_graphics_depth > 0;
+}
+
+void GraphicsTlsTracker::add_well_known_key(kernel::TlsKey key) {
+  if (key == kernel::kInvalidTlsKey) return;
+  std::lock_guard lock(mutex_);
+  keys_.insert(key);
+}
+
+void GraphicsTlsTracker::on_key_created(kernel::TlsKey key) {
+  // The gate: only keys reserved inside a graphics diplomat window are
+  // graphics-related (paper §7.1).
+  if (t_graphics_depth <= 0) return;
+  std::lock_guard lock(mutex_);
+  keys_.insert(key);
+}
+
+void GraphicsTlsTracker::on_key_deleted(kernel::TlsKey key) {
+  std::lock_guard lock(mutex_);
+  keys_.erase(key);
+}
+
+std::vector<kernel::TlsKey> GraphicsTlsTracker::graphics_keys() const {
+  std::lock_guard lock(mutex_);
+  return {keys_.begin(), keys_.end()};
+}
+
+bool GraphicsTlsTracker::is_graphics_key(kernel::TlsKey key) const {
+  std::lock_guard lock(mutex_);
+  return keys_.contains(key);
+}
+
+ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {
+  kernel::Kernel& kernel = kernel::Kernel::instance();
+  self_ = kernel.current_thread().tid();
+  if (target_ == kernel::kInvalidTid || target_ == self_) return;
+  if (kernel.find_thread(target_) == nullptr) {
+    CYCADA_LOG(kWarn) << "impersonation target " << target_ << " not found";
+    return;
+  }
+  keys_ = GraphicsTlsTracker::instance().graphics_keys();
+  const int count = static_cast<int>(keys_.size());
+  for (int p = 0; p < kernel::kNumPersonas; ++p) {
+    const auto persona = static_cast<kernel::Persona>(p);
+    saved_[p].resize(keys_.size());
+    std::vector<void*> incoming(keys_.size());
+    // Save the running thread's graphics TLS and install the target's, in
+    // both personas (steps 3 of §7.1, via the locate/propagate syscalls).
+    if (kernel::sys_locate_tls(self_, persona, keys_.data(), saved_[p].data(),
+                               count) != 0 ||
+        kernel::sys_locate_tls(target_, persona, keys_.data(), incoming.data(),
+                               count) != 0 ||
+        kernel::sys_propagate_tls(self_, persona, keys_.data(), incoming.data(),
+                                  count) != 0) {
+      return;
+    }
+  }
+  kernel::sys_impersonate(target_);
+  active_ = true;
+}
+
+ThreadImpersonation::~ThreadImpersonation() {
+  if (!active_) return;
+  const int count = static_cast<int>(keys_.size());
+  for (int p = 0; p < kernel::kNumPersonas; ++p) {
+    const auto persona = static_cast<kernel::Persona>(p);
+    std::vector<void*> updated(keys_.size());
+    // Reflect updates back into the TLS associated with the context (the
+    // target thread), then restore the running thread's own state
+    // (steps 4-5 of §7.1).
+    if (kernel::sys_locate_tls(self_, persona, keys_.data(), updated.data(),
+                               count) == 0) {
+      (void)kernel::sys_propagate_tls(target_, persona, keys_.data(),
+                                      updated.data(), count);
+    }
+    (void)kernel::sys_propagate_tls(self_, persona, keys_.data(),
+                                    saved_[p].data(), count);
+  }
+  kernel::sys_impersonate(kernel::kInvalidTid);
+}
+
+}  // namespace cycada::core

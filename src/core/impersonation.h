@@ -1,0 +1,78 @@
+// Thread impersonation (paper §7.1): one thread temporarily assumes the
+// identity of another across ALL personas, with selective migration of
+// graphics-related TLS slots.
+//
+// Which slots are "graphics-related" is discovered at run time: the kernel's
+// pthread_key_create/delete hooks (the 12-line libc patch) are gated so that
+// keys reserved while a thread is inside a graphics diplomat's prelude/
+// postlude window are recorded as graphics keys. Well-known iOS library
+// slots can be added explicitly.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace cycada::core {
+
+class GraphicsTlsTracker {
+ public:
+  static GraphicsTlsTracker& instance();
+
+  // Registers the kernel hooks (idempotent). reset() unregisters and
+  // forgets all tracked keys.
+  void install();
+  void reset();
+
+  // Gating: while a thread is between enter/exit (a graphics diplomat's
+  // prelude/postlude window), keys it creates are recorded as
+  // graphics-related. Reentrant per thread.
+  void enter_graphics_diplomat();
+  void exit_graphics_diplomat();
+  bool in_graphics_diplomat() const;
+
+  // Explicit registration of well-known (e.g. Apple library) slots.
+  void add_well_known_key(kernel::TlsKey key);
+
+  std::vector<kernel::TlsKey> graphics_keys() const;
+  bool is_graphics_key(kernel::TlsKey key) const;
+
+ private:
+  GraphicsTlsTracker() = default;
+  void on_key_created(kernel::TlsKey key);
+  void on_key_deleted(kernel::TlsKey key);
+
+  mutable std::mutex mutex_;
+  std::set<kernel::TlsKey> keys_;
+  int create_hook_ = 0;
+  int delete_hook_ = 0;
+  bool installed_ = false;
+};
+
+// RAII thread impersonation for graphics (paper §7.1's five-step procedure):
+// saves the running thread's graphics TLS in BOTH personas, installs the
+// target thread's values (the TLS associated with the GLES context), and
+// assumes the target's identity. On destruction, updates made while
+// impersonating are reflected back to the target and the running thread's
+// saved state is restored.
+class ThreadImpersonation {
+ public:
+  explicit ThreadImpersonation(kernel::Tid target);
+  ~ThreadImpersonation();
+  ThreadImpersonation(const ThreadImpersonation&) = delete;
+  ThreadImpersonation& operator=(const ThreadImpersonation&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  kernel::Tid self_ = kernel::kInvalidTid;
+  kernel::Tid target_ = kernel::kInvalidTid;
+  bool active_ = false;
+  std::vector<kernel::TlsKey> keys_;
+  // Saved running-thread values, per persona.
+  std::vector<void*> saved_[kernel::kNumPersonas];
+};
+
+}  // namespace cycada::core

@@ -1,0 +1,87 @@
+#include "dispatch/dispatch.h"
+
+#include "kernel/kernel.h"
+
+namespace cycada::dispatch {
+
+DispatchQueue::DispatchQueue(std::string label, Kind kind, int worker_count)
+    : label_(std::move(label)), kind_(kind) {
+  const int count = kind_ == Kind::kSerial ? 1 : std::max(1, worker_count);
+  workers_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DispatchQueue::~DispatchQueue() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void DispatchQueue::async(std::function<void()> work) {
+  Job job;
+  job.work = std::move(work);
+  // GCD semantics: the job inherits the submitting thread's EAGL context.
+  job.submitter_context = ios_gl::EAGLContext::current_context();
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void DispatchQueue::sync(std::function<void()> work) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  async([&, work = std::move(work)] {
+    work();
+    std::lock_guard lock(done_mutex);
+    done = true;
+    done_cv.notify_one();
+  });
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+}
+
+void DispatchQueue::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return jobs_.empty() && running_jobs_ == 0; });
+}
+
+void DispatchQueue::worker_loop() {
+  // Queue threads are iOS-persona threads in the simulated kernel.
+  kernel::Kernel::instance().register_current_thread(kernel::Persona::kIos);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // shutting down
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++running_jobs_;
+    }
+    // Adopt the submitter's context: on Cycada this routes the replica's
+    // TLS binding onto this thread (aegl_bridge_set_tls) and every GLES
+    // call the job makes migrates per call (paper §7).
+    ios_gl::EAGLContext::Ref previous = ios_gl::EAGLContext::current_context();
+    if (job.submitter_context != nullptr) {
+      ios_gl::EAGLContext::set_current_context(job.submitter_context);
+    }
+    job.work();
+    ios_gl::EAGLContext::set_current_context(previous);
+    {
+      std::lock_guard lock(mutex_);
+      --running_jobs_;
+      ++completed_;
+      if (jobs_.empty() && running_jobs_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace cycada::dispatch

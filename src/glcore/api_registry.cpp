@@ -1,0 +1,458 @@
+#include "glcore/api_registry.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cycada::glcore {
+
+namespace {
+
+// Functions present in both the GLES1 and GLES2 standard lists (37 names).
+const char* const kSharedStandard[] = {
+    "glActiveTexture", "glBindBuffer", "glBindTexture", "glBlendFunc",
+    "glBufferData", "glBufferSubData", "glClear", "glClearStencil",
+    "glColorMask", "glCullFace", "glDeleteBuffers", "glDeleteTextures",
+    "glDepthFunc", "glDepthMask", "glDisable", "glDrawArrays",
+    "glDrawElements", "glEnable", "glFinish", "glFlush", "glFrontFace",
+    "glGenBuffers", "glGenTextures", "glGetBooleanv", "glGetError",
+    "glGetIntegerv", "glGetString", "glHint", "glIsBuffer", "glIsEnabled",
+    "glIsTexture", "glPixelStorei", "glReadPixels", "glScissor",
+    "glStencilFunc", "glStencilMask", "glViewport",
+};
+
+// GLES 1.x-only entry points (108 names): the fixed-function pipeline, the
+// fixed-point (x) variants, client arrays, and the OES-suffixed fixed-point
+// aliases GLES1 drivers export.
+const char* const kGles1Only[] = {
+    "glAlphaFunc", "glAlphaFuncx", "glClearColorx", "glClearDepthx",
+    "glClipPlanef", "glClipPlanex", "glColor4f", "glColor4ub", "glColor4x",
+    "glDepthRangex", "glFogf", "glFogfv", "glFogx", "glFogxv", "glFrustumf",
+    "glFrustumx", "glGetClipPlanef", "glGetClipPlanex", "glGetFixedv",
+    "glGetLightfv", "glGetLightxv", "glGetMaterialfv", "glGetMaterialxv",
+    "glGetTexEnvfv", "glGetTexEnviv", "glGetTexEnvxv", "glGetTexParameterxv",
+    "glLightModelf", "glLightModelfv", "glLightModelx", "glLightModelxv",
+    "glLightf", "glLightfv", "glLightx", "glLightxv", "glLineWidthx",
+    "glLoadIdentity", "glLoadMatrixf", "glLoadMatrixx", "glLogicOp",
+    "glMaterialf", "glMaterialfv", "glMaterialx", "glMaterialxv",
+    "glMatrixMode", "glMultMatrixf", "glMultMatrixx", "glMultiTexCoord4f",
+    "glMultiTexCoord4x", "glNormal3f", "glNormal3x", "glOrthof", "glOrthox",
+    "glPointParameterf", "glPointParameterfv", "glPointParameterx",
+    "glPointParameterxv", "glPointSize", "glPointSizex", "glPolygonOffsetx",
+    "glPopMatrix", "glPushMatrix", "glRotatef", "glRotatex",
+    "glSampleCoveragex", "glScalef", "glScalex", "glShadeModel", "glTexEnvf",
+    "glTexEnvfv", "glTexEnvi", "glTexEnviv", "glTexEnvx", "glTexEnvxv",
+    "glTexParameterx", "glTexParameterxv", "glTranslatef", "glTranslatex",
+    "glClientActiveTexture", "glColorPointer", "glDisableClientState",
+    "glEnableClientState", "glNormalPointer", "glTexCoordPointer",
+    "glVertexPointer", "glGetPointerv",
+    // OES fixed-point aliases.
+    "glAlphaFuncxOES", "glClearColorxOES", "glClearDepthxOES",
+    "glClipPlanexOES", "glColor4xOES", "glDepthRangexOES", "glFogxOES",
+    "glFogxvOES", "glFrustumxOES", "glGetClipPlanexOES", "glGetFixedvOES",
+    "glGetLightxvOES", "glGetMaterialxvOES", "glGetTexEnvxvOES",
+    "glGetTexParameterxvOES", "glLightModelxOES", "glLightModelxvOES",
+    "glLightxOES", "glLightxvOES", "glLineWidthxOES", "glLoadMatrixxOES",
+    "glMultMatrixxOES",
+};
+
+// GLES 2.0-only entry points (105 names).
+const char* const kGles2Only[] = {
+    "glAttachShader", "glBindAttribLocation", "glBindFramebuffer",
+    "glBindRenderbuffer", "glBlendColor", "glBlendEquation",
+    "glBlendEquationSeparate", "glBlendFuncSeparate",
+    "glCheckFramebufferStatus", "glClearColor", "glClearDepthf",
+    "glCompileShader", "glCompressedTexImage2D", "glCompressedTexSubImage2D",
+    "glCopyTexImage2D", "glCopyTexSubImage2D", "glCreateProgram",
+    "glCreateShader", "glDeleteFramebuffers", "glDeleteProgram",
+    "glDeleteRenderbuffers", "glDeleteShader", "glDepthRangef",
+    "glDetachShader", "glDisableVertexAttribArray",
+    "glEnableVertexAttribArray", "glFramebufferRenderbuffer",
+    "glFramebufferTexture2D", "glGenerateMipmap", "glGenFramebuffers",
+    "glGenRenderbuffers", "glGetActiveAttrib", "glGetActiveUniform",
+    "glGetAttachedShaders", "glGetAttribLocation", "glGetBufferParameteriv",
+    "glGetFloatv", "glGetFramebufferAttachmentParameteriv", "glGetProgramiv",
+    "glGetProgramInfoLog", "glGetRenderbufferParameteriv", "glGetShaderiv",
+    "glGetShaderInfoLog", "glGetShaderPrecisionFormat", "glGetShaderSource",
+    "glGetTexParameterfv", "glGetTexParameteriv", "glGetUniformfv",
+    "glGetUniformiv", "glGetUniformLocation", "glGetVertexAttribfv",
+    "glGetVertexAttribiv", "glGetVertexAttribPointerv", "glIsFramebuffer",
+    "glIsProgram", "glIsRenderbuffer", "glIsShader", "glLineWidth",
+    "glLinkProgram", "glPolygonOffset", "glReleaseShaderCompiler",
+    "glRenderbufferStorage", "glSampleCoverage", "glShaderBinary",
+    "glShaderSource", "glStencilFuncSeparate", "glStencilMaskSeparate",
+    "glStencilOp", "glStencilOpSeparate", "glTexImage2D", "glTexParameterf",
+    "glTexParameterfv", "glTexParameteri", "glTexParameteriv",
+    "glTexSubImage2D", "glUniform1f", "glUniform1fv", "glUniform1i",
+    "glUniform1iv", "glUniform2f", "glUniform2fv", "glUniform2i",
+    "glUniform2iv", "glUniform3f", "glUniform3fv", "glUniform3i",
+    "glUniform3iv", "glUniform4f", "glUniform4fv", "glUniform4i",
+    "glUniform4iv", "glUniformMatrix2fv", "glUniformMatrix3fv",
+    "glUniformMatrix4fv", "glUseProgram", "glValidateProgram",
+    "glVertexAttrib1f", "glVertexAttrib1fv", "glVertexAttrib2f",
+    "glVertexAttrib2fv", "glVertexAttrib3f", "glVertexAttrib3fv",
+    "glVertexAttrib4f", "glVertexAttrib4fv", "glVertexAttribPointer",
+};
+
+std::vector<std::string> build_gles1() {
+  std::vector<std::string> out;
+  for (const char* name : kGles1Only) out.emplace_back(name);
+  for (const char* name : kSharedStandard) out.emplace_back(name);
+  return out;
+}
+
+std::vector<std::string> build_gles2() {
+  std::vector<std::string> out;
+  for (const char* name : kGles2Only) out.emplace_back(name);
+  for (const char* name : kSharedStandard) out.emplace_back(name);
+  return out;
+}
+
+ExtensionInfo ext(std::string name, std::vector<std::string> functions = {}) {
+  return ExtensionInfo{std::move(name), std::move(functions)};
+}
+
+// Extensions implemented by BOTH platforms (17 extensions, 27 functions).
+std::vector<ExtensionInfo> common_extensions() {
+  return {
+      ext("GL_OES_EGL_image", {"glEGLImageTargetTexture2DOES",
+                               "glEGLImageTargetRenderbufferStorageOES"}),
+      ext("GL_OES_mapbuffer",
+          {"glMapBufferOES", "glUnmapBufferOES", "glGetBufferPointervOES"}),
+      ext("GL_OES_vertex_array_object",
+          {"glBindVertexArrayOES", "glDeleteVertexArraysOES",
+           "glGenVertexArraysOES", "glIsVertexArrayOES"}),
+      ext("GL_OES_draw_texture",
+          {"glDrawTexsOES", "glDrawTexiOES", "glDrawTexxOES", "glDrawTexfOES",
+           "glDrawTexsvOES", "glDrawTexivOES", "glDrawTexxvOES",
+           "glDrawTexfvOES"}),
+      ext("GL_OES_point_size_array", {"glPointSizePointerOES"}),
+      ext("GL_OES_query_matrix", {"glQueryMatrixxOES"}),
+      ext("GL_OES_blend_equation_separate", {"glBlendEquationSeparateOES"}),
+      ext("GL_EXT_blend_minmax", {"glBlendEquationEXT"}),
+      ext("GL_EXT_debug_label", {"glLabelObjectEXT", "glGetObjectLabelEXT"}),
+      ext("GL_EXT_debug_marker",
+          {"glInsertEventMarkerEXT", "glPushGroupMarkerEXT",
+           "glPopGroupMarkerEXT"}),
+      ext("GL_EXT_discard_framebuffer", {"glDiscardFramebufferEXT"}),
+      ext("GL_OES_depth24"),
+      ext("GL_OES_element_index_uint"),
+      ext("GL_OES_fbo_render_mipmap"),
+      ext("GL_OES_packed_depth_stencil"),
+      ext("GL_OES_rgb8_rgba8"),
+      ext("GL_EXT_texture_filter_anisotropic"),
+  };
+}
+
+// Extensions only Apple's GLES implements (33 extensions, 67 functions).
+std::vector<ExtensionInfo> ios_only_extensions() {
+  return {
+      ext("GL_APPLE_fence",
+          {"glGenFencesAPPLE", "glDeleteFencesAPPLE", "glSetFenceAPPLE",
+           "glIsFenceAPPLE", "glTestFenceAPPLE", "glFinishFenceAPPLE",
+           "glTestObjectAPPLE", "glFinishObjectAPPLE"}),
+      ext("GL_APPLE_framebuffer_multisample",
+          {"glRenderbufferStorageMultisampleAPPLE",
+           "glResolveMultisampleFramebufferAPPLE"}),
+      ext("GL_APPLE_sync",
+          {"glFenceSyncAPPLE", "glIsSyncAPPLE", "glDeleteSyncAPPLE",
+           "glClientWaitSyncAPPLE", "glWaitSyncAPPLE", "glGetInteger64vAPPLE",
+           "glGetSyncivAPPLE", "glGetInteger64i_vAPPLE"}),
+      ext("GL_APPLE_copy_texture_levels", {"glCopyTextureLevelsAPPLE"}),
+      ext("GL_APPLE_vertex_array_range",
+          {"glVertexArrayRangeAPPLE", "glFlushVertexArrayRangeAPPLE",
+           "glVertexArrayParameteriAPPLE"}),
+      ext("GL_APPLE_texture_range",
+          {"glTextureRangeAPPLE", "glGetTexParameterPointervAPPLE"}),
+      ext("GL_EXT_occlusion_query_boolean",
+          {"glGenQueriesEXT", "glDeleteQueriesEXT", "glIsQueryEXT",
+           "glBeginQueryEXT", "glEndQueryEXT", "glGetQueryivEXT",
+           "glGetQueryObjectuivEXT"}),
+      ext("GL_EXT_separate_shader_objects",
+          {"glUseProgramStagesEXT", "glActiveShaderProgramEXT",
+           "glCreateShaderProgramvEXT", "glGenProgramPipelinesEXT",
+           "glDeleteProgramPipelinesEXT", "glBindProgramPipelineEXT",
+           "glIsProgramPipelineEXT", "glValidateProgramPipelineEXT",
+           "glGetProgramPipelineivEXT", "glGetProgramPipelineInfoLogEXT",
+           "glProgramParameteriEXT", "glProgramUniform1iEXT",
+           "glProgramUniform1fEXT", "glProgramUniform2iEXT",
+           "glProgramUniform2fEXT", "glProgramUniform3iEXT",
+           "glProgramUniform3fEXT", "glProgramUniform4iEXT",
+           "glProgramUniform4fEXT", "glProgramUniform1fvEXT",
+           "glProgramUniform4fvEXT", "glProgramUniformMatrix2fvEXT",
+           "glProgramUniformMatrix4fvEXT"}),
+      ext("GL_EXT_texture_storage",
+          {"glTexStorage2DEXT", "glTextureStorage2DEXT"}),
+      ext("GL_EXT_map_buffer_range",
+          {"glMapBufferRangeEXT", "glFlushMappedBufferRangeEXT"}),
+      ext("GL_EXT_instanced_arrays",
+          {"glDrawArraysInstancedEXT", "glDrawElementsInstancedEXT",
+           "glVertexAttribDivisorEXT"}),
+      ext("GL_EXT_draw_instanced",
+          {"glDrawArraysInstancedANGLE_EXT", "glDrawElementsInstancedANGLE_EXT"}),
+      ext("GL_EXT_multi_draw_arrays",
+          {"glMultiDrawArraysEXT", "glMultiDrawElementsEXT"}),
+      ext("GL_EXT_multisampled_render_to_texture",
+          {"glRenderbufferStorageMultisampleEXT",
+           "glFramebufferTexture2DMultisampleEXT"}),
+      ext("GL_APPLE_texture_format_BGRA8888"),
+      ext("GL_APPLE_texture_max_level"),
+      ext("GL_APPLE_rgb_422"),
+      ext("GL_APPLE_row_bytes"),  // modifies glPixelStorei & the pixel paths
+      ext("GL_APPLE_pvrtc_sRGB"),
+      ext("GL_APPLE_texture_2D_limited_npot"),
+      ext("GL_APPLE_clip_distance"),
+      ext("GL_EXT_color_buffer_half_float"),
+      ext("GL_EXT_shader_framebuffer_fetch"),
+      ext("GL_EXT_sRGB"),
+      ext("GL_EXT_read_format_bgra"),
+      ext("GL_EXT_texture_rg"),
+      ext("GL_EXT_shadow_samplers"),
+      ext("GL_IMG_texture_compression_pvrtc"),
+      ext("GL_OES_texture_float"),
+      ext("GL_OES_texture_half_float"),
+      ext("GL_OES_texture_half_float_linear"),
+      ext("GL_OES_depth_texture"),
+      ext("GL_OES_fragment_precision_high"),
+  };
+}
+
+// Extensions only the Tegra-class Android library implements (43 extensions,
+// 15 functions).
+std::vector<ExtensionInfo> android_only_extensions() {
+  return {
+      ext("GL_NV_fence",
+          {"glGenFencesNV", "glDeleteFencesNV", "glSetFenceNV",
+           "glTestFenceNV", "glFinishFenceNV", "glIsFenceNV",
+           "glGetFenceivNV"}),
+      ext("GL_NV_read_buffer", {"glReadBufferNV"}),
+      ext("GL_NV_copy_image", {"glCopyImageSubDataNV"}),
+      ext("GL_NV_framebuffer_blit", {"glBlitFramebufferNV"}),
+      ext("GL_NV_framebuffer_multisample",
+          {"glRenderbufferStorageMultisampleNV"}),
+      ext("GL_NV_coverage_sample",
+          {"glCoverageMaskNV", "glCoverageOperationNV"}),
+      ext("GL_EXT_robustness",
+          {"glGetGraphicsResetStatusEXT", "glReadnPixelsEXT"}),
+      ext("GL_NV_platform_binary"),
+      ext("GL_NV_texture_npot_2D_mipmap"),
+      ext("GL_NV_fbo_color_attachments"),
+      ext("GL_NV_read_depth"),
+      ext("GL_NV_read_stencil"),
+      ext("GL_NV_read_depth_stencil"),
+      ext("GL_NV_depth_nonlinear"),
+      ext("GL_NV_shader_framebuffer_fetch"),
+      ext("GL_NV_texture_compression_s3tc"),
+      ext("GL_NV_texture_compression_latc"),
+      ext("GL_NV_texture_rectangle"),
+      ext("GL_NV_pixel_buffer_object"),
+      ext("GL_NV_pack_subimage"),
+      ext("GL_NV_unpack_subimage"),
+      ext("GL_NV_3dvision_settings"),
+      ext("GL_NV_EGL_stream_consumer_external"),
+      ext("GL_NV_bgr"),
+      ext("GL_NV_texture_border_clamp"),
+      ext("GL_NV_generate_mipmap_sRGB"),
+      ext("GL_NV_sRGB_formats"),
+      ext("GL_EXT_texture_compression_dxt1"),
+      ext("GL_EXT_texture_compression_s3tc"),
+      ext("GL_EXT_bgra"),
+      ext("GL_EXT_Cg_shader"),
+      ext("GL_EXT_packed_float"),
+      ext("GL_EXT_texture_array"),
+      ext("GL_EXT_texture_lod_bias"),
+      ext("GL_EXT_unpack_subimage"),
+      ext("GL_OES_compressed_ETC1_RGB8_texture"),
+      ext("GL_OES_compressed_paletted_texture"),
+      ext("GL_OES_depth32"),
+      ext("GL_OES_vertex_half_float"),
+      ext("GL_OES_stencil8"),
+      ext("GL_OES_byte_coordinates"),
+      ext("GL_ARB_texture_non_power_of_two"),
+      ext("GL_OES_matrix_get"),
+  };
+}
+
+// Khronos-registry-only extensions: neither platform implements these. The
+// first entries are real registry names; the tail is synthetic filler sized
+// so the Khronos totals of Table 1 (174 extensions, 285 extension
+// functions) come out exactly.
+std::vector<ExtensionInfo> khronos_only_extensions(int target_extensions,
+                                                   int target_functions) {
+  const char* const kRealNames[] = {
+      "GL_QCOM_driver_control", "GL_QCOM_extended_get",
+      "GL_QCOM_extended_get2", "GL_QCOM_tiled_rendering",
+      "GL_QCOM_alpha_test", "GL_QCOM_writeonly_rendering",
+      "GL_QCOM_binning_control", "GL_QCOM_perfmon_global_mode",
+      "GL_AMD_performance_monitor", "GL_AMD_program_binary_Z400",
+      "GL_AMD_compressed_3DC_texture", "GL_AMD_compressed_ATC_texture",
+      "GL_ANGLE_framebuffer_blit", "GL_ANGLE_framebuffer_multisample",
+      "GL_ANGLE_instanced_arrays", "GL_ANGLE_translated_shader_source",
+      "GL_ANGLE_texture_usage", "GL_ANGLE_pack_reverse_row_order",
+      "GL_ANGLE_depth_texture", "GL_ANGLE_program_binary",
+      "GL_ARM_mali_shader_binary", "GL_ARM_mali_program_binary",
+      "GL_ARM_rgba8", "GL_VIV_shader_binary", "GL_DMP_shader_binary",
+      "GL_FJ_shader_binary_GCCSO", "GL_IMG_multisampled_render_to_texture",
+      "GL_IMG_program_binary", "GL_IMG_shader_binary",
+      "GL_IMG_texture_env_enhanced_fixed_function", "GL_IMG_user_clip_plane",
+      "GL_KHR_debug", "GL_KHR_texture_compression_astc_ldr",
+      "GL_OES_get_program_binary", "GL_OES_required_internalformat",
+      "GL_OES_surfaceless_context", "GL_OES_texture_cube_map",
+      "GL_OES_texture_env_crossbar", "GL_OES_texture_mirrored_repeat",
+      "GL_OES_vertex_type_10_10_10_2", "GL_OES_EGL_image_external",
+      "GL_OES_EGL_sync", "GL_OES_fixed_point", "GL_OES_single_precision",
+      "GL_OES_matrix_palette", "GL_OES_extended_matrix_palette",
+      "GL_OES_stencil1", "GL_OES_stencil4", "GL_OES_blend_subtract",
+      "GL_OES_blend_func_separate", "GL_OES_framebuffer_object",
+      "GL_OES_point_sprite", "GL_OES_read_format",
+      "GL_EXT_texture_type_2_10_10_10_REV", "GL_EXT_texture_format_BGRA8888",
+      "GL_EXT_multiview_draw_buffers", "GL_EXT_shader_texture_lod",
+      "GL_SGIS_generate_mipmap", "GL_SUN_multi_draw_arrays",
+      "GL_APPLE_flush_buffer_range",
+  };
+  std::vector<ExtensionInfo> out;
+  int functions_left = target_functions;
+  for (int i = 0; i < target_extensions; ++i) {
+    std::string name;
+    if (i < static_cast<int>(std::size(kRealNames))) {
+      name = kRealNames[i];
+    } else {
+      name = "GL_EXT_registry_" + std::to_string(i);
+    }
+    // Spread the function budget: earlier (real) extensions get 3 entry
+    // points each until the remainder just fills the tail with 2/1/0.
+    const int remaining_extensions = target_extensions - i;
+    int fn_count = functions_left / remaining_extensions;
+    if (functions_left % remaining_extensions != 0) ++fn_count;
+    fn_count = std::min(fn_count, functions_left);
+    ExtensionInfo info;
+    info.name = name;
+    for (int f = 0; f < fn_count; ++f) {
+      info.functions.push_back("glRegistry" + std::to_string(i) + "Fn" +
+                               std::to_string(f));
+    }
+    functions_left -= fn_count;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+ApiRegistry build_ios() {
+  ApiRegistry registry;
+  registry.gles1_functions = build_gles1();
+  registry.gles2_functions = build_gles2();
+  registry.extensions = common_extensions();
+  auto only = ios_only_extensions();
+  registry.extensions.insert(registry.extensions.end(),
+                             std::make_move_iterator(only.begin()),
+                             std::make_move_iterator(only.end()));
+  return registry;
+}
+
+ApiRegistry build_android() {
+  ApiRegistry registry;
+  registry.gles1_functions = build_gles1();
+  registry.gles2_functions = build_gles2();
+  registry.extensions = common_extensions();
+  auto only = android_only_extensions();
+  registry.extensions.insert(registry.extensions.end(),
+                             std::make_move_iterator(only.begin()),
+                             std::make_move_iterator(only.end()));
+  return registry;
+}
+
+ApiRegistry build_khronos() {
+  ApiRegistry registry;
+  registry.gles1_functions = build_gles1();
+  registry.gles2_functions = build_gles2();
+  registry.extensions = common_extensions();
+  for (auto builder : {ios_only_extensions, android_only_extensions}) {
+    auto exts = builder();
+    registry.extensions.insert(registry.extensions.end(),
+                               std::make_move_iterator(exts.begin()),
+                               std::make_move_iterator(exts.end()));
+  }
+  // Table 1 Khronos totals: 174 extensions / 285 extension functions.
+  const int have_extensions = static_cast<int>(registry.extensions.size());
+  int have_functions = 0;
+  for (const ExtensionInfo& info : registry.extensions) {
+    have_functions += static_cast<int>(info.functions.size());
+  }
+  auto tail =
+      khronos_only_extensions(174 - have_extensions, 285 - have_functions);
+  registry.extensions.insert(registry.extensions.end(),
+                             std::make_move_iterator(tail.begin()),
+                             std::make_move_iterator(tail.end()));
+  return registry;
+}
+
+}  // namespace
+
+const ApiRegistry& ios_registry() {
+  static const ApiRegistry* registry = new ApiRegistry(build_ios());
+  return *registry;
+}
+
+const ApiRegistry& android_registry() {
+  static const ApiRegistry* registry = new ApiRegistry(build_android());
+  return *registry;
+}
+
+const ApiRegistry& khronos_registry() {
+  static const ApiRegistry* registry = new ApiRegistry(build_khronos());
+  return *registry;
+}
+
+int count_extension_functions(const ApiRegistry& registry) {
+  int count = 0;
+  for (const ExtensionInfo& info : registry.extensions) {
+    count += static_cast<int>(info.functions.size());
+  }
+  return count;
+}
+
+int count_extensions_not_in(const ApiRegistry& a, const ApiRegistry& b) {
+  std::set<std::string_view> names;
+  for (const ExtensionInfo& info : b.extensions) names.insert(info.name);
+  int count = 0;
+  for (const ExtensionInfo& info : a.extensions) {
+    if (!names.contains(info.name)) ++count;
+  }
+  return count;
+}
+
+int count_common_extension_functions(const ApiRegistry& a,
+                                     const ApiRegistry& b) {
+  std::set<std::string_view> functions;
+  for (const ExtensionInfo& info : b.extensions) {
+    for (const std::string& fn : info.functions) functions.insert(fn);
+  }
+  int count = 0;
+  for (const ExtensionInfo& info : a.extensions) {
+    for (const std::string& fn : info.functions) {
+      if (functions.contains(fn)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> ios_function_universe() {
+  const ApiRegistry& ios = ios_registry();
+  std::set<std::string> names;
+  names.insert(ios.gles1_functions.begin(), ios.gles1_functions.end());
+  names.insert(ios.gles2_functions.begin(), ios.gles2_functions.end());
+  for (const ExtensionInfo& info : ios.extensions) {
+    names.insert(info.functions.begin(), info.functions.end());
+  }
+  return {names.begin(), names.end()};
+}
+
+std::string extension_string(const ApiRegistry& registry) {
+  std::string out;
+  for (const ExtensionInfo& info : registry.extensions) {
+    if (!out.empty()) out += ' ';
+    out += info.name;
+  }
+  return out;
+}
+
+}  // namespace cycada::glcore

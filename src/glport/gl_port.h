@@ -1,0 +1,118 @@
+// GlPort: the app-side graphics surface workloads draw through. The same
+// workload code (PassMark tests, the mini-WebKit compositor) runs against
+// an IosPort (EAGL + the iOS GLES API — diplomats under Cycada, the Apple
+// engine on native iOS) or an AndroidPort (EGL + the Android GLES library),
+// so every configuration of the paper's evaluation executes identical app
+// logic through its own platform stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "glcore/gl_types.h"
+#include "util/geometry.h"
+#include "util/image.h"
+#include "util/status.h"
+
+namespace cycada::glport {
+
+using glcore::GLbitfield;
+using glcore::GLenum;
+using glcore::GLint;
+using glcore::GLsizei;
+using glcore::GLuint;
+
+// A CPU-mapped view of a shared graphics buffer (IOSurface / GraphicBuffer).
+struct CpuCanvas {
+  std::uint32_t* pixels = nullptr;
+  int stride_px = 0;
+  int width = 0;
+  int height = 0;
+};
+
+class GlPort {
+ public:
+  virtual ~GlPort() = default;
+
+  // Builds the context + drawable for a `width` x `height` window using the
+  // requested GLES version (1 or 2).
+  virtual Status init(int width, int height, int gles_version) = 0;
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+
+  // Binds this frame's render target (EAGL offscreen FBO / EGL default FB)
+  // and sets the viewport.
+  virtual void begin_frame() = 0;
+  // Pushes the frame to the screen (presentRenderbuffer / eglSwapBuffers).
+  virtual Status present() = 0;
+  // What the display shows now.
+  virtual Image screen() = 0;
+
+  // --- Shared GL state ------------------------------------------------------
+  virtual void clear_color(float r, float g, float b, float a) = 0;
+  virtual void clear(GLbitfield mask) = 0;
+  virtual void viewport(int x, int y, int w, int h) = 0;
+  virtual void enable(GLenum cap) = 0;
+  virtual void disable(GLenum cap) = 0;
+  virtual void blend_func(GLenum src, GLenum dst) = 0;
+  virtual void depth_func(GLenum func) = 0;
+  virtual void flush() = 0;
+  virtual GLenum get_error() = 0;
+
+  // --- GLES1 fixed function ---------------------------------------------------
+  virtual void matrix_mode(GLenum mode) = 0;
+  virtual void load_identity() = 0;
+  virtual void orthof(float l, float r, float b, float t, float n, float f) = 0;
+  virtual void frustumf(float l, float r, float b, float t, float n,
+                        float f) = 0;
+  virtual void translatef(float x, float y, float z) = 0;
+  virtual void rotatef(float angle, float x, float y, float z) = 0;
+  virtual void scalef(float x, float y, float z) = 0;
+  virtual void push_matrix() = 0;
+  virtual void pop_matrix() = 0;
+  virtual void color4f(float r, float g, float b, float a) = 0;
+  virtual void enable_client_state(GLenum array) = 0;
+  virtual void disable_client_state(GLenum array) = 0;
+  virtual void vertex_pointer(int size, const float* data) = 0;
+  virtual void color_pointer(int size, const float* data) = 0;
+  virtual void texcoord_pointer(int size, const float* data) = 0;
+  virtual void draw_arrays(GLenum mode, int first, int count) = 0;
+  virtual void draw_elements(GLenum mode, int count,
+                             const std::uint16_t* indices) = 0;
+  virtual void tex_env_replace(bool replace) = 0;
+
+  // --- Textures ----------------------------------------------------------------
+  virtual GLuint gen_texture() = 0;
+  virtual void delete_texture(GLuint name) = 0;
+  virtual void bind_texture(GLuint name) = 0;
+  virtual void tex_image(int w, int h, const std::uint32_t* pixels) = 0;
+  virtual void tex_sub_image(int x, int y, int w, int h,
+                             const std::uint32_t* pixels) = 0;
+  virtual void tex_filter_nearest(bool nearest) = 0;
+
+  // --- GLES2 programmable path ---------------------------------------------------
+  virtual GLuint build_program(const char* vs, const char* fs) = 0;
+  virtual void use_program(GLuint program) = 0;
+  virtual GLint uniform_location(GLuint program, const char* name) = 0;
+  virtual void uniform_matrix(GLint location, const Mat4& m) = 0;
+  virtual void uniform4f(GLint location, float x, float y, float z,
+                         float w) = 0;
+  virtual void uniform1i(GLint location, int value) = 0;
+  virtual void enable_vertex_attrib(GLuint index) = 0;
+  virtual void disable_vertex_attrib(GLuint index) = 0;
+  virtual void vertex_attrib_pointer(GLuint index, int size,
+                                     const float* data) = 0;
+
+  // --- Shared CPU/GPU buffers (IOSurface / GraphicBuffer) -------------------------
+  // Creates a zero-copy shareable buffer; returns a port-scoped handle.
+  virtual StatusOr<int> create_shared_buffer(int w, int h) = 0;
+  virtual StatusOr<CpuCanvas> lock_buffer(int handle) = 0;
+  virtual Status unlock_buffer(int handle) = 0;
+  // Makes the buffer the storage of `texture` (zero-copy).
+  virtual Status bind_buffer_to_texture(int handle, GLuint texture) = 0;
+};
+
+std::unique_ptr<GlPort> make_ios_port();
+std::unique_ptr<GlPort> make_android_port();
+
+}  // namespace cycada::glport

@@ -1,0 +1,247 @@
+// The iOS app's view of the world: EAGL for windowing, the foreign GLES
+// API for rendering, IOSurfaces for shared buffers. Identical whether the
+// device is Cycada-on-Android or native iOS — that is the point.
+#include <map>
+
+#include "glport/gl_port.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/gles.h"
+#include "iosurface/iosurface.h"
+
+namespace cycada::glport {
+
+namespace {
+
+namespace igl = cycada::ios_gl;
+
+class IosPort : public GlPort {
+ public:
+  ~IosPort() override {
+    if (context_ != nullptr &&
+        igl::EAGLContext::current_context() == context_) {
+      igl::EAGLContext::clear_current_context();
+    }
+  }
+
+  Status init(int width, int height, int gles_version) override {
+    width_ = width;
+    height_ = height;
+    auto context = igl::EAGLContext::init_with_api(
+        gles_version == 1 ? igl::EAGLRenderingAPI::kOpenGLES1
+                          : igl::EAGLRenderingAPI::kOpenGLES2,
+        width, height);
+    CYCADA_RETURN_IF_ERROR(context.status());
+    context_ = std::move(context.value());
+    if (!igl::EAGLContext::set_current_context(context_)) {
+      return Status::internal("setCurrentContext failed");
+    }
+    // The EAGL pattern: all rendering goes to an offscreen FBO whose
+    // renderbuffer is backed by the layer's drawable (paper §5).
+    igl::glGenFramebuffers(1, &fbo_);
+    igl::glGenRenderbuffers(1, &rbo_);
+    igl::glBindRenderbuffer(glcore::GL_RENDERBUFFER, rbo_);
+    CYCADA_RETURN_IF_ERROR(context_->renderbuffer_storage_from_drawable(
+        rbo_, igl::CAEAGLLayer{width, height}));
+    igl::glBindFramebuffer(glcore::GL_FRAMEBUFFER, fbo_);
+    igl::glFramebufferRenderbuffer(glcore::GL_FRAMEBUFFER,
+                                   glcore::GL_COLOR_ATTACHMENT0,
+                                   glcore::GL_RENDERBUFFER, rbo_);
+    if (igl::glCheckFramebufferStatus(glcore::GL_FRAMEBUFFER) !=
+        glcore::GL_FRAMEBUFFER_COMPLETE) {
+      return Status::internal("EAGL framebuffer incomplete");
+    }
+    igl::glViewport(0, 0, width, height);
+    return Status::ok();
+  }
+
+  int width() const override { return width_; }
+  int height() const override { return height_; }
+
+  void begin_frame() override {
+    igl::glBindFramebuffer(glcore::GL_FRAMEBUFFER, fbo_);
+    igl::glViewport(0, 0, width_, height_);
+  }
+
+  Status present() override { return context_->present_renderbuffer(rbo_); }
+
+  Image screen() override { return context_->screen_snapshot(); }
+
+  void clear_color(float r, float g, float b, float a) override {
+    igl::glClearColor(r, g, b, a);
+  }
+  void clear(GLbitfield mask) override { igl::glClear(mask); }
+  void viewport(int x, int y, int w, int h) override {
+    igl::glViewport(x, y, w, h);
+  }
+  void enable(GLenum cap) override { igl::glEnable(cap); }
+  void disable(GLenum cap) override { igl::glDisable(cap); }
+  void blend_func(GLenum src, GLenum dst) override {
+    igl::glBlendFunc(src, dst);
+  }
+  void depth_func(GLenum func) override { igl::glDepthFunc(func); }
+  void flush() override { igl::glFlush(); }
+  GLenum get_error() override { return igl::glGetError(); }
+
+  void matrix_mode(GLenum mode) override { igl::glMatrixMode(mode); }
+  void load_identity() override { igl::glLoadIdentity(); }
+  void orthof(float l, float r, float b, float t, float n, float f) override {
+    igl::glOrthof(l, r, b, t, n, f);
+  }
+  void frustumf(float l, float r, float b, float t, float n,
+                float f) override {
+    igl::glFrustumf(l, r, b, t, n, f);
+  }
+  void translatef(float x, float y, float z) override {
+    igl::glTranslatef(x, y, z);
+  }
+  void rotatef(float angle, float x, float y, float z) override {
+    igl::glRotatef(angle, x, y, z);
+  }
+  void scalef(float x, float y, float z) override { igl::glScalef(x, y, z); }
+  void push_matrix() override { igl::glPushMatrix(); }
+  void pop_matrix() override { igl::glPopMatrix(); }
+  void color4f(float r, float g, float b, float a) override {
+    igl::glColor4f(r, g, b, a);
+  }
+  void enable_client_state(GLenum array) override {
+    igl::glEnableClientState(array);
+  }
+  void disable_client_state(GLenum array) override {
+    igl::glDisableClientState(array);
+  }
+  void vertex_pointer(int size, const float* data) override {
+    igl::glVertexPointer(size, glcore::GL_FLOAT, 0, data);
+  }
+  void color_pointer(int size, const float* data) override {
+    igl::glColorPointer(size, glcore::GL_FLOAT, 0, data);
+  }
+  void texcoord_pointer(int size, const float* data) override {
+    igl::glTexCoordPointer(size, glcore::GL_FLOAT, 0, data);
+  }
+  void draw_arrays(GLenum mode, int first, int count) override {
+    igl::glDrawArrays(mode, first, count);
+  }
+  void draw_elements(GLenum mode, int count,
+                     const std::uint16_t* indices) override {
+    igl::glDrawElements(mode, count, glcore::GL_UNSIGNED_SHORT, indices);
+  }
+  void tex_env_replace(bool replace) override {
+    igl::glTexEnvi(glcore::GL_TEXTURE_ENV, glcore::GL_TEXTURE_ENV_MODE,
+                   replace ? glcore::GL_REPLACE : glcore::GL_MODULATE);
+  }
+
+  GLuint gen_texture() override {
+    GLuint name = 0;
+    igl::glGenTextures(1, &name);
+    return name;
+  }
+  void delete_texture(GLuint name) override {
+    igl::glDeleteTextures(1, &name);
+  }
+  void bind_texture(GLuint name) override {
+    igl::glBindTexture(glcore::GL_TEXTURE_2D, name);
+  }
+  void tex_image(int w, int h, const std::uint32_t* pixels) override {
+    igl::glTexImage2D(glcore::GL_TEXTURE_2D, 0, glcore::GL_RGBA, w, h, 0,
+                      glcore::GL_RGBA, glcore::GL_UNSIGNED_BYTE, pixels);
+  }
+  void tex_sub_image(int x, int y, int w, int h,
+                     const std::uint32_t* pixels) override {
+    igl::glTexSubImage2D(glcore::GL_TEXTURE_2D, 0, x, y, w, h,
+                         glcore::GL_RGBA, glcore::GL_UNSIGNED_BYTE, pixels);
+  }
+  void tex_filter_nearest(bool nearest) override {
+    igl::glTexParameteri(glcore::GL_TEXTURE_2D, glcore::GL_TEXTURE_MAG_FILTER,
+                         nearest ? glcore::GL_NEAREST : glcore::GL_LINEAR);
+    igl::glTexParameteri(glcore::GL_TEXTURE_2D, glcore::GL_TEXTURE_MIN_FILTER,
+                         nearest ? glcore::GL_NEAREST : glcore::GL_LINEAR);
+  }
+
+  GLuint build_program(const char* vs_src, const char* fs_src) override {
+    const GLuint vs = igl::glCreateShader(glcore::GL_VERTEX_SHADER);
+    const GLuint fs = igl::glCreateShader(glcore::GL_FRAGMENT_SHADER);
+    igl::glShaderSource(vs, 1, &vs_src, nullptr);
+    igl::glShaderSource(fs, 1, &fs_src, nullptr);
+    igl::glCompileShader(vs);
+    igl::glCompileShader(fs);
+    const GLuint prog = igl::glCreateProgram();
+    igl::glAttachShader(prog, vs);
+    igl::glAttachShader(prog, fs);
+    igl::glLinkProgram(prog);
+    glcore::GLint linked = glcore::GL_FALSE;
+    igl::glGetProgramiv(prog, glcore::GL_LINK_STATUS, &linked);
+    return linked == glcore::GL_TRUE ? prog : 0;
+  }
+  void use_program(GLuint program) override { igl::glUseProgram(program); }
+  GLint uniform_location(GLuint program, const char* name) override {
+    return igl::glGetUniformLocation(program, name);
+  }
+  void uniform_matrix(GLint location, const Mat4& m) override {
+    igl::glUniformMatrix4fv(location, 1, glcore::GL_FALSE, m.m.data());
+  }
+  void uniform4f(GLint location, float x, float y, float z, float w) override {
+    igl::glUniform4f(location, x, y, z, w);
+  }
+  void uniform1i(GLint location, int value) override {
+    igl::glUniform1i(location, value);
+  }
+  void enable_vertex_attrib(GLuint index) override {
+    igl::glEnableVertexAttribArray(index);
+  }
+  void disable_vertex_attrib(GLuint index) override {
+    igl::glDisableVertexAttribArray(index);
+  }
+  void vertex_attrib_pointer(GLuint index, int size,
+                             const float* data) override {
+    igl::glVertexAttribPointer(index, size, glcore::GL_FLOAT,
+                               glcore::GL_FALSE, 0, data);
+  }
+
+  StatusOr<int> create_shared_buffer(int w, int h) override {
+    auto surface =
+        iosurface::IOSurfaceCreate({.width = w, .height = h});
+    if (surface == nullptr) return Status::internal("IOSurfaceCreate failed");
+    const int handle = next_buffer_handle_++;
+    surfaces_[handle] = std::move(surface);
+    return handle;
+  }
+  StatusOr<CpuCanvas> lock_buffer(int handle) override {
+    auto it = surfaces_.find(handle);
+    if (it == surfaces_.end()) return Status::not_found("no such buffer");
+    CYCADA_RETURN_IF_ERROR(iosurface::IOSurfaceLock(it->second));
+    CpuCanvas canvas;
+    canvas.pixels = static_cast<std::uint32_t*>(
+        iosurface::IOSurfaceGetBaseAddress(it->second));
+    canvas.stride_px = static_cast<int>(
+        iosurface::IOSurfaceGetBytesPerRow(it->second) / 4);
+    canvas.width = it->second->width();
+    canvas.height = it->second->height();
+    return canvas;
+  }
+  Status unlock_buffer(int handle) override {
+    auto it = surfaces_.find(handle);
+    if (it == surfaces_.end()) return Status::not_found("no such buffer");
+    return iosurface::IOSurfaceUnlock(it->second);
+  }
+  Status bind_buffer_to_texture(int handle, GLuint texture) override {
+    auto it = surfaces_.find(handle);
+    if (it == surfaces_.end()) return Status::not_found("no such buffer");
+    // The private EAGL API WebKit uses for zero-copy tile textures.
+    return context_->tex_image_io_surface(it->second, texture);
+  }
+
+ private:
+  igl::EAGLContext::Ref context_;
+  GLuint fbo_ = 0;
+  GLuint rbo_ = 0;
+  int width_ = 0;
+  int height_ = 0;
+  std::map<int, iosurface::IOSurfaceRef> surfaces_;
+  int next_buffer_handle_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<GlPort> make_ios_port() { return std::make_unique<IosPort>(); }
+
+}  // namespace cycada::glport

@@ -1,0 +1,52 @@
+#include "glport/system_config.h"
+
+#include "android_gl/vendor.h"
+#include "core/diplomat.h"
+#include "core/impersonation.h"
+#include "gmem/graphic_buffer.h"
+#include "gpu/device.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/platform.h"
+#include "iosurface/iosurface.h"
+#include "kernel/kernel.h"
+#include "linker/linker.h"
+
+namespace cycada::glport {
+
+void apply_system_config(SystemConfig config) {
+  // Leave no dangling per-thread context before tearing the world down.
+  ios_gl::EAGLContext::clear_current_context();
+
+  kernel::TrapModel trap = kernel::TrapModel::kCycada;
+  switch (config) {
+    case SystemConfig::kAndroid: trap = kernel::TrapModel::kStockAndroid; break;
+    case SystemConfig::kCycadaAndroid:
+    case SystemConfig::kCycadaIos: trap = kernel::TrapModel::kCycada; break;
+    case SystemConfig::kIos: trap = kernel::TrapModel::kIpadIos; break;
+  }
+  kernel::Kernel::instance().reset(trap);
+  gpu::GpuDevice::instance().reset();
+  gmem::GrallocAllocator::instance().reset();
+  linker::Linker::instance().reset();
+  iosurface::LinuxCoreSurface::instance().reset();
+  core::DiplomatRegistry::instance().reset();
+  core::GraphicsTlsTracker::instance().reset();
+  core::GraphicsTlsTracker::instance().install();
+  ios_gl::reset_native_ios();
+
+  const bool ios_app = is_ios_app(config);
+  kernel::Kernel::instance().register_current_thread(
+      ios_app ? kernel::Persona::kIos : kernel::Persona::kAndroid);
+
+  ios_gl::set_platform(config == SystemConfig::kIos
+                           ? ios_gl::Platform::kNativeIos
+                           : ios_gl::Platform::kCycada);
+  iosurface::LinuxCoreSurface::instance().set_native_lock_semantics(
+      config == SystemConfig::kIos);
+}
+
+std::unique_ptr<GlPort> make_gl_port(SystemConfig config) {
+  return is_ios_app(config) ? make_ios_port() : make_android_port();
+}
+
+}  // namespace cycada::glport

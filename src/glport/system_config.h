@@ -1,0 +1,49 @@
+// The four system configurations of the paper's evaluation (§9):
+//
+//   kAndroid       — Android app on stock Android (the normalization base)
+//   kCycadaAndroid — Android app on a Cycada kernel
+//   kCycadaIos     — iOS app on Cycada (diplomats into the Android stack)
+//   kIos           — iOS app on a native iOS device (iPad-mini model)
+//
+// apply_system_config() swaps the whole simulated machine: kernel trap
+// model, calling persona, GPU/linker/gralloc state, and the iOS platform
+// backend. make_gl_port() then yields the right app-side graphics port.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "glport/gl_port.h"
+
+namespace cycada::glport {
+
+enum class SystemConfig {
+  kAndroid,
+  kCycadaAndroid,
+  kCycadaIos,
+  kIos,
+};
+
+constexpr std::string_view config_name(SystemConfig config) {
+  switch (config) {
+    case SystemConfig::kAndroid: return "Android";
+    case SystemConfig::kCycadaAndroid: return "Cycada Android";
+    case SystemConfig::kCycadaIos: return "Cycada iOS";
+    case SystemConfig::kIos: return "iOS";
+  }
+  return "?";
+}
+
+constexpr bool is_ios_app(SystemConfig config) {
+  return config == SystemConfig::kCycadaIos || config == SystemConfig::kIos;
+}
+
+// Resets the simulated machine into `config`. Only safe when no other
+// threads are using the kernel/GPU (benches and examples call it between
+// runs).
+void apply_system_config(SystemConfig config);
+
+// App-side graphics port for the configuration (iOS port or Android port).
+std::unique_ptr<GlPort> make_gl_port(SystemConfig config);
+
+}  // namespace cycada::glport

@@ -1,0 +1,120 @@
+#include "gmem/graphic_buffer.h"
+
+namespace cycada::gmem {
+
+namespace {
+// gralloc pads rows to 16-pixel boundaries on most devices.
+int padded_stride(int width) { return (width + 15) & ~15; }
+}  // namespace
+
+GraphicBuffer::GraphicBuffer(BufferId id, int width, int height,
+                             PixelFormat format, std::uint32_t usage)
+    : id_(id),
+      width_(width),
+      height_(height),
+      stride_px_(padded_stride(width)),
+      format_(format),
+      usage_(usage) {
+  bytes_.assign(static_cast<std::size_t>(stride_px_) * height *
+                    bytes_per_pixel(format),
+                0);
+}
+
+StatusOr<void*> GraphicBuffer::lock(std::uint32_t cpu_usage,
+                                    bool bypass_gles_association) {
+  if ((cpu_usage & (kUsageCpuRead | kUsageCpuWrite)) == 0) {
+    return Status::invalid_argument("lock requires a CPU usage flag");
+  }
+  if ((usage_ & (kUsageCpuRead | kUsageCpuWrite)) == 0) {
+    return Status::permission_denied("buffer was not allocated for CPU use");
+  }
+  // The Android restriction at the heart of paper §6.2: a buffer serving as
+  // GLES texture memory (via an EGLImage) cannot be CPU-locked.
+  if (!bypass_gles_association && egl_image_refs_.load() > 0) {
+    return Status::failed_precondition(
+        "buffer is associated with a GLES texture via an EGLImage");
+  }
+  bool expected = false;
+  if (!locked_.compare_exchange_strong(expected, true)) {
+    return Status::failed_precondition("buffer is already locked");
+  }
+  return static_cast<void*>(bytes_.data());
+}
+
+Status GraphicBuffer::unlock() {
+  bool expected = true;
+  if (!locked_.compare_exchange_strong(expected, false)) {
+    return Status::failed_precondition("buffer is not locked");
+  }
+  return Status::ok();
+}
+
+Status GraphicBuffer::add_egl_image_ref() {
+  // Symmetric restriction: while CPU-locked the GPU may not acquire it.
+  if (locked_.load()) {
+    return Status::failed_precondition("buffer is CPU-locked");
+  }
+  egl_image_refs_.fetch_add(1);
+  return Status::ok();
+}
+
+void GraphicBuffer::remove_egl_image_ref() {
+  const int previous = egl_image_refs_.fetch_sub(1);
+  if (previous <= 0) egl_image_refs_.store(0);
+}
+
+GrallocAllocator& GrallocAllocator::instance() {
+  static GrallocAllocator* allocator = new GrallocAllocator();
+  return *allocator;
+}
+
+void GrallocAllocator::reset() {
+  std::lock_guard lock(mutex_);
+  registry_.clear();
+  next_id_ = 1;
+}
+
+StatusOr<std::shared_ptr<GraphicBuffer>> GrallocAllocator::allocate(
+    int width, int height, PixelFormat format, std::uint32_t usage) {
+  if (width <= 0 || height <= 0 || width > 16384 || height > 16384) {
+    return Status::invalid_argument("bad buffer dimensions");
+  }
+  if (usage == 0) {
+    return Status::invalid_argument("buffer needs at least one usage flag");
+  }
+  std::lock_guard lock(mutex_);
+  const BufferId id = next_id_++;
+  auto buffer = std::make_shared<GraphicBuffer>(id, width, height, format,
+                                                usage);
+  registry_[id] = buffer;
+  return buffer;
+}
+
+std::shared_ptr<GraphicBuffer> GrallocAllocator::find(BufferId id) {
+  std::lock_guard lock(mutex_);
+  auto it = registry_.find(id);
+  if (it == registry_.end()) return nullptr;
+  auto buffer = it->second.lock();
+  if (buffer == nullptr) registry_.erase(it);
+  return buffer;
+}
+
+std::size_t GrallocAllocator::live_buffers() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [id, weak] : registry_) {
+    if (!weak.expired()) ++count;
+  }
+  return count;
+}
+
+std::size_t GrallocAllocator::bytes_allocated() const {
+  std::lock_guard lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [id, weak] : registry_) {
+    if (auto buffer = weak.lock()) bytes += buffer->size_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace cycada::gmem

@@ -1,0 +1,110 @@
+// Android-side graphics memory: gralloc allocation and GraphicBuffer
+// objects (paper §2, §6).
+//
+// GraphicBuffers are the zero-copy unit Android graphics APIs share. Two
+// behaviors matter to Cycada and are modeled faithfully:
+//   * every buffer has a global id through which other components (Surface
+//     Flinger, the IOSurface bridge, EGLImages) can look it up, and
+//   * a buffer associated with a GLES texture via an EGLImage cannot be
+//     locked for CPU-only access (paper §6.2) — the restriction the
+//     IOSurfaceLock multi diplomat has to dance around.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/pixel.h"
+#include "util/status.h"
+
+namespace cycada::gmem {
+
+// Usage bitmask, gralloc style.
+enum Usage : std::uint32_t {
+  kUsageCpuRead = 1u << 0,
+  kUsageCpuWrite = 1u << 1,
+  kUsageGpuRenderTarget = 1u << 2,
+  kUsageGpuTexture = 1u << 3,
+  kUsageComposer = 1u << 4,
+};
+
+using BufferId = std::uint64_t;
+
+class GraphicBuffer {
+ public:
+  GraphicBuffer(BufferId id, int width, int height, PixelFormat format,
+                std::uint32_t usage);
+
+  BufferId id() const { return id_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+  // Row pitch in pixels (gralloc pads rows to 16-pixel alignment).
+  int stride_px() const { return stride_px_; }
+  PixelFormat format() const { return format_; }
+  std::uint32_t usage() const { return usage_; }
+  std::size_t size_bytes() const { return bytes_.size(); }
+
+  // Raw storage. For RGBA8888 buffers pixels32() gives the natural view the
+  // GPU aliases for zero-copy rendering.
+  std::uint8_t* bytes() { return bytes_.data(); }
+  std::uint32_t* pixels32() {
+    return reinterpret_cast<std::uint32_t*>(bytes_.data());
+  }
+
+  // --- CPU access locking (paper §6.2) -----------------------------------
+  // Locks the buffer for CPU-only access and returns the base address.
+  // Fails while an EGLImage ties the buffer to a GLES texture — unless
+  // `bypass_gles_association` is set (Apple hardware permits concurrent
+  // mapping; the native-iOS IOSurface path uses this).
+  StatusOr<void*> lock(std::uint32_t cpu_usage,
+                       bool bypass_gles_association = false);
+  Status unlock();
+  bool locked() const { return locked_.load(); }
+
+  // --- EGLImage association bookkeeping -----------------------------------
+  // The EGL library records associations here; lock() consults them.
+  Status add_egl_image_ref();
+  void remove_egl_image_ref();
+  int egl_image_refs() const { return egl_image_refs_.load(); }
+
+ private:
+  const BufferId id_;
+  const int width_;
+  const int height_;
+  const int stride_px_;
+  const PixelFormat format_;
+  const std::uint32_t usage_;
+  std::vector<std::uint8_t> bytes_;
+  std::atomic<bool> locked_{false};
+  std::atomic<int> egl_image_refs_{0};
+};
+
+// The gralloc HAL: allocates buffers and keeps the global id registry that
+// makes cross-process (and cross-API) sharing possible.
+class GrallocAllocator {
+ public:
+  static GrallocAllocator& instance();
+
+  void reset();
+
+  StatusOr<std::shared_ptr<GraphicBuffer>> allocate(int width, int height,
+                                                    PixelFormat format,
+                                                    std::uint32_t usage);
+  // Looks a buffer up by global id; nullptr when it no longer exists.
+  std::shared_ptr<GraphicBuffer> find(BufferId id);
+
+  std::size_t live_buffers() const;
+  std::size_t bytes_allocated() const;
+
+ private:
+  GrallocAllocator() = default;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<BufferId, std::weak_ptr<GraphicBuffer>> registry_;
+  BufferId next_id_ = 1;
+};
+
+}  // namespace cycada::gmem

@@ -1,0 +1,301 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.h"
+
+namespace cycada::gpu {
+
+GpuDevice& GpuDevice::instance() {
+  static GpuDevice* device = new GpuDevice();  // intentionally immortal
+  return *device;
+}
+
+void GpuDevice::reset() {
+  std::lock_guard lock(mutex_);
+  textures_.clear();
+  targets_.clear();
+  fences_.clear();
+  queue_.clear();
+  stats_ = {};
+  next_handle_ = 1;
+}
+
+TextureHandle GpuDevice::create_texture() {
+  std::lock_guard lock(mutex_);
+  const TextureHandle handle = next_handle_++;
+  textures_.emplace(handle, Texture{});
+  return handle;
+}
+
+Status GpuDevice::define_texture(TextureHandle handle, int width, int height) {
+  std::lock_guard lock(mutex_);
+  auto it = textures_.find(handle);
+  if (it == textures_.end()) return Status::not_found("no such texture");
+  if (width < 0 || height < 0 || width > 16384 || height > 16384) {
+    return Status::invalid_argument("bad texture dimensions");
+  }
+  Texture& texture = it->second;
+  texture.owned.assign(static_cast<std::size_t>(width) * height, 0);
+  texture.texels = texture.owned.data();
+  texture.width = width;
+  texture.height = height;
+  texture.stride_px = width;
+  texture.external = false;
+  return Status::ok();
+}
+
+Status GpuDevice::bind_texture_external(TextureHandle handle,
+                                        std::uint32_t* texels, int width,
+                                        int height, int stride_px) {
+  std::lock_guard lock(mutex_);
+  auto it = textures_.find(handle);
+  if (it == textures_.end()) return Status::not_found("no such texture");
+  if (texels == nullptr || width <= 0 || height <= 0 || stride_px < width) {
+    return Status::invalid_argument("bad external texture binding");
+  }
+  Texture& texture = it->second;
+  texture.owned.clear();
+  texture.texels = texels;
+  texture.width = width;
+  texture.height = height;
+  texture.stride_px = stride_px;
+  texture.external = true;
+  return Status::ok();
+}
+
+Status GpuDevice::upload_texture(TextureHandle handle, int x, int y, int width,
+                                 int height, const std::uint32_t* pixels,
+                                 int src_stride_px) {
+  std::lock_guard lock(mutex_);
+  auto it = textures_.find(handle);
+  if (it == textures_.end()) return Status::not_found("no such texture");
+  Texture& texture = it->second;
+  if (texture.texels == nullptr) {
+    return Status::failed_precondition("texture has no storage");
+  }
+  if (pixels == nullptr || x < 0 || y < 0 || width < 0 || height < 0 ||
+      x + width > texture.width || y + height > texture.height) {
+    return Status::out_of_range("upload region outside texture");
+  }
+  for (int row = 0; row < height; ++row) {
+    std::memcpy(
+        texture.texels + static_cast<std::size_t>(y + row) * texture.stride_px +
+            x,
+        pixels + static_cast<std::size_t>(row) * src_stride_px,
+        static_cast<std::size_t>(width) * sizeof(std::uint32_t));
+  }
+  return Status::ok();
+}
+
+Status GpuDevice::destroy_texture(TextureHandle handle) {
+  std::lock_guard lock(mutex_);
+  return textures_.erase(handle) > 0
+             ? Status::ok()
+             : Status::not_found("no such texture");
+}
+
+bool GpuDevice::texture_valid(TextureHandle handle) const {
+  std::lock_guard lock(mutex_);
+  return textures_.find(handle) != textures_.end();
+}
+
+StatusOr<TextureView> GpuDevice::texture_view(TextureHandle handle) {
+  std::lock_guard lock(mutex_);
+  auto it = textures_.find(handle);
+  if (it == textures_.end()) return Status::not_found("no such texture");
+  if (!queue_.empty()) flush_locked();
+  const Texture& texture = it->second;
+  return TextureView{texture.texels, texture.width, texture.height,
+                     texture.stride_px};
+}
+
+RenderTargetHandle GpuDevice::create_target(int width, int height,
+                                            bool with_depth) {
+  std::lock_guard lock(mutex_);
+  const RenderTargetHandle handle = next_handle_++;
+  Target target;
+  target.width = width;
+  target.height = height;
+  target.stride_px = width;
+  target.owned_color.assign(static_cast<std::size_t>(width) * height,
+                            0xff000000u);
+  target.color = target.owned_color.data();
+  if (with_depth) {
+    target.depth.assign(static_cast<std::size_t>(width) * height, 1.f);
+  }
+  targets_.emplace(handle, std::move(target));
+  return handle;
+}
+
+RenderTargetHandle GpuDevice::create_target_external(std::uint32_t* color,
+                                                     int width, int height,
+                                                     int stride_px,
+                                                     bool with_depth) {
+  std::lock_guard lock(mutex_);
+  const RenderTargetHandle handle = next_handle_++;
+  Target target;
+  target.width = width;
+  target.height = height;
+  target.stride_px = stride_px;
+  target.color = color;
+  target.external = true;
+  if (with_depth) {
+    target.depth.assign(static_cast<std::size_t>(width) * height, 1.f);
+  }
+  targets_.emplace(handle, std::move(target));
+  return handle;
+}
+
+Status GpuDevice::destroy_target(RenderTargetHandle handle) {
+  std::lock_guard lock(mutex_);
+  // Commands referencing the target may still be queued; retire them first,
+  // as a real driver would before freeing the memory.
+  if (!queue_.empty()) flush_locked();
+  return targets_.erase(handle) > 0 ? Status::ok()
+                                    : Status::not_found("no such target");
+}
+
+bool GpuDevice::target_valid(RenderTargetHandle handle) const {
+  std::lock_guard lock(mutex_);
+  return targets_.find(handle) != targets_.end();
+}
+
+TargetView GpuDevice::target_view_locked(const Target& target) {
+  TargetView view;
+  view.color = target.color;
+  view.depth = target.depth.empty()
+                   ? nullptr
+                   : const_cast<float*>(target.depth.data());
+  view.width = target.width;
+  view.height = target.height;
+  view.stride_px = target.stride_px;
+  return view;
+}
+
+StatusOr<TargetView> GpuDevice::target_view(RenderTargetHandle handle) {
+  std::lock_guard lock(mutex_);
+  auto it = targets_.find(handle);
+  if (it == targets_.end()) return Status::not_found("no such target");
+  if (!queue_.empty()) flush_locked();
+  return target_view_locked(it->second);
+}
+
+void GpuDevice::submit_clear(RenderTargetHandle target,
+                             std::optional<ScissorRect> scissor,
+                             bool clear_color, Color color, bool clear_depth,
+                             float depth_value) {
+  std::lock_guard lock(mutex_);
+  queue_.push_back(ClearCommand{target, scissor, clear_color, color,
+                                clear_depth, depth_value});
+  if (queue_.size() >= kKickBatchSize) flush_locked();
+}
+
+void GpuDevice::submit_draw(RenderTargetHandle target, RasterState state,
+                            PrimitiveKind kind,
+                            std::vector<ShadedVertex> vertices) {
+  std::lock_guard lock(mutex_);
+  queue_.push_back(
+      DrawCommand{target, std::move(state), kind, std::move(vertices)});
+  if (queue_.size() >= kKickBatchSize) flush_locked();
+}
+
+FenceHandle GpuDevice::submit_fence() {
+  std::lock_guard lock(mutex_);
+  const FenceHandle fence = next_handle_++;
+  fences_.emplace(fence, false);
+  queue_.push_back(FenceCommand{fence});
+  return fence;
+}
+
+bool GpuDevice::fence_signaled(FenceHandle fence) {
+  std::lock_guard lock(mutex_);
+  auto it = fences_.find(fence);
+  return it != fences_.end() && it->second;
+}
+
+void GpuDevice::wait_fence(FenceHandle fence) {
+  std::lock_guard lock(mutex_);
+  auto it = fences_.find(fence);
+  if (it == fences_.end() || it->second) return;
+  flush_locked();
+}
+
+void GpuDevice::flush() {
+  std::lock_guard lock(mutex_);
+  flush_locked();
+}
+
+void GpuDevice::finish() { flush(); }
+
+void GpuDevice::flush_locked() {
+  ++stats_.flushes;
+  for (Command& command : queue_) {
+    if (auto* clear = std::get_if<ClearCommand>(&command)) {
+      auto it = targets_.find(clear->target);
+      if (it == targets_.end()) continue;
+      rasterizer_.clear(target_view_locked(it->second), clear->scissor,
+                        clear->clear_color, clear->color, clear->clear_depth,
+                        clear->depth_value);
+      ++stats_.clear_commands;
+    } else if (auto* draw = std::get_if<DrawCommand>(&command)) {
+      auto it = targets_.find(draw->target);
+      if (it == targets_.end()) continue;
+      TextureView texture;
+      if (draw->state.texture != kNoHandle) {
+        auto texture_it = textures_.find(draw->state.texture);
+        if (texture_it != textures_.end()) {
+          const Texture& t = texture_it->second;
+          texture = TextureView{t.texels, t.width, t.height, t.stride_px};
+        }
+      }
+      stats_.fragments_shaded +=
+          rasterizer_.draw(target_view_locked(it->second), draw->state,
+                           draw->kind, draw->vertices, texture);
+      ++stats_.draw_commands;
+    } else if (auto* fence = std::get_if<FenceCommand>(&command)) {
+      fences_[fence->fence] = true;
+      ++stats_.fences_signaled;
+    }
+  }
+  stats_.triangles = rasterizer_.triangles_submitted();
+  queue_.clear();
+}
+
+Status GpuDevice::read_pixels(RenderTargetHandle target, int x, int y,
+                              int width, int height, std::uint32_t* out,
+                              int out_stride_px) {
+  std::lock_guard lock(mutex_);
+  auto it = targets_.find(target);
+  if (it == targets_.end()) return Status::not_found("no such target");
+  if (!queue_.empty()) flush_locked();
+  const Target& t = it->second;
+  if (out == nullptr || x < 0 || y < 0 || width < 0 || height < 0 ||
+      x + width > t.width || y + height > t.height) {
+    return Status::out_of_range("read region outside target");
+  }
+  for (int row = 0; row < height; ++row) {
+    std::memcpy(out + static_cast<std::size_t>(row) * out_stride_px,
+                t.color + static_cast<std::size_t>(y + row) * t.stride_px + x,
+                static_cast<std::size_t>(width) * sizeof(std::uint32_t));
+  }
+  return Status::ok();
+}
+
+GpuStats GpuDevice::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void GpuDevice::reset_stats() {
+  std::lock_guard lock(mutex_);
+  stats_ = {};
+}
+
+std::size_t GpuDevice::pending_commands() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace cycada::gpu

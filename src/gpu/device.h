@@ -1,0 +1,150 @@
+// The software GPU device: resource tables, a queued command processor and
+// fences. Everything above this layer (both platforms' vendor GLES
+// libraries) talks to the "hardware" exclusively through this interface, so
+// driver-level behaviors — deferred execution until flush, fence signaling,
+// zero-copy render targets aliasing externally-owned graphics memory — are
+// exercised just as on the device the paper used.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "gpu/raster.h"
+#include "gpu/types.h"
+#include "util/status.h"
+
+namespace cycada::gpu {
+
+class GpuDevice {
+ public:
+  // The SoC has one GPU; vendor libraries acquire it here.
+  static GpuDevice& instance();
+
+  GpuDevice() = default;
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  // Drops all resources and queued work (test support).
+  void reset();
+
+  // --- Textures ----------------------------------------------------------
+  // Creates an empty texture object; storage is defined later.
+  TextureHandle create_texture();
+  // (Re)allocates owned RGBA8888 storage, dropping any external binding —
+  // the glTexImage2D path.
+  Status define_texture(TextureHandle handle, int width, int height);
+  // Points the texture at externally-owned memory (EGLImage zero-copy).
+  Status bind_texture_external(TextureHandle handle, std::uint32_t* texels,
+                               int width, int height, int stride_px);
+  Status upload_texture(TextureHandle handle, int x, int y, int width,
+                        int height, const std::uint32_t* pixels,
+                        int src_stride_px);
+  Status destroy_texture(TextureHandle handle);
+  bool texture_valid(TextureHandle handle) const;
+  // View for sampling; implies a flush when there is pending work so reads
+  // observe completed rendering.
+  StatusOr<TextureView> texture_view(TextureHandle handle);
+
+  // --- Render targets ----------------------------------------------------
+  RenderTargetHandle create_target(int width, int height, bool with_depth);
+  // Target aliasing external memory (window surfaces, GraphicBuffers).
+  RenderTargetHandle create_target_external(std::uint32_t* color, int width,
+                                            int height, int stride_px,
+                                            bool with_depth);
+  Status destroy_target(RenderTargetHandle handle);
+  bool target_valid(RenderTargetHandle handle) const;
+  StatusOr<TargetView> target_view(RenderTargetHandle handle);
+
+  // --- Command submission (queued until flush) ----------------------------
+  void submit_clear(RenderTargetHandle target,
+                    std::optional<ScissorRect> scissor, bool clear_color,
+                    Color color, bool clear_depth, float depth_value);
+  void submit_draw(RenderTargetHandle target, RasterState state,
+                   PrimitiveKind kind, std::vector<ShadedVertex> vertices);
+
+  // Inserts a fence after the currently queued commands.
+  FenceHandle submit_fence();
+  bool fence_signaled(FenceHandle fence);
+  // Blocks (by executing) until the fence has signaled.
+  void wait_fence(FenceHandle fence);
+
+  // Executes all queued commands.
+  void flush();
+  // flush() + device idle (synchronous device: identical, kept for API
+  // fidelity with glFinish).
+  void finish();
+
+  // Reads back pixels (flushes first). `out_stride_px` is the row pitch of
+  // `out`.
+  Status read_pixels(RenderTargetHandle target, int x, int y, int width,
+                     int height, std::uint32_t* out, int out_stride_px);
+
+  GpuStats stats() const;
+  void reset_stats();
+  // Commands queued but not yet executed.
+  std::size_t pending_commands() const;
+
+  // Driver kick batching: once this many commands are queued, submission
+  // triggers execution of the batch (as real drivers kick command buffers),
+  // so heavy rendering cost attributes to the submitting call rather than
+  // accumulating entirely in glFlush/present.
+  static constexpr std::size_t kKickBatchSize = 8;
+
+ private:
+  struct Texture {
+    int width = 0;
+    int height = 0;
+    int stride_px = 0;
+    std::uint32_t* texels = nullptr;  // points into `owned` or external memory
+    std::vector<std::uint32_t> owned;
+    bool external = false;
+  };
+
+  struct Target {
+    int width = 0;
+    int height = 0;
+    int stride_px = 0;
+    std::uint32_t* color = nullptr;
+    std::vector<std::uint32_t> owned_color;
+    std::vector<float> depth;  // empty when no depth buffer
+    bool external = false;
+  };
+
+  struct ClearCommand {
+    RenderTargetHandle target;
+    std::optional<ScissorRect> scissor;
+    bool clear_color;
+    Color color;
+    bool clear_depth;
+    float depth_value;
+  };
+  struct DrawCommand {
+    RenderTargetHandle target;
+    RasterState state;
+    PrimitiveKind kind;
+    std::vector<ShadedVertex> vertices;
+  };
+  struct FenceCommand {
+    FenceHandle fence;
+  };
+  using Command = std::variant<ClearCommand, DrawCommand, FenceCommand>;
+
+  void flush_locked();
+  TargetView target_view_locked(const Target& target);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<TextureHandle, Texture> textures_;
+  std::unordered_map<RenderTargetHandle, Target> targets_;
+  std::unordered_map<FenceHandle, bool> fences_;
+  std::vector<Command> queue_;
+  Rasterizer rasterizer_;
+  GpuStats stats_;
+  std::uint32_t next_handle_ = 1;
+};
+
+}  // namespace cycada::gpu

@@ -1,0 +1,78 @@
+// The scan-line rasterizer at the bottom of the software GPU. Operates on
+// raw color/depth buffer views; GpuDevice owns resource lookup and hands the
+// rasterizer plain spans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpu/types.h"
+
+namespace cycada::gpu {
+
+// A writable color target (RGBA8888) with an optional depth buffer. `color`
+// may alias externally-owned memory (GraphicBuffer / IOSurface zero-copy).
+struct TargetView {
+  std::uint32_t* color = nullptr;
+  float* depth = nullptr;  // null when the target has no depth buffer
+  int width = 0;
+  int height = 0;
+  int stride_px = 0;  // row pitch of `color` in pixels
+};
+
+// A readable texture (RGBA8888 working format).
+struct TextureView {
+  const std::uint32_t* texels = nullptr;
+  int width = 0;
+  int height = 0;
+  int stride_px = 0;
+};
+
+// Rasterizes post-vertex-stage primitives into a target. Stateless apart
+// from the statistics accumulator the caller provides.
+class Rasterizer {
+ public:
+  // Draws vertices (grouped 3/2/1 per primitive by `kind`) under `state`.
+  // `texture.texels == nullptr` means untextured. Returns fragments shaded.
+  std::uint64_t draw(TargetView target, const RasterState& state,
+                     PrimitiveKind kind, std::span<const ShadedVertex> vertices,
+                     TextureView texture);
+
+  // Clears color and/or depth, honoring the scissor.
+  void clear(TargetView target, const std::optional<ScissorRect>& scissor,
+             bool clear_color, Color color, bool clear_depth,
+             float depth_value);
+
+  std::uint64_t triangles_submitted() const { return triangles_; }
+
+ private:
+  struct ScreenVertex {
+    float x, y, z;      // window coordinates
+    float inv_w;        // 1/w for perspective-correct interpolation
+    Color color;
+    Vec2 texcoord;
+  };
+
+  std::uint64_t draw_triangle(TargetView target, const RasterState& state,
+                              const ScreenVertex& a, const ScreenVertex& b,
+                              const ScreenVertex& c, TextureView texture);
+  std::uint64_t draw_line(TargetView target, const RasterState& state,
+                          const ScreenVertex& a, const ScreenVertex& b,
+                          TextureView texture);
+  std::uint64_t draw_point(TargetView target, const RasterState& state,
+                           const ScreenVertex& v, TextureView texture);
+
+  // Emits one fragment: depth test, texturing, blending, write-back.
+  bool shade_fragment(TargetView target, const RasterState& state, int x,
+                      int y, float z, Color color, Vec2 uv,
+                      TextureView texture);
+
+  std::uint64_t triangles_ = 0;
+};
+
+// Samples `texture` at normalized coordinates under filter/wrap settings.
+Color sample_texture(TextureView texture, Vec2 uv, TextureFilter filter,
+                     TextureWrap wrap);
+
+}  // namespace cycada::gpu

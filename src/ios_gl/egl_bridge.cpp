@@ -1,0 +1,145 @@
+#include "ios_gl/egl_bridge.h"
+
+#include "core/diplomat.h"
+#include "core/impersonation.h"
+
+namespace cycada::ios_gl::eglbridge {
+
+namespace {
+core::DiplomatEntry& bridge_entry(std::string_view name) {
+  return core::DiplomatRegistry::instance().entry(name,
+                                                  core::DiplomatPattern::kMulti);
+}
+}  // namespace
+
+core::DiplomatHooks graphics_hooks() {
+  core::DiplomatHooks hooks;
+  hooks.prelude = [] {
+    core::GraphicsTlsTracker::instance().enter_graphics_diplomat();
+  };
+  hooks.postlude = [] {
+    core::GraphicsTlsTracker::instance().exit_graphics_diplomat();
+  };
+  return hooks;
+}
+
+StatusOr<BridgeConnection> aegl_bridge_init(int gles_version, int width,
+                                            int height) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_init");
+  return core::diplomat_call(
+      entry, graphics_hooks(), [&]() -> StatusOr<BridgeConnection> {
+        android_gl::AndroidEgl* egl = android_gl::open_android_egl();
+        if (egl == nullptr || egl->eglInitialize() != android_gl::EGL_TRUE) {
+          return Status::internal("EGL initialization failed");
+        }
+        const int connection_id = egl->eglReInitializeMC();
+        if (connection_id <= 0) {
+          return Status::internal("eglReInitializeMC failed");
+        }
+        android_gl::UiWrapper* wrapper =
+            egl->connection_by_id(connection_id)->ui_wrapper;
+        CYCADA_RETURN_IF_ERROR(
+            wrapper->initialize(gles_version, width, height));
+        return BridgeConnection{connection_id, wrapper};
+      });
+}
+
+Status aegl_bridge_destroy(const BridgeConnection& connection) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_destroy");
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    android_gl::AndroidEgl* egl = android_gl::open_android_egl();
+    if (egl == nullptr) return Status::internal("no EGL wrapper");
+    // Clear this thread's binding if it points into the replica; the
+    // replica itself stays resident until its connection is dropped (the
+    // wrapper pins its library handle).
+    if (egl->current_connection() != nullptr &&
+        egl->current_connection()->id == connection.connection_id) {
+      (void)egl->eglSwitchMC(0);
+    }
+    return connection.wrapper != nullptr ? connection.wrapper->clear_current()
+                                         : Status::ok();
+  });
+}
+
+Status aegl_bridge_make_current(android_gl::UiWrapper* wrapper) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_make_current");
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
+    return wrapper->make_current();
+  });
+}
+
+StatusOr<gmem::BufferId> aegl_bridge_create_drawable(
+    android_gl::UiWrapper* wrapper, int width, int height) {
+  static core::DiplomatEntry& entry =
+      bridge_entry("aegl_bridge_create_drawable");
+  return core::diplomat_call(entry, graphics_hooks(),
+                             [&]() -> StatusOr<gmem::BufferId> {
+                               if (wrapper == nullptr) {
+                                 return Status::invalid_argument("null wrapper");
+                               }
+                               return wrapper->create_drawable_buffer(width,
+                                                                      height);
+                             });
+}
+
+Status aegl_bridge_bind_renderbuffer(android_gl::UiWrapper* wrapper,
+                                     glcore::GLuint rb,
+                                     gmem::BufferId buffer) {
+  static core::DiplomatEntry& entry =
+      bridge_entry("aegl_bridge_bind_renderbuffer");
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
+    return wrapper->bind_renderbuffer(rb, buffer);
+  });
+}
+
+Status aegl_bridge_draw_fbo_tex(android_gl::UiWrapper* wrapper,
+                                gmem::BufferId content) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_draw_fbo_tex");
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
+    return wrapper->draw_fbo_tex(content);
+  });
+}
+
+Status egl_swap_buffers(android_gl::UiWrapper* wrapper) {
+  static core::DiplomatEntry& entry = core::DiplomatRegistry::instance().entry(
+      "eglSwapBuffers", core::DiplomatPattern::kMulti);
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
+    return wrapper->swap_buffers();
+  });
+}
+
+Status aegl_bridge_copy_tex_buf(android_gl::UiWrapper* wrapper,
+                                glcore::GLuint texture, gmem::BufferId dst) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_copy_tex_buf");
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
+    return wrapper->copy_tex_buf(texture, dst);
+  });
+}
+
+StatusOr<std::vector<void*>> aegl_bridge_get_tls(
+    android_gl::UiWrapper* wrapper) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_get_tls");
+  return core::diplomat_call(entry, graphics_hooks(),
+                             [&]() -> StatusOr<std::vector<void*>> {
+                               if (wrapper == nullptr) {
+                                 return Status::invalid_argument("null wrapper");
+                               }
+                               return wrapper->get_tls();
+                             });
+}
+
+Status aegl_bridge_set_tls(android_gl::UiWrapper* wrapper,
+                           const std::vector<void*>& values) {
+  static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_set_tls");
+  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+    if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
+    return wrapper->set_tls(values);
+  });
+}
+
+}  // namespace cycada::ios_gl::eglbridge

@@ -1,0 +1,24 @@
+// Which device the "iOS app" is running on:
+//   kCycada    — an Android device running Cycada: every iOS graphics call
+//                crosses into the Android libraries through diplomats.
+//   kNativeIos — a real iOS device (the paper's iPad-mini column): the same
+//                foreign API surface lands directly on Apple's vendor GLES
+//                over the same software GPU, with the hardware-optimized
+//                present path.
+#pragma once
+
+#include "glcore/engine.h"
+
+namespace cycada::ios_gl {
+
+enum class Platform { kCycada, kNativeIos };
+
+void set_platform(Platform platform);
+Platform platform();
+
+// The Apple vendor GLES engine used by the native-iOS configuration (one
+// per "device", created on demand; reset_native_ios() tears it down).
+glcore::GlesEngine* apple_engine();
+void reset_native_ios();
+
+}  // namespace cycada::ios_gl

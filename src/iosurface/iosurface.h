@@ -1,0 +1,129 @@
+// IOSurface: iOS's zero-copy graphics memory abstraction (paper §6), and
+// LinuxCoreSurface, Cycada's reimplementation of the IOCoreSurface kernel
+// module that backs it.
+//
+// Under Cycada, every IOSurface is backed by an Android GraphicBuffer
+// created through an indirect diplomat at IOSurfaceCreate time (§6.1), and
+// IOSurfaceLock/IOSurfaceUnlock are multi diplomats that dance around the
+// Android restriction that a buffer tied to a GLES texture via an EGLImage
+// cannot be CPU-locked (§6.2): lock rebinds the texture to a 1x1 buffer and
+// destroys the EGLImage before locking; unlock recreates the EGLImage and
+// rebinds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "android_gl/ui_wrapper.h"
+#include "gmem/graphic_buffer.h"
+#include "util/pixel.h"
+#include "util/status.h"
+
+namespace cycada::iosurface {
+
+using IOSurfaceId = std::uint32_t;
+
+struct IOSurfaceProps {
+  int width = 0;
+  int height = 0;
+  PixelFormat format = PixelFormat::kRgba8888;
+};
+
+// One surface. Apps hold IOSurfaceRef (shared ownership, like CFRetain).
+class IOSurface {
+ public:
+  IOSurface(IOSurfaceId id, const IOSurfaceProps& props,
+            std::shared_ptr<gmem::GraphicBuffer> backing)
+      : id_(id), props_(props), backing_(std::move(backing)) {}
+
+  IOSurfaceId id() const { return id_; }
+  int width() const { return props_.width; }
+  int height() const { return props_.height; }
+  PixelFormat format() const { return props_.format; }
+  std::size_t bytes_per_row() const {
+    return static_cast<std::size_t>(backing_->stride_px()) *
+           bytes_per_pixel(props_.format);
+  }
+  const std::shared_ptr<gmem::GraphicBuffer>& backing() const {
+    return backing_;
+  }
+  bool locked() const { return locked_; }
+  // GLES texture currently referencing this surface (0 = none).
+  glcore::GLuint bound_texture() const { return bound_texture_; }
+
+ private:
+  friend class LinuxCoreSurface;
+
+  const IOSurfaceId id_;
+  const IOSurfaceProps props_;
+  std::shared_ptr<gmem::GraphicBuffer> backing_;
+  bool locked_ = false;
+  void* base_address_ = nullptr;
+  // GLES association (established through the EAGL bridge).
+  android_gl::UiWrapper* wrapper_ = nullptr;
+  glcore::GLuint bound_texture_ = 0;
+  std::unique_ptr<glcore::EglImage> egl_image_;
+};
+
+using IOSurfaceRef = std::shared_ptr<IOSurface>;
+
+// The kernel-side registry and operation engine (the paper's
+// LinuxCoreSurface module). User code reaches it through the C-style API
+// below, which wraps every operation in the appropriate diplomat.
+class LinuxCoreSurface {
+ public:
+  static LinuxCoreSurface& instance();
+  void reset();
+
+  // Native-iOS lock semantics: Apple's stack permits CPU access while a
+  // surface backs a GLES texture, so the §6.2 dance is skipped and the
+  // buffer lock bypasses the association check. Set by
+  // ios_gl::set_platform.
+  void set_native_lock_semantics(bool native) { native_lock_ = native; }
+  bool native_lock_semantics() const { return native_lock_; }
+
+  StatusOr<IOSurfaceRef> create(const IOSurfaceProps& props);
+  IOSurfaceRef lookup(IOSurfaceId id);
+
+  Status lock(const IOSurfaceRef& surface, bool read_only);
+  Status unlock(const IOSurfaceRef& surface);
+
+  // Associates the surface with GLES texture `texture` of `wrapper`'s
+  // replica (zero-copy texture storage via EGLImage). Called by the EAGL
+  // bridge's texImageIOSurface path.
+  Status bind_gles_texture(const IOSurfaceRef& surface,
+                           android_gl::UiWrapper* wrapper,
+                           glcore::GLuint texture);
+  // Severs the association (also invoked by the glDeleteTextures multi
+  // diplomat, §6.1).
+  Status unbind_gles_texture(const IOSurfaceRef& surface);
+  // Finds the surface bound to (wrapper, texture), if any.
+  IOSurfaceRef surface_for_texture(android_gl::UiWrapper* wrapper,
+                                   glcore::GLuint texture);
+
+  std::size_t live_surfaces() const;
+
+ private:
+  LinuxCoreSurface() = default;
+  mutable std::mutex mutex_;
+  std::unordered_map<IOSurfaceId, std::weak_ptr<IOSurface>> registry_;
+  IOSurfaceId next_id_ = 1;
+  bool native_lock_ = false;
+};
+
+// --- The iOS-facing IOSurface C API (runs in the iOS persona) --------------
+IOSurfaceRef IOSurfaceCreate(const IOSurfaceProps& props);
+IOSurfaceRef IOSurfaceLookupFromID(IOSurfaceId id);
+IOSurfaceId IOSurfaceGetID(const IOSurfaceRef& surface);
+// Base address is only valid while locked.
+void* IOSurfaceGetBaseAddress(const IOSurfaceRef& surface);
+std::size_t IOSurfaceGetBytesPerRow(const IOSurfaceRef& surface);
+int IOSurfaceGetWidth(const IOSurfaceRef& surface);
+int IOSurfaceGetHeight(const IOSurfaceRef& surface);
+inline constexpr std::uint32_t kIOSurfaceLockReadOnly = 1;
+Status IOSurfaceLock(const IOSurfaceRef& surface, std::uint32_t options = 0);
+Status IOSurfaceUnlock(const IOSurfaceRef& surface);
+
+}  // namespace cycada::iosurface

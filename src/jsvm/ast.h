@@ -1,0 +1,61 @@
+// AST for the JavaScript subset. A single tagged node type keeps the tree
+// compact; the `op` / `name` strings carry operator and identifier spelling
+// (the naive interpreter dispatches on them — deliberately, that is what
+// makes it a faithful non-JIT baseline; the bytecode compiler resolves them
+// away).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cycada::jsvm {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Type {
+    kProgram,     // kids: statements
+    kFunction,    // name; kids[0]: params (kIdent list under kBlock), kids[1]: body
+    kParams,      // kids: kIdent
+    kBlock,       // kids: statements (a scope)
+    kVarGroup,    // kids: kVarDecl (multi-declarator statement; NOT a scope)
+    kVarDecl,     // name; kids[0]: optional init
+    kExprStmt,    // kids[0]
+    kIf,          // kids[0]: cond, kids[1]: then, kids[2]: optional else
+    kFor,         // kids[0]: init (stmt), kids[1]: cond, kids[2]: step, kids[3]: body
+    kWhile,       // kids[0]: cond, kids[1]: body
+    kReturn,      // kids[0]: optional value
+    kBreak,
+    kContinue,
+    kNumber,      // num
+    kString,      // str
+    kBoolLit,     // num (0/1)
+    kIdent,       // name
+    kArrayLit,    // kids: elements
+    kIndex,       // kids[0]: object, kids[1]: index
+    kMember,      // name (property); kids[0]: object
+    kCall,        // kids[0]: callee (kIdent or kMember), kids[1..]: args
+    kUnary,       // op; kids[0]
+    kBinary,      // op; kids[0], kids[1]
+    kLogical,     // op (&& ||); kids[0], kids[1] (short-circuit)
+    kAssign,      // op (= += -= *= /= %= |= &= ^= <<= >>=); kids[0]: target, kids[1]: value
+    kTernary,     // kids[0] ? kids[1] : kids[2]
+    kPostfix,     // op (++ --); kids[0]: target
+    kPrefix,      // op (++ --); kids[0]: target
+  };
+
+  explicit Node(Type node_type) : type(node_type) {}
+
+  Type type;
+  double num = 0.0;
+  std::string str;   // string literal
+  std::string name;  // identifier / property / function name
+  std::string op;    // operator spelling
+  std::vector<NodePtr> kids;
+};
+
+inline NodePtr make_node(Node::Type type) { return std::make_unique<Node>(type); }
+
+}  // namespace cycada::jsvm

@@ -1,0 +1,199 @@
+#include "jsvm/builtins.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace cycada::jsvm {
+
+std::optional<Builtin> lookup_builtin(std::string_view name) {
+  static const std::map<std::string_view, Builtin> kTable = {
+      {"Math.floor", Builtin::kMathFloor},
+      {"Math.ceil", Builtin::kMathCeil},
+      {"Math.round", Builtin::kMathRound},
+      {"Math.sqrt", Builtin::kMathSqrt},
+      {"Math.sin", Builtin::kMathSin},
+      {"Math.cos", Builtin::kMathCos},
+      {"Math.abs", Builtin::kMathAbs},
+      {"Math.pow", Builtin::kMathPow},
+      {"Math.max", Builtin::kMathMax},
+      {"Math.min", Builtin::kMathMin},
+      {"Math.log", Builtin::kMathLog},
+      {"Math.exp", Builtin::kMathExp},
+      {"Math.random", Builtin::kMathRandom},
+      {"String.fromCharCode", Builtin::kStringFromCharCode},
+      {"parseInt", Builtin::kParseInt},
+      {"Array", Builtin::kArrayNew},
+      {"__regex_test", Builtin::kRegexTest},
+      {"__regex_match_count", Builtin::kRegexMatchCount},
+      {"__now", Builtin::kNow},
+  };
+  auto it = kTable.find(name);
+  return it == kTable.end() ? std::nullopt : std::optional(it->second);
+}
+
+const Regex* BuiltinHost::compiled(const std::string& pattern) {
+  if (cache_regex_) {
+    auto it = regex_cache_.find(pattern);
+    if (it != regex_cache_.end()) return &it->second;
+    auto regex = Regex::compile(pattern);
+    if (!regex.is_ok()) return nullptr;
+    ++regex_compiles_;
+    return &regex_cache_.emplace(pattern, std::move(regex.value()))
+                .first->second;
+  }
+  // No JIT: recompile on every use.
+  auto regex = Regex::compile(pattern);
+  if (!regex.is_ok()) return nullptr;
+  ++regex_compiles_;
+  scratch_regex_ = std::move(regex.value());
+  return &scratch_regex_;
+}
+
+Value BuiltinHost::call(Builtin builtin, std::span<const Value> args) {
+  const auto arg_num = [&](std::size_t i) {
+    return i < args.size() ? args[i].to_number() : std::nan("");
+  };
+  switch (builtin) {
+    case Builtin::kMathFloor: return Value::number(std::floor(arg_num(0)));
+    case Builtin::kMathCeil: return Value::number(std::ceil(arg_num(0)));
+    case Builtin::kMathRound:
+      return Value::number(std::floor(arg_num(0) + 0.5));
+    case Builtin::kMathSqrt: return Value::number(std::sqrt(arg_num(0)));
+    case Builtin::kMathSin: return Value::number(std::sin(arg_num(0)));
+    case Builtin::kMathCos: return Value::number(std::cos(arg_num(0)));
+    case Builtin::kMathAbs: return Value::number(std::fabs(arg_num(0)));
+    case Builtin::kMathPow:
+      return Value::number(std::pow(arg_num(0), arg_num(1)));
+    case Builtin::kMathMax:
+      return Value::number(std::max(arg_num(0), arg_num(1)));
+    case Builtin::kMathMin:
+      return Value::number(std::min(arg_num(0), arg_num(1)));
+    case Builtin::kMathLog: return Value::number(std::log(arg_num(0)));
+    case Builtin::kMathExp: return Value::number(std::exp(arg_num(0)));
+    case Builtin::kMathRandom:
+      // Deterministic: seeded per engine so runs are reproducible.
+      return Value::number(rng_.next_double());
+    case Builtin::kStringFromCharCode: {
+      std::string out;
+      for (const Value& arg : args) {
+        out += static_cast<char>(static_cast<int>(arg.to_number()) & 0xff);
+      }
+      return Value::string(std::move(out));
+    }
+    case Builtin::kParseInt: {
+      if (args.empty()) return Value::number(std::nan(""));
+      return Value::number(
+          std::trunc(Value(args[0]).to_number()));
+    }
+    case Builtin::kArrayNew: {
+      Value array = Value::array();
+      if (!args.empty()) {
+        array.as_array().resize(
+            static_cast<std::size_t>(std::max(0.0, arg_num(0))));
+      }
+      return array;
+    }
+    case Builtin::kRegexTest:
+    case Builtin::kRegexMatchCount: {
+      if (args.size() < 2 || !args[0].is_string() || !args[1].is_string()) {
+        return Value::number(0);
+      }
+      const Regex* regex = compiled(args[0].as_string());
+      if (regex == nullptr) return Value::number(0);
+      if (builtin == Builtin::kRegexTest) {
+        return Value::boolean(regex->test(args[1].as_string()));
+      }
+      return Value::number(regex->match_count(args[1].as_string()));
+    }
+    case Builtin::kNow:
+      // A virtual monotonic clock (Date.now stand-in); deterministic.
+      return Value::number(static_cast<double>(virtual_clock_ += 16));
+  }
+  return Value();
+}
+
+Value BuiltinHost::get_member(const Value& receiver, std::string_view name) {
+  if (name == "length") {
+    if (receiver.is_string()) {
+      return Value::number(static_cast<double>(receiver.as_string().size()));
+    }
+    if (receiver.is_array()) {
+      return Value::number(static_cast<double>(receiver.as_array().size()));
+    }
+  }
+  return Value();
+}
+
+Value BuiltinHost::call_method(Value& receiver, std::string_view name,
+                               std::span<const Value> args) {
+  const auto arg_num = [&](std::size_t i) {
+    return i < args.size() ? args[i].to_number() : std::nan("");
+  };
+  if (receiver.is_array()) {
+    auto& array = receiver.as_array();
+    if (name == "push") {
+      for (const Value& arg : args) array.push_back(arg);
+      return Value::number(static_cast<double>(array.size()));
+    }
+    if (name == "pop") {
+      if (array.empty()) return Value();
+      Value back = array.back();
+      array.pop_back();
+      return back;
+    }
+    if (name == "join") {
+      const std::string separator =
+          args.empty() ? "," : args[0].to_string();
+      std::string out;
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out += separator;
+        out += array[i].to_string();
+      }
+      return Value::string(std::move(out));
+    }
+  }
+  if (receiver.is_string()) {
+    const std::string& s = receiver.as_string();
+    if (name == "charCodeAt") {
+      const auto index = static_cast<std::size_t>(arg_num(0));
+      return index < s.size()
+                 ? Value::number(static_cast<unsigned char>(s[index]))
+                 : Value::number(std::nan(""));
+    }
+    if (name == "charAt") {
+      const auto index = static_cast<std::size_t>(arg_num(0));
+      return Value::string(index < s.size() ? std::string(1, s[index])
+                                            : std::string());
+    }
+    if (name == "indexOf") {
+      if (args.empty()) return Value::number(-1);
+      const auto pos = s.find(args[0].to_string());
+      return Value::number(pos == std::string::npos
+                               ? -1.0
+                               : static_cast<double>(pos));
+    }
+    if (name == "substring") {
+      auto a = static_cast<long>(arg_num(0));
+      auto b = args.size() > 1 ? static_cast<long>(arg_num(1))
+                               : static_cast<long>(s.size());
+      a = std::clamp<long>(a, 0, static_cast<long>(s.size()));
+      b = std::clamp<long>(b, 0, static_cast<long>(s.size()));
+      if (a > b) std::swap(a, b);
+      return Value::string(s.substr(a, b - a));
+    }
+    if (name == "toUpperCase") {
+      std::string out = s;
+      for (char& c : out) c = static_cast<char>(std::toupper(c));
+      return Value::string(std::move(out));
+    }
+    if (name == "toLowerCase") {
+      std::string out = s;
+      for (char& c : out) c = static_cast<char>(std::tolower(c));
+      return Value::string(std::move(out));
+    }
+  }
+  return Value();
+}
+
+}  // namespace cycada::jsvm

@@ -1,0 +1,75 @@
+// Host functions exposed to scripts, shared by both execution engines:
+// Math.*, String.fromCharCode, parseInt, Array, the virtual clock and the
+// regex hooks. The host also implements property access and method calls on
+// values (array push/join, string charCodeAt/substring/...).
+//
+// Regex caching is the JIT/no-JIT lever: with caching off (the interpreter
+// configuration) every __regex_* call recompiles its pattern, like a
+// JavaScript engine without a compiled-regex cache.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "jsvm/regex.h"
+#include "jsvm/value.h"
+#include "util/rng.h"
+
+namespace cycada::jsvm {
+
+enum class Builtin : std::uint8_t {
+  kMathFloor,
+  kMathCeil,
+  kMathRound,
+  kMathSqrt,
+  kMathSin,
+  kMathCos,
+  kMathAbs,
+  kMathPow,
+  kMathMax,
+  kMathMin,
+  kMathLog,
+  kMathExp,
+  kMathRandom,
+  kStringFromCharCode,
+  kParseInt,
+  kArrayNew,
+  kRegexTest,
+  kRegexMatchCount,
+  kNow,
+};
+
+// Resolves "Math.floor", "String.fromCharCode", "parseInt", "Array",
+// "__regex_test", "__regex_match_count", "__now".
+std::optional<Builtin> lookup_builtin(std::string_view name);
+
+class BuiltinHost {
+ public:
+  explicit BuiltinHost(std::uint64_t seed, bool cache_regex)
+      : rng_(seed), cache_regex_(cache_regex) {}
+
+  Value call(Builtin builtin, std::span<const Value> args);
+
+  // Property access: `value.length` and friends.
+  static Value get_member(const Value& receiver, std::string_view name);
+  // Method calls: array push/join, string charCodeAt/charAt/indexOf/
+  // substring/toUpperCase.
+  static Value call_method(Value& receiver, std::string_view name,
+                           std::span<const Value> args);
+
+  std::uint64_t regex_compiles() const { return regex_compiles_; }
+
+ private:
+  const Regex* compiled(const std::string& pattern);
+
+  Rng rng_;
+  bool cache_regex_;
+  std::map<std::string, Regex> regex_cache_;
+  Regex scratch_regex_ = *Regex::compile("x");
+  std::uint64_t virtual_clock_ = 0;
+  std::uint64_t regex_compiles_ = 0;
+};
+
+}  // namespace cycada::jsvm

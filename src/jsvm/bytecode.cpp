@@ -1,0 +1,872 @@
+#include "jsvm/bytecode.h"
+
+#include <cmath>
+#include <map>
+
+#include "jsvm/engine.h"
+
+namespace cycada::jsvm {
+
+namespace {
+
+std::int32_t to_int32(double v) {
+  if (std::isnan(v) || std::isinf(v)) return 0;
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(v));
+}
+std::uint32_t to_uint32(double v) {
+  return static_cast<std::uint32_t>(to_int32(v));
+}
+
+class Compiler {
+ public:
+  StatusOr<BytecodeProgram> compile(const Node& program) {
+    // Pass 1: assign function indices (0 = top level).
+    program_.functions.emplace_back();
+    program_.functions[0].name = "<toplevel>";
+    for (const NodePtr& kid : program.kids) {
+      if (kid->type == Node::Type::kFunction) {
+        function_indices_[kid->name] =
+            static_cast<int>(program_.functions.size());
+        program_.functions.emplace_back();
+        program_.functions.back().name = kid->name;
+      }
+    }
+    // Pass 2: compile bodies.
+    int next = 1;
+    for (const NodePtr& kid : program.kids) {
+      if (kid->type != Node::Type::kFunction) continue;
+      CYCADA_RETURN_IF_ERROR(compile_function(*kid, next++));
+    }
+    CYCADA_RETURN_IF_ERROR(compile_toplevel(program));
+    return std::move(program_);
+  }
+
+ private:
+  // Per-function compile state.
+  struct LoopContext {
+    std::vector<int> break_jumps;
+    std::vector<int> continue_jumps;
+  };
+  std::vector<LoopContext> loop_stack_;
+  CompiledFunction* fn_ = nullptr;
+  std::map<std::string, int> locals_;
+  std::map<std::string, int> function_indices_;
+  BytecodeProgram program_;
+
+  int name_index(const std::string& name) {
+    for (std::size_t i = 0; i < program_.names.size(); ++i) {
+      if (program_.names[i] == name) return static_cast<int>(i);
+    }
+    program_.names.push_back(name);
+    return static_cast<int>(program_.names.size() - 1);
+  }
+
+  void emit(Op op, std::int32_t a = 0, std::int32_t b = 0) {
+    fn_->code.push_back({op, a, b});
+  }
+  int here() const { return static_cast<int>(fn_->code.size()); }
+  int emit_jump(Op op) {
+    emit(op, -1);
+    return here() - 1;
+  }
+  void patch(int at) { fn_->code[at].a = here(); }
+
+  int const_index(Value value) {
+    fn_->constants.push_back(std::move(value));
+    return static_cast<int>(fn_->constants.size() - 1);
+  }
+
+  void hoist_vars(const Node& node) {
+    if (node.type == Node::Type::kVarDecl) declare_local(node.name);
+    if (node.type == Node::Type::kFunction) return;  // nested scope
+    for (const NodePtr& kid : node.kids) {
+      if (kid != nullptr) hoist_vars(*kid);
+    }
+  }
+
+  int declare_local(const std::string& name) {
+    auto it = locals_.find(name);
+    if (it != locals_.end()) return it->second;
+    const int slot = static_cast<int>(locals_.size());
+    locals_[name] = slot;
+    return slot;
+  }
+
+  StatusOr<int> local_slot(const std::string& name) {
+    auto it = locals_.find(name);
+    if (it == locals_.end()) {
+      return Status::not_found("undefined variable '" + name + "'");
+    }
+    return it->second;
+  }
+
+  Status compile_function(const Node& fn_node, int index) {
+    fn_ = &program_.functions[index];
+    locals_.clear();
+    const Node& params = *fn_node.kids[0];
+    const Node& body = *fn_node.kids[1];
+    for (const NodePtr& param : params.kids) declare_local(param->name);
+    fn_->num_params = static_cast<int>(params.kids.size());
+    hoist_vars(body);
+    CYCADA_RETURN_IF_ERROR(compile_stmt(body));
+    emit(Op::kReturnUndef);
+    fn_->num_locals = static_cast<int>(locals_.size());
+    return Status::ok();
+  }
+
+  Status compile_toplevel(const Node& program) {
+    fn_ = &program_.functions[0];
+    locals_.clear();
+    declare_local("<result>");  // slot 0: last expression-statement value
+    hoist_vars(program);
+    for (const NodePtr& kid : program.kids) {
+      if (kid->type == Node::Type::kFunction) continue;
+      CYCADA_RETURN_IF_ERROR(compile_stmt(*kid, /*toplevel=*/true));
+    }
+    emit(Op::kLoadLocal, 0);
+    emit(Op::kReturn);
+    fn_->num_locals = static_cast<int>(locals_.size());
+    return Status::ok();
+  }
+
+  // Tries to emit a fused compare-and-branch for a condition of the form
+  // (local <op> local) or (local <op> number). Returns the jump site to
+  // patch, or -1 when the shape does not match.
+  int try_fused_condition(const Node& cond) {
+    if (cond.type != Node::Type::kBinary) return -1;
+    int cmp = -1;
+    if (cond.op == "<") cmp = 0;
+    else if (cond.op == "<=") cmp = 1;
+    else if (cond.op == ">") cmp = 2;
+    else if (cond.op == ">=") cmp = 3;
+    else if (cond.op == "==") cmp = 4;
+    else if (cond.op == "!=") cmp = 5;
+    if (cmp < 0) return -1;
+    const Node& lhs = *cond.kids[0];
+    const Node& rhs = *cond.kids[1];
+    if (lhs.type != Node::Type::kIdent) return -1;
+    auto lhs_slot = local_slot(lhs.name);
+    if (!lhs_slot.is_ok() || lhs_slot.value() >= (1 << 13)) return -1;
+    int rhs_index = -1;
+    bool rhs_const = false;
+    if (rhs.type == Node::Type::kIdent) {
+      auto rhs_slot = local_slot(rhs.name);
+      if (!rhs_slot.is_ok()) return -1;
+      rhs_index = rhs_slot.value();
+    } else if (rhs.type == Node::Type::kNumber) {
+      rhs_index = const_index(Value::number(rhs.num));
+      rhs_const = true;
+    } else {
+      return -1;
+    }
+    if (rhs_index >= (1 << 14)) return -1;
+    const std::int32_t packed = (cmp << 28) |
+                                (rhs_const ? (1 << 27) : 0) |
+                                (lhs_slot.value() << 14) | rhs_index;
+    emit(Op::kJumpIfCmpFalse, -1, packed);
+    return here() - 1;
+  }
+
+  Status compile_stmt(const Node& node, bool toplevel = false) {
+    switch (node.type) {
+      case Node::Type::kBlock:
+      case Node::Type::kVarGroup:
+        for (const NodePtr& kid : node.kids) {
+          CYCADA_RETURN_IF_ERROR(compile_stmt(*kid, toplevel));
+        }
+        return Status::ok();
+      case Node::Type::kVarDecl: {
+        const int slot = declare_local(node.name);
+        if (!node.kids.empty()) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+          emit(Op::kStoreLocal, slot);
+          emit(Op::kPop);
+        }
+        return Status::ok();
+      }
+      case Node::Type::kExprStmt: {
+        const Node& expr = *node.kids[0];
+        // Fast path: `i++;` / `++i;` as a statement.
+        if ((expr.type == Node::Type::kPostfix ||
+             expr.type == Node::Type::kPrefix) &&
+            expr.kids[0]->type == Node::Type::kIdent) {
+          auto slot = local_slot(expr.kids[0]->name);
+          CYCADA_RETURN_IF_ERROR(slot.status());
+          emit(expr.op == "++" ? Op::kIncLocal : Op::kDecLocal, slot.value());
+          return Status::ok();
+        }
+        CYCADA_RETURN_IF_ERROR(compile_expr(expr));
+        if (toplevel) {
+          emit(Op::kStoreLocal, 0);  // remember as the program result
+        }
+        emit(Op::kPop);
+        return Status::ok();
+      }
+      case Node::Type::kIf: {
+        int skip_then = try_fused_condition(*node.kids[0]);
+        if (skip_then < 0) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+          skip_then = emit_jump(Op::kJumpIfFalse);
+        }
+        CYCADA_RETURN_IF_ERROR(compile_stmt(*node.kids[1], toplevel));
+        if (node.kids.size() > 2) {
+          const int skip_else = emit_jump(Op::kJump);
+          patch(skip_then);
+          CYCADA_RETURN_IF_ERROR(compile_stmt(*node.kids[2], toplevel));
+          patch(skip_else);
+        } else {
+          patch(skip_then);
+        }
+        return Status::ok();
+      }
+      case Node::Type::kFor: {
+        CYCADA_RETURN_IF_ERROR(compile_stmt(*node.kids[0]));
+        const int loop_top = here();
+        int exit_jump = try_fused_condition(*node.kids[1]);
+        if (exit_jump < 0) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+          exit_jump = emit_jump(Op::kJumpIfFalse);
+        }
+        loop_stack_.emplace_back();
+        CYCADA_RETURN_IF_ERROR(compile_stmt(*node.kids[3], toplevel));
+        const int step_start = here();  // continue lands on the step
+        CYCADA_RETURN_IF_ERROR(compile_stmt(*node.kids[2]));
+        emit(Op::kJump, loop_top);
+        patch(exit_jump);
+        for (int jump : loop_stack_.back().break_jumps) patch(jump);
+        for (int jump : loop_stack_.back().continue_jumps) {
+          fn_->code[jump].a = step_start;
+        }
+        loop_stack_.pop_back();
+        return Status::ok();
+      }
+      case Node::Type::kWhile: {
+        const int loop_top = here();
+        int exit_jump = try_fused_condition(*node.kids[0]);
+        if (exit_jump < 0) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+          exit_jump = emit_jump(Op::kJumpIfFalse);
+        }
+        loop_stack_.emplace_back();
+        CYCADA_RETURN_IF_ERROR(compile_stmt(*node.kids[1], toplevel));
+        emit(Op::kJump, loop_top);
+        patch(exit_jump);
+        for (int jump : loop_stack_.back().break_jumps) patch(jump);
+        for (int jump : loop_stack_.back().continue_jumps) {
+          fn_->code[jump].a = loop_top;
+        }
+        loop_stack_.pop_back();
+        return Status::ok();
+      }
+      case Node::Type::kBreak: {
+        if (loop_stack_.empty()) {
+          return Status::invalid_argument("break outside a loop");
+        }
+        loop_stack_.back().break_jumps.push_back(emit_jump(Op::kJump));
+        return Status::ok();
+      }
+      case Node::Type::kContinue: {
+        if (loop_stack_.empty()) {
+          return Status::invalid_argument("continue outside a loop");
+        }
+        loop_stack_.back().continue_jumps.push_back(emit_jump(Op::kJump));
+        return Status::ok();
+      }
+      case Node::Type::kReturn:
+        if (node.kids.empty()) {
+          emit(Op::kReturnUndef);
+        } else {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+          emit(Op::kReturn);
+        }
+        return Status::ok();
+      case Node::Type::kFunction:
+        return Status::ok();
+      default:
+        CYCADA_RETURN_IF_ERROR(compile_expr(node));
+        emit(Op::kPop);
+        return Status::ok();
+    }
+  }
+
+  Status compile_binary_op(const std::string& op) {
+    static const std::map<std::string, Op> kOps = {
+        {"+", Op::kAdd},     {"-", Op::kSub},    {"*", Op::kMul},
+        {"/", Op::kDiv},     {"%", Op::kMod},    {"&", Op::kBitAnd},
+        {"|", Op::kBitOr},   {"^", Op::kBitXor}, {"<<", Op::kShl},
+        {">>", Op::kShr},    {">>>", Op::kUShr}, {"<", Op::kLt},
+        {"<=", Op::kLe},     {">", Op::kGt},     {">=", Op::kGe},
+        {"==", Op::kEq},     {"===", Op::kEq},   {"!=", Op::kNe},
+        {"!==", Op::kNe},
+    };
+    auto it = kOps.find(op);
+    if (it == kOps.end()) {
+      return Status::invalid_argument("bad operator " + op);
+    }
+    emit(it->second);
+    return Status::ok();
+  }
+
+  Status compile_expr(const Node& node) {
+    switch (node.type) {
+      case Node::Type::kNumber:
+        emit(Op::kConst, const_index(Value::number(node.num)));
+        return Status::ok();
+      case Node::Type::kString:
+        emit(Op::kConst, const_index(Value::string(node.str)));
+        return Status::ok();
+      case Node::Type::kBoolLit:
+        emit(Op::kConst, const_index(Value::boolean(node.num != 0)));
+        return Status::ok();
+      case Node::Type::kIdent: {
+        if (node.name == "undefined") {
+          emit(Op::kConst, const_index(Value()));
+          return Status::ok();
+        }
+        auto slot = local_slot(node.name);
+        CYCADA_RETURN_IF_ERROR(slot.status());
+        emit(Op::kLoadLocal, slot.value());
+        return Status::ok();
+      }
+      case Node::Type::kArrayLit:
+        for (const NodePtr& kid : node.kids) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*kid));
+        }
+        emit(Op::kNewArray, static_cast<int>(node.kids.size()));
+        return Status::ok();
+      case Node::Type::kIndex: {
+        // Superinstruction: indexing a local avoids copying the container
+        // value through the operand stack (refcount churn).
+        if (node.kids[0]->type == Node::Type::kIdent) {
+          auto slot = local_slot(node.kids[0]->name);
+          if (slot.is_ok()) {
+            CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+            emit(Op::kIndexGetLocal, slot.value());
+            return Status::ok();
+          }
+        }
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+        emit(Op::kIndexGet);
+        return Status::ok();
+      }
+      case Node::Type::kMember:
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+        emit(Op::kMember, name_index(node.name));
+        return Status::ok();
+      case Node::Type::kUnary:
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+        if (node.op == "-") emit(Op::kNeg);
+        else if (node.op == "!") emit(Op::kNot);
+        else if (node.op == "~") emit(Op::kBitNot);
+        // unary '+' is a no-op numerically for our value model
+        return Status::ok();
+      case Node::Type::kBinary:
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+        return compile_binary_op(node.op);
+      case Node::Type::kLogical: {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+        emit(Op::kDup);
+        const int skip = emit_jump(node.op == "&&" ? Op::kJumpIfFalse
+                                                   : Op::kJumpIfTrue);
+        emit(Op::kPop);
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+        patch(skip);
+        return Status::ok();
+      }
+      case Node::Type::kTernary: {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[0]));
+        const int to_else = emit_jump(Op::kJumpIfFalse);
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+        const int to_end = emit_jump(Op::kJump);
+        patch(to_else);
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[2]));
+        patch(to_end);
+        return Status::ok();
+      }
+      case Node::Type::kAssign: return compile_assign(node);
+      case Node::Type::kPostfix:
+      case Node::Type::kPrefix: {
+        if (node.kids[0]->type != Node::Type::kIdent) {
+          return Status::invalid_argument("++/-- needs a variable");
+        }
+        auto slot = local_slot(node.kids[0]->name);
+        CYCADA_RETURN_IF_ERROR(slot.status());
+        emit(Op::kLoadLocal, slot.value());
+        if (node.type == Node::Type::kPostfix) emit(Op::kDup);
+        emit(Op::kConst, const_index(Value::number(1)));
+        emit(node.op == "++" ? Op::kAdd : Op::kSub);
+        emit(Op::kStoreLocal, slot.value());
+        if (node.type == Node::Type::kPostfix) emit(Op::kPop);
+        return Status::ok();
+      }
+      case Node::Type::kCall: return compile_call(node);
+      default:
+        return Status::invalid_argument("cannot compile expression");
+    }
+  }
+
+  Status compile_assign(const Node& node) {
+    const Node& target = *node.kids[0];
+    const bool compound = node.op != "=";
+    const std::string op =
+        compound ? node.op.substr(0, node.op.size() - 1) : "";
+    if (target.type == Node::Type::kIdent) {
+      auto slot = local_slot(target.name);
+      if (!slot.is_ok()) {
+        // Implicit declaration on first assignment (sloppy-mode global).
+        slot = declare_local(target.name);
+      }
+      if (compound) {
+        emit(Op::kLoadLocal, slot.value());
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+        CYCADA_RETURN_IF_ERROR(compile_binary_op(op));
+      } else {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+      }
+      emit(Op::kStoreLocal, slot.value());
+      return Status::ok();
+    }
+    if (target.type == Node::Type::kIndex) {
+      // NOTE: object and index expressions are evaluated twice for compound
+      // assignment; side effects there are unsupported (our workloads use
+      // plain variables and literals).
+      if (target.kids[0]->type == Node::Type::kIdent) {
+        auto slot = local_slot(target.kids[0]->name);
+        if (slot.is_ok()) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*target.kids[1]));
+          if (compound) {
+            CYCADA_RETURN_IF_ERROR(compile_expr(*target.kids[1]));
+            emit(Op::kIndexGetLocal, slot.value());
+            CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+            CYCADA_RETURN_IF_ERROR(compile_binary_op(op));
+          } else {
+            CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+          }
+          emit(Op::kIndexSetLocal, slot.value());
+          return Status::ok();
+        }
+      }
+      CYCADA_RETURN_IF_ERROR(compile_expr(*target.kids[0]));
+      CYCADA_RETURN_IF_ERROR(compile_expr(*target.kids[1]));
+      if (compound) {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*target.kids[0]));
+        CYCADA_RETURN_IF_ERROR(compile_expr(*target.kids[1]));
+        emit(Op::kIndexGet);
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+        CYCADA_RETURN_IF_ERROR(compile_binary_op(op));
+      } else {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[1]));
+      }
+      emit(Op::kIndexSet);
+      return Status::ok();
+    }
+    return Status::invalid_argument("bad assignment target");
+  }
+
+  Status compile_call(const Node& node) {
+    const Node& callee = *node.kids[0];
+    const int argc = static_cast<int>(node.kids.size()) - 1;
+
+    if (callee.type == Node::Type::kMember &&
+        callee.kids[0]->type == Node::Type::kIdent) {
+      const std::string qualified = callee.kids[0]->name + "." + callee.name;
+      if (auto builtin = lookup_builtin(qualified)) {
+        for (int i = 0; i < argc; ++i) {
+          CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[i + 1]));
+        }
+        emit(Op::kCallBuiltin, static_cast<int>(*builtin), argc);
+        return Status::ok();
+      }
+    }
+    if (callee.type == Node::Type::kMember) {
+      CYCADA_RETURN_IF_ERROR(compile_expr(*callee.kids[0]));
+      for (int i = 0; i < argc; ++i) {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[i + 1]));
+      }
+      emit(Op::kCallMethod, name_index(callee.name), argc);
+      return Status::ok();
+    }
+    if (callee.type != Node::Type::kIdent) {
+      return Status::invalid_argument("cannot call this expression");
+    }
+    if (auto builtin = lookup_builtin(callee.name)) {
+      for (int i = 0; i < argc; ++i) {
+        CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[i + 1]));
+      }
+      emit(Op::kCallBuiltin, static_cast<int>(*builtin), argc);
+      return Status::ok();
+    }
+    auto fn = function_indices_.find(callee.name);
+    if (fn == function_indices_.end()) {
+      return Status::not_found("no function named " + callee.name);
+    }
+    for (int i = 0; i < argc; ++i) {
+      CYCADA_RETURN_IF_ERROR(compile_expr(*node.kids[i + 1]));
+    }
+    emit(Op::kCall, fn->second, argc);
+    return Status::ok();
+  }
+};
+
+bool loose_equals(const Value& lhs, const Value& rhs) {
+  if (lhs.is_string() && rhs.is_string()) {
+    return lhs.as_string() == rhs.as_string();
+  }
+  if (lhs.is_undefined() || rhs.is_undefined()) {
+    return lhs.is_undefined() && rhs.is_undefined();
+  }
+  return lhs.to_number() == rhs.to_number();
+}
+
+}  // namespace
+
+StatusOr<BytecodeProgram> compile_program(const Node& program) {
+  Compiler compiler;
+  return compiler.compile(program);
+}
+
+std::vector<Value> BytecodeVm::acquire_frame_vector() {
+  if (frame_pool_.empty()) {
+    std::vector<Value> fresh;
+    fresh.reserve(32);
+    return fresh;
+  }
+  std::vector<Value> recycled = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  recycled.clear();
+  return recycled;
+}
+
+void BytecodeVm::release_frame_vector(std::vector<Value> v) {
+  if (frame_pool_.size() < 64) frame_pool_.push_back(std::move(v));
+}
+
+StatusOr<Value> BytecodeVm::call_function(int index, std::vector<Value> args) {
+  if (++depth_ > 512) {
+    --depth_;
+    return Status::resource_exhausted("call stack exceeded");
+  }
+  const CompiledFunction& fn = program_.functions[index];
+  std::vector<Value> locals = acquire_frame_vector();
+  locals.resize(static_cast<std::size_t>(fn.num_locals));
+  for (int i = 0; i < fn.num_params && i < static_cast<int>(args.size());
+       ++i) {
+    locals[i] = std::move(args[i]);
+  }
+  std::vector<Value> stack = acquire_frame_vector();
+
+  const auto pop = [&]() {
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  std::size_t pc = 0;
+  while (pc < fn.code.size()) {
+    const Instr& instr = fn.code[pc++];
+    switch (instr.op) {
+      case Op::kConst: stack.push_back(fn.constants[instr.a]); break;
+      case Op::kLoadLocal: stack.push_back(locals[instr.a]); break;
+      case Op::kStoreLocal: locals[instr.a] = stack.back(); break;
+      case Op::kPop: stack.pop_back(); break;
+      case Op::kDup: stack.push_back(stack.back()); break;
+      case Op::kAdd: {
+        Value b = pop();
+        Value& a = stack.back();
+        if (a.is_number() && b.is_number()) {
+          a = Value::number(a.as_number() + b.as_number());
+        } else {
+          a = Value::string(a.to_string() + b.to_string());
+        }
+        break;
+      }
+      case Op::kSub: {
+        Value b = pop();
+        Value& a = stack.back();
+        a = Value::number(a.to_number() - b.to_number());
+        break;
+      }
+      case Op::kMul: {
+        Value b = pop();
+        Value& a = stack.back();
+        a = Value::number(a.to_number() * b.to_number());
+        break;
+      }
+      case Op::kDiv: {
+        Value b = pop();
+        Value& a = stack.back();
+        a = Value::number(a.to_number() / b.to_number());
+        break;
+      }
+      case Op::kMod: {
+        Value b = pop();
+        Value& a = stack.back();
+        a = Value::number(std::fmod(a.to_number(), b.to_number()));
+        break;
+      }
+      case Op::kNeg: stack.back() = Value::number(-stack.back().to_number()); break;
+      case Op::kNot: stack.back() = Value::boolean(!stack.back().to_bool()); break;
+      case Op::kBitNot:
+        stack.back() = Value::number(~to_int32(stack.back().to_number()));
+        break;
+      case Op::kBitAnd: {
+        Value b = pop();
+        stack.back() = Value::number(to_int32(stack.back().to_number()) &
+                                     to_int32(b.to_number()));
+        break;
+      }
+      case Op::kBitOr: {
+        Value b = pop();
+        stack.back() = Value::number(to_int32(stack.back().to_number()) |
+                                     to_int32(b.to_number()));
+        break;
+      }
+      case Op::kBitXor: {
+        Value b = pop();
+        stack.back() = Value::number(to_int32(stack.back().to_number()) ^
+                                     to_int32(b.to_number()));
+        break;
+      }
+      case Op::kShl: {
+        Value b = pop();
+        stack.back() = Value::number(to_int32(stack.back().to_number())
+                                     << (to_uint32(b.to_number()) & 31));
+        break;
+      }
+      case Op::kShr: {
+        Value b = pop();
+        stack.back() = Value::number(to_int32(stack.back().to_number()) >>
+                                     (to_uint32(b.to_number()) & 31));
+        break;
+      }
+      case Op::kUShr: {
+        Value b = pop();
+        stack.back() = Value::number(to_uint32(stack.back().to_number()) >>
+                                     (to_uint32(b.to_number()) & 31));
+        break;
+      }
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe: {
+        Value b = pop();
+        Value& a = stack.back();
+        int c;
+        if (a.is_string() && b.is_string()) {
+          c = a.as_string().compare(b.as_string());
+          c = c < 0 ? -1 : (c > 0 ? 1 : 0);
+        } else {
+          const double x = a.to_number();
+          const double y = b.to_number();
+          c = x < y ? -1 : (x > y ? 1 : 0);
+        }
+        bool result = false;
+        switch (instr.op) {
+          case Op::kLt: result = c < 0; break;
+          case Op::kLe: result = c <= 0; break;
+          case Op::kGt: result = c > 0; break;
+          default: result = c >= 0; break;
+        }
+        a = Value::boolean(result);
+        break;
+      }
+      case Op::kEq: {
+        Value b = pop();
+        stack.back() = Value::boolean(loose_equals(stack.back(), b));
+        break;
+      }
+      case Op::kNe: {
+        Value b = pop();
+        stack.back() = Value::boolean(!loose_equals(stack.back(), b));
+        break;
+      }
+      case Op::kJump: pc = static_cast<std::size_t>(instr.a); break;
+      case Op::kJumpIfCmpFalse: {
+        const int cmp = (instr.b >> 28) & 0x7;
+        const bool rhs_const = (instr.b >> 27) & 1;
+        const int lhs_slot = (instr.b >> 14) & 0x1fff;
+        const int rhs_index = instr.b & 0x3fff;
+        const Value& lhs = locals[lhs_slot];
+        const Value& rhs =
+            rhs_const ? fn.constants[rhs_index] : locals[rhs_index];
+        bool truth;
+        if (lhs.is_number() && rhs.is_number()) {
+          const double a = lhs.as_number();
+          const double b = rhs.as_number();
+          switch (cmp) {
+            case 0: truth = a < b; break;
+            case 1: truth = a <= b; break;
+            case 2: truth = a > b; break;
+            case 3: truth = a >= b; break;
+            case 4: truth = a == b; break;
+            default: truth = a != b; break;
+          }
+        } else {
+          int c;
+          if (lhs.is_string() && rhs.is_string()) {
+            const int raw = lhs.as_string().compare(rhs.as_string());
+            c = raw < 0 ? -1 : (raw > 0 ? 1 : 0);
+          } else {
+            const double a = lhs.to_number();
+            const double b = rhs.to_number();
+            c = a < b ? -1 : (a > b ? 1 : 0);
+          }
+          switch (cmp) {
+            case 0: truth = c < 0; break;
+            case 1: truth = c <= 0; break;
+            case 2: truth = c > 0; break;
+            case 3: truth = c >= 0; break;
+            case 4: truth = loose_equals(lhs, rhs); break;
+            default: truth = !loose_equals(lhs, rhs); break;
+          }
+        }
+        if (!truth) pc = static_cast<std::size_t>(instr.a);
+        break;
+      }
+      case Op::kJumpIfFalse: {
+        const bool taken = !pop().to_bool();
+        if (taken) pc = static_cast<std::size_t>(instr.a);
+        break;
+      }
+      case Op::kJumpIfTrue: {
+        const bool taken = pop().to_bool();
+        if (taken) pc = static_cast<std::size_t>(instr.a);
+        break;
+      }
+      case Op::kCall: {
+        std::vector<Value> call_args(static_cast<std::size_t>(instr.b));
+        for (int i = instr.b - 1; i >= 0; --i) call_args[i] = pop();
+        auto result = call_function(instr.a, std::move(call_args));
+        CYCADA_RETURN_IF_ERROR(result.status());
+        stack.push_back(std::move(result.value()));
+        break;
+      }
+      case Op::kCallBuiltin: {
+        std::vector<Value> call_args(static_cast<std::size_t>(instr.b));
+        for (int i = instr.b - 1; i >= 0; --i) call_args[i] = pop();
+        stack.push_back(
+            host_.call(static_cast<Builtin>(instr.a), call_args));
+        break;
+      }
+      case Op::kCallMethod: {
+        std::vector<Value> call_args(static_cast<std::size_t>(instr.b));
+        for (int i = instr.b - 1; i >= 0; --i) call_args[i] = pop();
+        Value receiver = pop();
+        stack.push_back(BuiltinHost::call_method(
+            receiver, program_.names[instr.a], call_args));
+        break;
+      }
+      case Op::kMember: {
+        stack.back() =
+            BuiltinHost::get_member(stack.back(), program_.names[instr.a]);
+        break;
+      }
+      case Op::kNewArray: {
+        Value array = Value::array();
+        auto& elements = array.as_array();
+        elements.resize(static_cast<std::size_t>(instr.a));
+        for (int i = instr.a - 1; i >= 0; --i) elements[i] = pop();
+        stack.push_back(std::move(array));
+        break;
+      }
+      case Op::kIndexGet: {
+        Value index = pop();
+        Value& object = stack.back();
+        if (object.is_array()) {
+          const auto& elements = object.as_array();
+          const auto i = static_cast<std::size_t>(index.to_number());
+          object = i < elements.size() ? elements[i] : Value();
+        } else if (object.is_string()) {
+          const std::string& s = object.as_string();
+          const auto i = static_cast<std::size_t>(index.to_number());
+          object = i < s.size() ? Value::string(std::string(1, s[i]))
+                                : Value();
+        } else {
+          --depth_;
+          return Status::invalid_argument("cannot index this value");
+        }
+        break;
+      }
+      case Op::kIndexSet: {
+        Value value = pop();
+        Value index = pop();
+        Value object = pop();
+        if (!object.is_array()) {
+          --depth_;
+          return Status::invalid_argument("indexed assignment needs array");
+        }
+        auto& elements = object.as_array();
+        const auto i = static_cast<std::size_t>(index.to_number());
+        if (i >= elements.size()) elements.resize(i + 1);
+        elements[i] = value;
+        stack.push_back(std::move(value));
+        break;
+      }
+      case Op::kIndexGetLocal: {
+        Value& object = locals[instr.a];
+        const auto i =
+            static_cast<std::size_t>(stack.back().to_number());
+        if (object.is_array()) {
+          const auto& elements = object.as_array();
+          stack.back() = i < elements.size() ? elements[i] : Value();
+        } else if (object.is_string()) {
+          const std::string& s = object.as_string();
+          stack.back() =
+              i < s.size() ? Value::string(std::string(1, s[i])) : Value();
+        } else {
+          --depth_;
+          return Status::invalid_argument("cannot index this value");
+        }
+        break;
+      }
+      case Op::kIndexSetLocal: {
+        Value value = pop();
+        const auto i = static_cast<std::size_t>(pop().to_number());
+        Value& object = locals[instr.a];
+        if (!object.is_array()) {
+          --depth_;
+          return Status::invalid_argument("indexed assignment needs array");
+        }
+        auto& elements = object.as_array();
+        if (i >= elements.size()) elements.resize(i + 1);
+        elements[i] = value;
+        stack.push_back(std::move(value));
+        break;
+      }
+      case Op::kIncLocal:
+        locals[instr.a] = Value::number(locals[instr.a].to_number() + 1);
+        break;
+      case Op::kDecLocal:
+        locals[instr.a] = Value::number(locals[instr.a].to_number() - 1);
+        break;
+      case Op::kReturn: {
+        Value result = pop();
+        --depth_;
+        release_frame_vector(std::move(locals));
+        release_frame_vector(std::move(stack));
+        return result;
+      }
+      case Op::kReturnUndef:
+        --depth_;
+        release_frame_vector(std::move(locals));
+        release_frame_vector(std::move(stack));
+        return Value();
+    }
+  }
+  --depth_;
+  return Value();
+}
+
+StatusOr<Value> BytecodeVm::run() { return call_function(0, {}); }
+
+StatusOr<Value> compile_and_run_program(const Node& program,
+                                        BuiltinHost& host) {
+  auto compiled = compile_program(program);
+  CYCADA_RETURN_IF_ERROR(compiled.status());
+  BytecodeVm vm(compiled.value(), host);
+  return vm.run();
+}
+
+}  // namespace cycada::jsvm

@@ -1,0 +1,93 @@
+// The baseline-JIT tier: AST is compiled once into compact bytecode with
+// identifiers resolved to local slots and builtins resolved to ids; the VM
+// is a switch-dispatch stack machine with an unboxed-double fast path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jsvm/ast.h"
+#include "jsvm/builtins.h"
+#include "jsvm/value.h"
+#include "util/status.h"
+
+namespace cycada::jsvm {
+
+enum class Op : std::uint8_t {
+  kConst,        // push constants[a]
+  kLoadLocal,    // push locals[a]
+  kStoreLocal,   // locals[a] = top (peek)
+  kPop,
+  kDup,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kNeg, kNot, kBitNot,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr, kUShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kJump,         // pc = a
+  kJumpIfFalse,  // pop; if falsy pc = a
+  kJumpIfTrue,   // pop; if truthy pc = a
+  // Fused loop-condition branch: compare locals[lhs] with locals[rhs] or
+  // constants[rhs]; jump to a when the comparison is FALSE. b packs
+  // (cmp<<28 | rhs_is_const<<27 | lhs<<14 | rhs). cmp: 0 '<' 1 '<=' 2 '>'
+  // 3 '>=' 4 '==' 5 '!='.
+  kJumpIfCmpFalse,
+  kCall,         // call functions[a] with b args (popped); push result
+  kCallBuiltin,  // call builtin a with b args; push result
+  kCallMethod,   // receiver + b args on stack; method name = names[a]
+  kMember,       // property names[a] of top
+  kNewArray,     // pop a elements; push array
+  kIndexGet,     // pop index, object; push element
+  kIndexSet,     // pop value, index, object; push value
+  kIndexGetLocal,  // pop index; push locals[a][index] (array fast path)
+  kIndexSetLocal,  // pop value, index; locals[a][index] = value; push value
+  kIncLocal,     // ++locals[a] (statement form)
+  kDecLocal,
+  kReturn,       // pop return value
+  kReturnUndef,
+};
+
+struct Instr {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+struct CompiledFunction {
+  std::string name;
+  int num_params = 0;
+  int num_locals = 0;
+  std::vector<Instr> code;
+  std::vector<Value> constants;
+};
+
+struct BytecodeProgram {
+  // functions[0] is the top level.
+  std::vector<CompiledFunction> functions;
+  std::vector<std::string> names;  // method / property names
+};
+
+StatusOr<BytecodeProgram> compile_program(const Node& program);
+
+class BytecodeVm {
+ public:
+  explicit BytecodeVm(const BytecodeProgram& program, BuiltinHost& host)
+      : program_(program), host_(host) {}
+
+  // Runs the top level; returns the value of the last expression statement.
+  StatusOr<Value> run();
+
+ private:
+  StatusOr<Value> call_function(int index, std::vector<Value> args);
+  std::vector<Value> acquire_frame_vector();
+  void release_frame_vector(std::vector<Value> v);
+
+  const BytecodeProgram& program_;
+  BuiltinHost& host_;
+  Value last_value_;
+  int depth_ = 0;
+  // Recycled locals/stack vectors (compiled-code frames are cheap).
+  std::vector<std::vector<Value>> frame_pool_;
+};
+
+}  // namespace cycada::jsvm

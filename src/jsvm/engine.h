@@ -1,0 +1,45 @@
+// Public JavaScript engine API. Two execution tiers:
+//   * JIT enabled (default): AST -> bytecode with resolved local slots and
+//     opcode dispatch, plus a compiled-regex cache — the "baseline JIT"
+//     configuration.
+//   * JIT disabled: a naive AST-walking interpreter with string-keyed
+//     environments and no regex cache — the configuration Cycada iOS is
+//     stuck with because of the Mach VM bug (paper §9, Figure 5).
+#pragma once
+
+#include <string_view>
+
+#include "jsvm/ast.h"
+#include "jsvm/builtins.h"
+#include "jsvm/value.h"
+#include "util/status.h"
+
+namespace cycada::jsvm {
+
+struct JsOptions {
+  bool jit_enabled = true;
+  std::uint64_t seed = 42;
+};
+
+class JsEngine {
+ public:
+  explicit JsEngine(JsOptions options = {});
+
+  // Parses and runs a program. The result is the value of the last
+  // top-level expression statement.
+  StatusOr<Value> run(std::string_view source);
+
+  bool jit_enabled() const { return options_.jit_enabled; }
+  std::uint64_t regex_compiles() const { return host_.regex_compiles(); }
+
+ private:
+  JsOptions options_;
+  BuiltinHost host_;
+};
+
+// Implementation entry points (exposed for targeted tests).
+StatusOr<Value> interpret_program(const Node& program, BuiltinHost& host);
+StatusOr<Value> compile_and_run_program(const Node& program,
+                                        BuiltinHost& host);
+
+}  // namespace cycada::jsvm

@@ -1,0 +1,497 @@
+// The naive AST-walking interpreter: boxed values, per-block environment
+// records with string-keyed lookup walking the scope chain, operator
+// dispatch on spelling. Deliberately representative of a JavaScript engine
+// running with its JIT disabled.
+#include <cmath>
+#include <map>
+
+#include "jsvm/engine.h"
+#include "jsvm/parser.h"
+
+namespace cycada::jsvm {
+
+namespace {
+
+std::int32_t to_int32(double v) {
+  if (std::isnan(v) || std::isinf(v)) return 0;
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(v));
+}
+std::uint32_t to_uint32(double v) {
+  return static_cast<std::uint32_t>(to_int32(v));
+}
+
+class Interpreter {
+ public:
+  Interpreter(const Node& program, BuiltinHost& host)
+      : program_(program), host_(host) {
+    for (const NodePtr& kid : program.kids) {
+      if (kid->type == Node::Type::kFunction) {
+        functions_[kid->name] = kid.get();
+      }
+    }
+  }
+
+  StatusOr<Value> run() {
+    scopes_.emplace_back();  // globals
+    frame_base_.push_back(0);
+    for (const NodePtr& kid : program_.kids) {
+      if (kid->type == Node::Type::kFunction) continue;
+      CYCADA_RETURN_IF_ERROR(exec(*kid));
+      if (flow_ != Flow::kNormal) break;
+    }
+    return last_value_;
+  }
+
+ private:
+  using Scope = std::map<std::string, Value>;
+  enum class Flow { kNormal, kReturn, kBreak, kContinue };
+
+  // RAII environment record for a block.
+  class ScopeGuard {
+   public:
+    explicit ScopeGuard(Interpreter& interp) : interp_(interp) {
+      interp_.scopes_.emplace_back();
+    }
+    ~ScopeGuard() { interp_.scopes_.pop_back(); }
+
+   private:
+    Interpreter& interp_;
+  };
+
+  // Walks the scope chain from the innermost record to the current frame
+  // base, then falls through to the global record.
+  Value* lookup(const std::string& name) {
+    const std::size_t base = frame_base_.back();
+    for (std::size_t i = scopes_.size(); i-- > base;) {
+      auto it = scopes_[i].find(name);
+      if (it != scopes_[i].end()) return &it->second;
+    }
+    if (base > 0) {
+      auto it = scopes_[0].find(name);
+      if (it != scopes_[0].end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  Value& declare(const std::string& name, Value value) {
+    return scopes_.back()[name] = std::move(value);
+  }
+
+  Status exec(const Node& node) {
+    switch (node.type) {
+      case Node::Type::kBlock: {
+        ScopeGuard scope(*this);
+        for (const NodePtr& kid : node.kids) {
+          CYCADA_RETURN_IF_ERROR(exec(*kid));
+          if (flow_ != Flow::kNormal) return Status::ok();
+        }
+        return Status::ok();
+      }
+      case Node::Type::kVarGroup:
+        for (const NodePtr& kid : node.kids) {
+          CYCADA_RETURN_IF_ERROR(exec(*kid));
+        }
+        return Status::ok();
+      case Node::Type::kVarDecl: {
+        Value init;
+        if (!node.kids.empty()) {
+          auto value = eval(*node.kids[0]);
+          CYCADA_RETURN_IF_ERROR(value.status());
+          init = value.value();
+        }
+        declare(node.name, std::move(init));
+        return Status::ok();
+      }
+      case Node::Type::kExprStmt: {
+        auto value = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(value.status());
+        last_value_ = value.value();
+        return Status::ok();
+      }
+      case Node::Type::kIf: {
+        auto cond = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(cond.status());
+        if (cond->to_bool()) return exec(*node.kids[1]);
+        if (node.kids.size() > 2) return exec(*node.kids[2]);
+        return Status::ok();
+      }
+      case Node::Type::kFor: {
+        // The init's `var` lands in the enclosing record (JS var
+        // semantics); the body block gets a fresh record per iteration.
+        CYCADA_RETURN_IF_ERROR(exec(*node.kids[0]));
+        for (;;) {
+          auto cond = eval(*node.kids[1]);
+          CYCADA_RETURN_IF_ERROR(cond.status());
+          if (!cond->to_bool()) break;
+          ++loop_depth_;
+          const Status body_status = exec(*node.kids[3]);
+          --loop_depth_;
+          CYCADA_RETURN_IF_ERROR(body_status);
+          if (flow_ == Flow::kBreak) {
+            flow_ = Flow::kNormal;
+            break;
+          }
+          if (flow_ == Flow::kContinue) flow_ = Flow::kNormal;
+          if (flow_ != Flow::kNormal) return Status::ok();
+          CYCADA_RETURN_IF_ERROR(exec(*node.kids[2]));
+        }
+        return Status::ok();
+      }
+      case Node::Type::kWhile: {
+        for (;;) {
+          auto cond = eval(*node.kids[0]);
+          CYCADA_RETURN_IF_ERROR(cond.status());
+          if (!cond->to_bool()) break;
+          ++loop_depth_;
+          const Status body_status = exec(*node.kids[1]);
+          --loop_depth_;
+          CYCADA_RETURN_IF_ERROR(body_status);
+          if (flow_ == Flow::kBreak) {
+            flow_ = Flow::kNormal;
+            break;
+          }
+          if (flow_ == Flow::kContinue) flow_ = Flow::kNormal;
+          if (flow_ != Flow::kNormal) return Status::ok();
+        }
+        return Status::ok();
+      }
+      case Node::Type::kReturn: {
+        if (!node.kids.empty()) {
+          auto value = eval(*node.kids[0]);
+          CYCADA_RETURN_IF_ERROR(value.status());
+          return_value_ = value.value();
+        } else {
+          return_value_ = Value();
+        }
+        flow_ = Flow::kReturn;
+        return Status::ok();
+      }
+      case Node::Type::kBreak:
+        if (loop_depth_ == 0) {
+          return Status::invalid_argument("break outside a loop");
+        }
+        flow_ = Flow::kBreak;
+        return Status::ok();
+      case Node::Type::kContinue:
+        if (loop_depth_ == 0) {
+          return Status::invalid_argument("continue outside a loop");
+        }
+        flow_ = Flow::kContinue;
+        return Status::ok();
+      case Node::Type::kFunction:
+        return Status::ok();  // hoisted at construction
+      default: {
+        auto value = eval(node);
+        CYCADA_RETURN_IF_ERROR(value.status());
+        last_value_ = value.value();
+        return Status::ok();
+      }
+    }
+  }
+
+  StatusOr<Value> eval(const Node& node) {
+    switch (node.type) {
+      case Node::Type::kNumber: return Value::number(node.num);
+      case Node::Type::kString: return Value::string(node.str);
+      case Node::Type::kBoolLit: return Value::boolean(node.num != 0);
+      case Node::Type::kIdent: {
+        if (node.name == "undefined") return Value();
+        if (Value* slot = lookup(node.name)) return *slot;
+        return Status::not_found("undefined variable '" + node.name + "'");
+      }
+      case Node::Type::kArrayLit: {
+        Value array = Value::array();
+        for (const NodePtr& kid : node.kids) {
+          auto element = eval(*kid);
+          CYCADA_RETURN_IF_ERROR(element.status());
+          array.as_array().push_back(element.value());
+        }
+        return array;
+      }
+      case Node::Type::kIndex: {
+        auto object = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(object.status());
+        auto index = eval(*node.kids[1]);
+        CYCADA_RETURN_IF_ERROR(index.status());
+        return index_get(object.value(), index.value());
+      }
+      case Node::Type::kMember: {
+        auto object = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(object.status());
+        return BuiltinHost::get_member(object.value(), node.name);
+      }
+      case Node::Type::kCall: return eval_call(node);
+      case Node::Type::kUnary: {
+        auto operand = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(operand.status());
+        if (node.op == "-") return Value::number(-operand->to_number());
+        if (node.op == "+") return Value::number(operand->to_number());
+        if (node.op == "!") return Value::boolean(!operand->to_bool());
+        if (node.op == "~") {
+          return Value::number(~to_int32(operand->to_number()));
+        }
+        return Status::invalid_argument("bad unary op " + node.op);
+      }
+      case Node::Type::kBinary: {
+        auto lhs = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(lhs.status());
+        auto rhs = eval(*node.kids[1]);
+        CYCADA_RETURN_IF_ERROR(rhs.status());
+        return binary_op(node.op, lhs.value(), rhs.value());
+      }
+      case Node::Type::kLogical: {
+        auto lhs = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(lhs.status());
+        if (node.op == "&&") {
+          if (!lhs->to_bool()) return lhs;
+          return eval(*node.kids[1]);
+        }
+        if (lhs->to_bool()) return lhs;
+        return eval(*node.kids[1]);
+      }
+      case Node::Type::kTernary: {
+        auto cond = eval(*node.kids[0]);
+        CYCADA_RETURN_IF_ERROR(cond.status());
+        return eval(cond->to_bool() ? *node.kids[1] : *node.kids[2]);
+      }
+      case Node::Type::kAssign: return eval_assign(node);
+      case Node::Type::kPostfix:
+      case Node::Type::kPrefix: {
+        const Node& target = *node.kids[0];
+        if (target.type != Node::Type::kIdent) {
+          return Status::invalid_argument("++/-- needs a variable");
+        }
+        Value* slot = lookup(target.name);
+        if (slot == nullptr) {
+          return Status::not_found("undefined variable " + target.name);
+        }
+        const double old_value = slot->to_number();
+        const double new_value =
+            node.op == "++" ? old_value + 1 : old_value - 1;
+        *slot = Value::number(new_value);
+        return Value::number(node.type == Node::Type::kPostfix ? old_value
+                                                               : new_value);
+      }
+      default:
+        return Status::invalid_argument("cannot evaluate node");
+    }
+  }
+
+  static StatusOr<Value> index_get(const Value& object, const Value& index) {
+    if (object.is_array()) {
+      const auto& array = object.as_array();
+      const auto i = static_cast<std::size_t>(index.to_number());
+      return i < array.size() ? array[i] : Value();
+    }
+    if (object.is_string()) {
+      const std::string& s = object.as_string();
+      const auto i = static_cast<std::size_t>(index.to_number());
+      return i < s.size() ? Value::string(std::string(1, s[i])) : Value();
+    }
+    return Status::invalid_argument("cannot index this value");
+  }
+
+  static StatusOr<Value> binary_op(const std::string& op, const Value& lhs,
+                                   const Value& rhs) {
+    if (op == "+") {
+      if (lhs.is_string() || rhs.is_string()) {
+        return Value::string(lhs.to_string() + rhs.to_string());
+      }
+      return Value::number(lhs.to_number() + rhs.to_number());
+    }
+    if (op == "-") return Value::number(lhs.to_number() - rhs.to_number());
+    if (op == "*") return Value::number(lhs.to_number() * rhs.to_number());
+    if (op == "/") return Value::number(lhs.to_number() / rhs.to_number());
+    if (op == "%") {
+      return Value::number(std::fmod(lhs.to_number(), rhs.to_number()));
+    }
+    if (op == "<") return compare(lhs, rhs, [](int c) { return c < 0; });
+    if (op == ">") return compare(lhs, rhs, [](int c) { return c > 0; });
+    if (op == "<=") return compare(lhs, rhs, [](int c) { return c <= 0; });
+    if (op == ">=") return compare(lhs, rhs, [](int c) { return c >= 0; });
+    if (op == "==" || op == "===") {
+      return Value::boolean(loose_equals(lhs, rhs));
+    }
+    if (op == "!=" || op == "!==") {
+      return Value::boolean(!loose_equals(lhs, rhs));
+    }
+    if (op == "&") {
+      return Value::number(to_int32(lhs.to_number()) &
+                           to_int32(rhs.to_number()));
+    }
+    if (op == "|") {
+      return Value::number(to_int32(lhs.to_number()) |
+                           to_int32(rhs.to_number()));
+    }
+    if (op == "^") {
+      return Value::number(to_int32(lhs.to_number()) ^
+                           to_int32(rhs.to_number()));
+    }
+    if (op == "<<") {
+      return Value::number(to_int32(lhs.to_number())
+                           << (to_uint32(rhs.to_number()) & 31));
+    }
+    if (op == ">>") {
+      return Value::number(to_int32(lhs.to_number()) >>
+                           (to_uint32(rhs.to_number()) & 31));
+    }
+    if (op == ">>>") {
+      return Value::number(to_uint32(lhs.to_number()) >>
+                           (to_uint32(rhs.to_number()) & 31));
+    }
+    return Status::invalid_argument("bad binary op " + op);
+  }
+
+  template <typename Pred>
+  static Value compare(const Value& lhs, const Value& rhs, Pred pred) {
+    if (lhs.is_string() && rhs.is_string()) {
+      const int c = lhs.as_string().compare(rhs.as_string());
+      return Value::boolean(pred(c < 0 ? -1 : (c > 0 ? 1 : 0)));
+    }
+    const double a = lhs.to_number();
+    const double b = rhs.to_number();
+    return Value::boolean(pred(a < b ? -1 : (a > b ? 1 : 0)));
+  }
+
+  static bool loose_equals(const Value& lhs, const Value& rhs) {
+    if (lhs.is_string() && rhs.is_string()) {
+      return lhs.as_string() == rhs.as_string();
+    }
+    if (lhs.is_undefined() || rhs.is_undefined()) {
+      return lhs.is_undefined() && rhs.is_undefined();
+    }
+    return lhs.to_number() == rhs.to_number();
+  }
+
+  StatusOr<Value> eval_assign(const Node& node) {
+    const Node& target = *node.kids[0];
+    auto rhs = eval(*node.kids[1]);
+    CYCADA_RETURN_IF_ERROR(rhs.status());
+    Value value = rhs.value();
+
+    const auto combine = [&](const Value& current) -> StatusOr<Value> {
+      if (node.op == "=") return value;
+      const std::string op = node.op.substr(0, node.op.size() - 1);
+      return binary_op(op, current, value);
+    };
+
+    if (target.type == Node::Type::kIdent) {
+      Value* slot = lookup(target.name);
+      if (slot == nullptr) slot = &declare(target.name, Value());
+      auto combined = combine(*slot);
+      CYCADA_RETURN_IF_ERROR(combined.status());
+      *slot = combined.value();
+      return combined.value();
+    }
+    if (target.type == Node::Type::kIndex) {
+      auto object = eval(*target.kids[0]);
+      CYCADA_RETURN_IF_ERROR(object.status());
+      auto index = eval(*target.kids[1]);
+      CYCADA_RETURN_IF_ERROR(index.status());
+      if (!object->is_array()) {
+        return Status::invalid_argument("indexed assignment needs an array");
+      }
+      auto& array = object->as_array();
+      const auto i = static_cast<std::size_t>(index->to_number());
+      if (i >= array.size()) array.resize(i + 1);
+      auto combined = combine(array[i]);
+      CYCADA_RETURN_IF_ERROR(combined.status());
+      array[i] = combined.value();
+      return combined.value();
+    }
+    return Status::invalid_argument("bad assignment target");
+  }
+
+  StatusOr<Value> eval_call(const Node& node) {
+    const Node& callee = *node.kids[0];
+    std::vector<Value> args;
+    args.reserve(node.kids.size() - 1);
+    for (std::size_t i = 1; i < node.kids.size(); ++i) {
+      auto arg = eval(*node.kids[i]);
+      CYCADA_RETURN_IF_ERROR(arg.status());
+      args.push_back(arg.value());
+    }
+
+    if (callee.type == Node::Type::kMember) {
+      if (callee.kids[0]->type == Node::Type::kIdent) {
+        const std::string qualified =
+            callee.kids[0]->name + "." + callee.name;
+        if (auto builtin = lookup_builtin(qualified)) {
+          return host_.call(*builtin, args);
+        }
+      }
+      auto receiver = eval(*callee.kids[0]);
+      CYCADA_RETURN_IF_ERROR(receiver.status());
+      return BuiltinHost::call_method(receiver.value(), callee.name, args);
+    }
+
+    if (callee.type != Node::Type::kIdent) {
+      return Status::invalid_argument("cannot call this expression");
+    }
+    if (auto builtin = lookup_builtin(callee.name)) {
+      return host_.call(*builtin, args);
+    }
+    auto fn = functions_.find(callee.name);
+    if (fn == functions_.end()) {
+      return Status::not_found("no function named " + callee.name);
+    }
+    if (++call_depth_ > 512) {
+      --call_depth_;
+      return Status::resource_exhausted("call stack exceeded");
+    }
+    const Node& params = *fn->second->kids[0];
+    const Node& body = *fn->second->kids[1];
+    // New activation: a fresh environment record that becomes the frame
+    // base (lookups stop here, then fall through to globals).
+    scopes_.emplace_back();
+    frame_base_.push_back(scopes_.size() - 1);
+    for (std::size_t i = 0; i < params.kids.size(); ++i) {
+      scopes_.back()[params.kids[i]->name] =
+          i < args.size() ? args[i] : Value();
+    }
+    flow_ = Flow::kNormal;
+    const int saved_loop_depth = loop_depth_;
+    loop_depth_ = 0;
+    const Status status = exec(body);
+    loop_depth_ = saved_loop_depth;
+    frame_base_.pop_back();
+    scopes_.pop_back();
+    --call_depth_;
+    CYCADA_RETURN_IF_ERROR(status);
+    Value result = flow_ == Flow::kReturn ? return_value_ : Value();
+    flow_ = Flow::kNormal;
+    return result;
+  }
+
+  const Node& program_;
+  BuiltinHost& host_;
+  std::map<std::string, const Node*> functions_;
+  std::vector<Scope> scopes_;
+  std::vector<std::size_t> frame_base_;
+  Flow flow_ = Flow::kNormal;
+  int loop_depth_ = 0;
+  Value return_value_;
+  Value last_value_;
+  int call_depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> interpret_program(const Node& program, BuiltinHost& host) {
+  Interpreter interpreter(program, host);
+  return interpreter.run();
+}
+
+JsEngine::JsEngine(JsOptions options)
+    : options_(options), host_(options.seed, options.jit_enabled) {}
+
+StatusOr<Value> JsEngine::run(std::string_view source) {
+  auto program = parse_program(source);
+  CYCADA_RETURN_IF_ERROR(program.status());
+  if (options_.jit_enabled) {
+    return compile_and_run_program(*program.value(), host_);
+  }
+  return interpret_program(*program.value(), host_);
+}
+
+}  // namespace cycada::jsvm

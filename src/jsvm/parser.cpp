@@ -1,0 +1,604 @@
+#include "jsvm/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cycada::jsvm {
+
+namespace {
+
+enum class TokenType {
+  kEnd,
+  kNumber,
+  kString,
+  kIdent,
+  kKeyword,
+  kPunct,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  double num = 0.0;
+  std::string text;
+};
+
+bool is_keyword(std::string_view word) {
+  return word == "var" || word == "function" || word == "if" ||
+         word == "else" || word == "for" || word == "while" ||
+         word == "return" || word == "break" || word == "continue" ||
+         word == "true" || word == "false" ||
+         word == "undefined" || word == "new";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {
+    (void)advance();
+  }
+
+  const Token& current() const { return current_; }
+
+  Status advance() {
+    skip_whitespace_and_comments();
+    current_ = Token{};
+    if (pos_ >= source_.size()) {
+      current_.type = TokenType::kEnd;
+      return Status::ok();
+    }
+    const char c = source_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < source_.size() &&
+         std::isdigit(static_cast<unsigned char>(source_[pos_ + 1])))) {
+      return lex_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return lex_ident();
+    }
+    if (c == '"' || c == '\'') return lex_string(c);
+    return lex_punct();
+  }
+
+ private:
+  void skip_whitespace_and_comments() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < source_.size() &&
+               !(source_[pos_] == '*' && source_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, source_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status lex_number() {
+    const char* start = source_.data() + pos_;
+    char* end = nullptr;
+    // Hex literals and decimals both handled by strtod.
+    current_.num = std::strtod(start, &end);
+    if (end == start) return Status::invalid_argument("bad number literal");
+    pos_ += static_cast<std::size_t>(end - start);
+    current_.type = TokenType::kNumber;
+    return Status::ok();
+  }
+
+  Status lex_ident() {
+    const std::size_t start = pos_;
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_' || source_[pos_] == '$')) {
+      ++pos_;
+    }
+    current_.text = std::string(source_.substr(start, pos_ - start));
+    current_.type =
+        is_keyword(current_.text) ? TokenType::kKeyword : TokenType::kIdent;
+    return Status::ok();
+  }
+
+  Status lex_string(char quote) {
+    ++pos_;
+    std::string out;
+    while (pos_ < source_.size() && source_[pos_] != quote) {
+      char c = source_[pos_++];
+      if (c == '\\' && pos_ < source_.size()) {
+        const char esc = source_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '0': c = '\0'; break;
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= source_.size()) {
+      return Status::invalid_argument("unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    current_.type = TokenType::kString;
+    current_.text = std::move(out);
+    return Status::ok();
+  }
+
+  Status lex_punct() {
+    // Longest-match punctuation.
+    static constexpr std::string_view kThree[] = {">>>", "===", "!==", "<<=",
+                                                  ">>="};
+    static constexpr std::string_view kTwo[] = {
+        "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+        "*=", "/=", "%=", "|=", "&=", "^=", "<<", ">>"};
+    const std::string_view rest = source_.substr(pos_);
+    for (std::string_view p : kThree) {
+      if (rest.starts_with(p)) {
+        current_.text = std::string(p);
+        current_.type = TokenType::kPunct;
+        pos_ += p.size();
+        return Status::ok();
+      }
+    }
+    for (std::string_view p : kTwo) {
+      if (rest.starts_with(p)) {
+        current_.text = std::string(p);
+        current_.type = TokenType::kPunct;
+        pos_ += p.size();
+        return Status::ok();
+      }
+    }
+    current_.text = std::string(1, source_[pos_++]);
+    current_.type = TokenType::kPunct;
+    return Status::ok();
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) {}
+
+  StatusOr<NodePtr> parse() {
+    auto program = make_node(Node::Type::kProgram);
+    while (!at_end()) {
+      auto statement = parse_statement();
+      CYCADA_RETURN_IF_ERROR(statement.status());
+      program->kids.push_back(std::move(statement.value()));
+    }
+    return program;
+  }
+
+ private:
+  bool at_end() const { return lexer_.current().type == TokenType::kEnd; }
+  const Token& tok() const { return lexer_.current(); }
+  bool is_punct(std::string_view p) const {
+    return tok().type == TokenType::kPunct && tok().text == p;
+  }
+  bool is_keyword(std::string_view k) const {
+    return tok().type == TokenType::kKeyword && tok().text == k;
+  }
+  Status next() { return lexer_.advance(); }
+  Status expect_punct(std::string_view p) {
+    if (!is_punct(p)) {
+      return Status::invalid_argument("expected '" + std::string(p) +
+                                      "' near '" + tok().text + "'");
+    }
+    return next();
+  }
+
+  StatusOr<NodePtr> parse_statement() {
+    if (is_keyword("function")) return parse_function();
+    if (is_keyword("var")) return parse_var_decl();
+    if (is_keyword("if")) return parse_if();
+    if (is_keyword("for")) return parse_for();
+    if (is_keyword("while")) return parse_while();
+    if (is_keyword("return")) return parse_return();
+    if (is_keyword("break") || is_keyword("continue")) {
+      auto node = make_node(tok().text == "break" ? Node::Type::kBreak
+                                                  : Node::Type::kContinue);
+      CYCADA_RETURN_IF_ERROR(next());
+      if (is_punct(";")) CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    if (is_punct("{")) return parse_block();
+    if (is_punct(";")) {
+      CYCADA_RETURN_IF_ERROR(next());
+      return make_node(Node::Type::kBlock);  // empty statement
+    }
+    auto stmt = make_node(Node::Type::kExprStmt);
+    auto expr = parse_expression();
+    CYCADA_RETURN_IF_ERROR(expr.status());
+    stmt->kids.push_back(std::move(expr.value()));
+    if (is_punct(";")) CYCADA_RETURN_IF_ERROR(next());
+    return stmt;
+  }
+
+  StatusOr<NodePtr> parse_function() {
+    CYCADA_RETURN_IF_ERROR(next());  // function
+    if (tok().type != TokenType::kIdent) {
+      return Status::invalid_argument("function needs a name");
+    }
+    auto fn = make_node(Node::Type::kFunction);
+    fn->name = tok().text;
+    CYCADA_RETURN_IF_ERROR(next());
+    CYCADA_RETURN_IF_ERROR(expect_punct("("));
+    auto params = make_node(Node::Type::kParams);
+    while (!is_punct(")")) {
+      if (tok().type != TokenType::kIdent) {
+        return Status::invalid_argument("bad parameter list");
+      }
+      auto param = make_node(Node::Type::kIdent);
+      param->name = tok().text;
+      params->kids.push_back(std::move(param));
+      CYCADA_RETURN_IF_ERROR(next());
+      if (is_punct(",")) CYCADA_RETURN_IF_ERROR(next());
+    }
+    CYCADA_RETURN_IF_ERROR(next());  // )
+    auto body = parse_block();
+    CYCADA_RETURN_IF_ERROR(body.status());
+    fn->kids.push_back(std::move(params));
+    fn->kids.push_back(std::move(body.value()));
+    return fn;
+  }
+
+  StatusOr<NodePtr> parse_var_decl() {
+    CYCADA_RETURN_IF_ERROR(next());  // var
+    // Multiple declarators become a var-group (not a scope).
+    auto block = make_node(Node::Type::kVarGroup);
+    for (;;) {
+      if (tok().type != TokenType::kIdent) {
+        return Status::invalid_argument("var needs a name");
+      }
+      auto decl = make_node(Node::Type::kVarDecl);
+      decl->name = tok().text;
+      CYCADA_RETURN_IF_ERROR(next());
+      if (is_punct("=")) {
+        CYCADA_RETURN_IF_ERROR(next());
+        auto init = parse_assignment();
+        CYCADA_RETURN_IF_ERROR(init.status());
+        decl->kids.push_back(std::move(init.value()));
+      }
+      block->kids.push_back(std::move(decl));
+      if (is_punct(",")) {
+        CYCADA_RETURN_IF_ERROR(next());
+        continue;
+      }
+      break;
+    }
+    if (is_punct(";")) CYCADA_RETURN_IF_ERROR(next());
+    return block->kids.size() == 1 ? std::move(block->kids[0])
+                                   : std::move(block);
+  }
+
+  StatusOr<NodePtr> parse_block() {
+    CYCADA_RETURN_IF_ERROR(expect_punct("{"));
+    auto block = make_node(Node::Type::kBlock);
+    while (!is_punct("}")) {
+      if (at_end()) return Status::invalid_argument("unterminated block");
+      auto stmt = parse_statement();
+      CYCADA_RETURN_IF_ERROR(stmt.status());
+      block->kids.push_back(std::move(stmt.value()));
+    }
+    CYCADA_RETURN_IF_ERROR(next());
+    return block;
+  }
+
+  StatusOr<NodePtr> parse_if() {
+    CYCADA_RETURN_IF_ERROR(next());  // if
+    CYCADA_RETURN_IF_ERROR(expect_punct("("));
+    auto node = make_node(Node::Type::kIf);
+    auto cond = parse_expression();
+    CYCADA_RETURN_IF_ERROR(cond.status());
+    node->kids.push_back(std::move(cond.value()));
+    CYCADA_RETURN_IF_ERROR(expect_punct(")"));
+    auto then_branch = parse_statement();
+    CYCADA_RETURN_IF_ERROR(then_branch.status());
+    node->kids.push_back(std::move(then_branch.value()));
+    if (is_keyword("else")) {
+      CYCADA_RETURN_IF_ERROR(next());
+      auto else_branch = parse_statement();
+      CYCADA_RETURN_IF_ERROR(else_branch.status());
+      node->kids.push_back(std::move(else_branch.value()));
+    }
+    return node;
+  }
+
+  StatusOr<NodePtr> parse_for() {
+    CYCADA_RETURN_IF_ERROR(next());  // for
+    CYCADA_RETURN_IF_ERROR(expect_punct("("));
+    auto node = make_node(Node::Type::kFor);
+    // init
+    if (is_punct(";")) {
+      CYCADA_RETURN_IF_ERROR(next());
+      node->kids.push_back(make_node(Node::Type::kBlock));
+    } else if (is_keyword("var")) {
+      auto init = parse_var_decl();  // consumes the ';'
+      CYCADA_RETURN_IF_ERROR(init.status());
+      node->kids.push_back(std::move(init.value()));
+    } else {
+      auto init = make_node(Node::Type::kExprStmt);
+      auto expr = parse_expression();
+      CYCADA_RETURN_IF_ERROR(expr.status());
+      init->kids.push_back(std::move(expr.value()));
+      node->kids.push_back(std::move(init));
+      CYCADA_RETURN_IF_ERROR(expect_punct(";"));
+    }
+    // condition
+    if (is_punct(";")) {
+      auto truth = make_node(Node::Type::kBoolLit);
+      truth->num = 1;
+      node->kids.push_back(std::move(truth));
+    } else {
+      auto cond = parse_expression();
+      CYCADA_RETURN_IF_ERROR(cond.status());
+      node->kids.push_back(std::move(cond.value()));
+    }
+    CYCADA_RETURN_IF_ERROR(expect_punct(";"));
+    // step
+    if (is_punct(")")) {
+      node->kids.push_back(make_node(Node::Type::kBlock));
+    } else {
+      auto step = make_node(Node::Type::kExprStmt);
+      auto expr = parse_expression();
+      CYCADA_RETURN_IF_ERROR(expr.status());
+      step->kids.push_back(std::move(expr.value()));
+      node->kids.push_back(std::move(step));
+    }
+    CYCADA_RETURN_IF_ERROR(expect_punct(")"));
+    auto body = parse_statement();
+    CYCADA_RETURN_IF_ERROR(body.status());
+    node->kids.push_back(std::move(body.value()));
+    return node;
+  }
+
+  StatusOr<NodePtr> parse_while() {
+    CYCADA_RETURN_IF_ERROR(next());  // while
+    CYCADA_RETURN_IF_ERROR(expect_punct("("));
+    auto node = make_node(Node::Type::kWhile);
+    auto cond = parse_expression();
+    CYCADA_RETURN_IF_ERROR(cond.status());
+    node->kids.push_back(std::move(cond.value()));
+    CYCADA_RETURN_IF_ERROR(expect_punct(")"));
+    auto body = parse_statement();
+    CYCADA_RETURN_IF_ERROR(body.status());
+    node->kids.push_back(std::move(body.value()));
+    return node;
+  }
+
+  StatusOr<NodePtr> parse_return() {
+    CYCADA_RETURN_IF_ERROR(next());  // return
+    auto node = make_node(Node::Type::kReturn);
+    if (!is_punct(";") && !is_punct("}")) {
+      auto value = parse_expression();
+      CYCADA_RETURN_IF_ERROR(value.status());
+      node->kids.push_back(std::move(value.value()));
+    }
+    if (is_punct(";")) CYCADA_RETURN_IF_ERROR(next());
+    return node;
+  }
+
+  // expression := assignment (',' not supported)
+  StatusOr<NodePtr> parse_expression() { return parse_assignment(); }
+
+  StatusOr<NodePtr> parse_assignment() {
+    auto lhs = parse_ternary();
+    CYCADA_RETURN_IF_ERROR(lhs.status());
+    static constexpr std::string_view kAssignOps[] = {
+        "=", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<=", ">>="};
+    for (std::string_view op : kAssignOps) {
+      if (is_punct(op)) {
+        auto node = make_node(Node::Type::kAssign);
+        node->op = std::string(op);
+        CYCADA_RETURN_IF_ERROR(next());
+        auto rhs = parse_assignment();
+        CYCADA_RETURN_IF_ERROR(rhs.status());
+        node->kids.push_back(std::move(lhs.value()));
+        node->kids.push_back(std::move(rhs.value()));
+        return node;
+      }
+    }
+    return lhs;
+  }
+
+  StatusOr<NodePtr> parse_ternary() {
+    auto cond = parse_binary(0);
+    CYCADA_RETURN_IF_ERROR(cond.status());
+    if (!is_punct("?")) return cond;
+    CYCADA_RETURN_IF_ERROR(next());
+    auto node = make_node(Node::Type::kTernary);
+    node->kids.push_back(std::move(cond.value()));
+    auto then_value = parse_assignment();
+    CYCADA_RETURN_IF_ERROR(then_value.status());
+    node->kids.push_back(std::move(then_value.value()));
+    CYCADA_RETURN_IF_ERROR(expect_punct(":"));
+    auto else_value = parse_assignment();
+    CYCADA_RETURN_IF_ERROR(else_value.status());
+    node->kids.push_back(std::move(else_value.value()));
+    return node;
+  }
+
+  static int precedence_of(std::string_view op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=" || op == "===" || op == "!==") return 6;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "<<" || op == ">>" || op == ">>>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    return -1;
+  }
+
+  StatusOr<NodePtr> parse_binary(int min_precedence) {
+    auto lhs = parse_unary();
+    CYCADA_RETURN_IF_ERROR(lhs.status());
+    for (;;) {
+      if (tok().type != TokenType::kPunct) return lhs;
+      const int precedence = precedence_of(tok().text);
+      if (precedence < 0 || precedence < min_precedence) return lhs;
+      const std::string op = tok().text;
+      CYCADA_RETURN_IF_ERROR(next());
+      auto rhs = parse_binary(precedence + 1);
+      CYCADA_RETURN_IF_ERROR(rhs.status());
+      auto node = make_node(op == "&&" || op == "||" ? Node::Type::kLogical
+                                                     : Node::Type::kBinary);
+      node->op = op;
+      node->kids.push_back(std::move(lhs.value()));
+      node->kids.push_back(std::move(rhs.value()));
+      lhs = std::move(node);
+    }
+  }
+
+  StatusOr<NodePtr> parse_unary() {
+    if (is_punct("-") || is_punct("+") || is_punct("!") || is_punct("~")) {
+      auto node = make_node(Node::Type::kUnary);
+      node->op = tok().text;
+      CYCADA_RETURN_IF_ERROR(next());
+      auto operand = parse_unary();
+      CYCADA_RETURN_IF_ERROR(operand.status());
+      node->kids.push_back(std::move(operand.value()));
+      return node;
+    }
+    if (is_punct("++") || is_punct("--")) {
+      auto node = make_node(Node::Type::kPrefix);
+      node->op = tok().text;
+      CYCADA_RETURN_IF_ERROR(next());
+      auto target = parse_unary();
+      CYCADA_RETURN_IF_ERROR(target.status());
+      node->kids.push_back(std::move(target.value()));
+      return node;
+    }
+    return parse_postfix();
+  }
+
+  StatusOr<NodePtr> parse_postfix() {
+    auto expr = parse_primary();
+    CYCADA_RETURN_IF_ERROR(expr.status());
+    for (;;) {
+      if (is_punct("[")) {
+        CYCADA_RETURN_IF_ERROR(next());
+        auto node = make_node(Node::Type::kIndex);
+        node->kids.push_back(std::move(expr.value()));
+        auto index = parse_expression();
+        CYCADA_RETURN_IF_ERROR(index.status());
+        node->kids.push_back(std::move(index.value()));
+        CYCADA_RETURN_IF_ERROR(expect_punct("]"));
+        expr = std::move(node);
+      } else if (is_punct(".")) {
+        CYCADA_RETURN_IF_ERROR(next());
+        if (tok().type != TokenType::kIdent) {
+          return Status::invalid_argument("expected property name");
+        }
+        auto node = make_node(Node::Type::kMember);
+        node->name = tok().text;
+        node->kids.push_back(std::move(expr.value()));
+        CYCADA_RETURN_IF_ERROR(next());
+        expr = std::move(node);
+      } else if (is_punct("(")) {
+        CYCADA_RETURN_IF_ERROR(next());
+        auto node = make_node(Node::Type::kCall);
+        node->kids.push_back(std::move(expr.value()));
+        while (!is_punct(")")) {
+          if (at_end()) return Status::invalid_argument("unterminated call");
+          auto arg = parse_assignment();
+          CYCADA_RETURN_IF_ERROR(arg.status());
+          node->kids.push_back(std::move(arg.value()));
+          if (is_punct(",")) CYCADA_RETURN_IF_ERROR(next());
+        }
+        CYCADA_RETURN_IF_ERROR(next());
+        expr = std::move(node);
+      } else if (is_punct("++") || is_punct("--")) {
+        auto node = make_node(Node::Type::kPostfix);
+        node->op = tok().text;
+        node->kids.push_back(std::move(expr.value()));
+        CYCADA_RETURN_IF_ERROR(next());
+        expr = std::move(node);
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  StatusOr<NodePtr> parse_primary() {
+    if (tok().type == TokenType::kNumber) {
+      auto node = make_node(Node::Type::kNumber);
+      node->num = tok().num;
+      CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    if (tok().type == TokenType::kString) {
+      auto node = make_node(Node::Type::kString);
+      node->str = tok().text;
+      CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    if (is_keyword("true") || is_keyword("false")) {
+      auto node = make_node(Node::Type::kBoolLit);
+      node->num = tok().text == "true" ? 1 : 0;
+      CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    if (is_keyword("undefined")) {
+      auto node = make_node(Node::Type::kIdent);
+      node->name = "undefined";
+      CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    if (is_keyword("new")) {
+      // `new Array(n)` style: drop the keyword and parse the call.
+      CYCADA_RETURN_IF_ERROR(next());
+      return parse_postfix();
+    }
+    if (tok().type == TokenType::kIdent) {
+      auto node = make_node(Node::Type::kIdent);
+      node->name = tok().text;
+      CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    if (is_punct("(")) {
+      CYCADA_RETURN_IF_ERROR(next());
+      auto expr = parse_expression();
+      CYCADA_RETURN_IF_ERROR(expr.status());
+      CYCADA_RETURN_IF_ERROR(expect_punct(")"));
+      return expr;
+    }
+    if (is_punct("[")) {
+      CYCADA_RETURN_IF_ERROR(next());
+      auto node = make_node(Node::Type::kArrayLit);
+      while (!is_punct("]")) {
+        if (at_end()) return Status::invalid_argument("unterminated array");
+        auto element = parse_assignment();
+        CYCADA_RETURN_IF_ERROR(element.status());
+        node->kids.push_back(std::move(element.value()));
+        if (is_punct(",")) CYCADA_RETURN_IF_ERROR(next());
+      }
+      CYCADA_RETURN_IF_ERROR(next());
+      return node;
+    }
+    return Status::invalid_argument("unexpected token '" + tok().text + "'");
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+StatusOr<NodePtr> parse_program(std::string_view source) {
+  Parser parser(source);
+  return parser.parse();
+}
+
+}  // namespace cycada::jsvm

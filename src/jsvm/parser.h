@@ -1,0 +1,14 @@
+// Recursive-descent parser for the JavaScript subset.
+#pragma once
+
+#include <string_view>
+
+#include "jsvm/ast.h"
+#include "util/status.h"
+
+namespace cycada::jsvm {
+
+// Parses a program; returns the kProgram root or a parse error.
+StatusOr<NodePtr> parse_program(std::string_view source);
+
+}  // namespace cycada::jsvm

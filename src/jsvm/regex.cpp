@@ -1,0 +1,279 @@
+#include "jsvm/regex.h"
+
+#include <cctype>
+
+namespace cycada::jsvm {
+
+class RegexParser {
+ public:
+  explicit RegexParser(std::string_view pattern) : pattern_(pattern) {}
+
+  Status parse(Regex& out) {
+    auto alternatives = parse_alternation();
+    CYCADA_RETURN_IF_ERROR(alternatives.status());
+    if (pos_ != pattern_.size()) {
+      return Status::invalid_argument("trailing characters in pattern");
+    }
+    out.alternatives_ = std::move(alternatives.value());
+    return Status::ok();
+  }
+
+ private:
+  using TermVec = std::vector<Regex::Term>;
+
+  StatusOr<std::vector<TermVec>> parse_alternation() {
+    std::vector<TermVec> alternatives;
+    auto first = parse_sequence();
+    CYCADA_RETURN_IF_ERROR(first.status());
+    alternatives.push_back(std::move(first.value()));
+    while (pos_ < pattern_.size() && pattern_[pos_] == '|') {
+      ++pos_;
+      auto next = parse_sequence();
+      CYCADA_RETURN_IF_ERROR(next.status());
+      alternatives.push_back(std::move(next.value()));
+    }
+    return alternatives;
+  }
+
+  StatusOr<TermVec> parse_sequence() {
+    TermVec sequence;
+    while (pos_ < pattern_.size() && pattern_[pos_] != '|' &&
+           pattern_[pos_] != ')') {
+      auto term = parse_term();
+      CYCADA_RETURN_IF_ERROR(term.status());
+      sequence.push_back(std::move(term.value()));
+    }
+    return sequence;
+  }
+
+  StatusOr<Regex::Term> parse_term() {
+    Regex::Term term;
+    const char c = pattern_[pos_];
+    if (c == '^') {
+      term.kind = Regex::Term::Kind::kAnchorStart;
+      ++pos_;
+      return term;  // anchors take no quantifier
+    }
+    if (c == '$') {
+      term.kind = Regex::Term::Kind::kAnchorEnd;
+      ++pos_;
+      return term;
+    }
+    if (c == '.') {
+      term.kind = Regex::Term::Kind::kAny;
+      ++pos_;
+    } else if (c == '[') {
+      CYCADA_RETURN_IF_ERROR(parse_class(term));
+    } else if (c == '(') {
+      ++pos_;
+      term.kind = Regex::Term::Kind::kGroup;
+      auto alternatives = parse_alternation();
+      CYCADA_RETURN_IF_ERROR(alternatives.status());
+      term.alternatives = std::move(alternatives.value());
+      if (pos_ >= pattern_.size() || pattern_[pos_] != ')') {
+        return Status::invalid_argument("unbalanced group");
+      }
+      ++pos_;
+    } else if (c == '\\') {
+      CYCADA_RETURN_IF_ERROR(parse_escape(term));
+    } else if (c == '*' || c == '+' || c == '?') {
+      return Status::invalid_argument("quantifier with nothing to repeat");
+    } else {
+      term.kind = Regex::Term::Kind::kChar;
+      term.ch = c;
+      ++pos_;
+    }
+    // Quantifier?
+    if (pos_ < pattern_.size()) {
+      switch (pattern_[pos_]) {
+        case '*': term.quant = Regex::Term::Quant::kStar; ++pos_; break;
+        case '+': term.quant = Regex::Term::Quant::kPlus; ++pos_; break;
+        case '?': term.quant = Regex::Term::Quant::kOpt; ++pos_; break;
+        default: break;
+      }
+    }
+    return term;
+  }
+
+  Status parse_escape(Regex::Term& term) {
+    ++pos_;  // backslash
+    if (pos_ >= pattern_.size()) {
+      return Status::invalid_argument("dangling escape");
+    }
+    const char c = pattern_[pos_++];
+    switch (c) {
+      case 'd':
+        term.kind = Regex::Term::Kind::kClass;
+        term.ranges = {{'0', '9'}};
+        break;
+      case 'w':
+        term.kind = Regex::Term::Kind::kClass;
+        term.ranges = {{'a', 'z'}, {'A', 'Z'}, {'0', '9'}, {'_', '_'}};
+        break;
+      case 's':
+        term.kind = Regex::Term::Kind::kClass;
+        term.ranges = {{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'}};
+        break;
+      default:
+        term.kind = Regex::Term::Kind::kChar;
+        term.ch = c;
+        break;
+    }
+    return Status::ok();
+  }
+
+  Status parse_class(Regex::Term& term) {
+    ++pos_;  // '['
+    term.kind = Regex::Term::Kind::kClass;
+    if (pos_ < pattern_.size() && pattern_[pos_] == '^') {
+      term.negated = true;
+      ++pos_;
+    }
+    while (pos_ < pattern_.size() && pattern_[pos_] != ']') {
+      char lo = pattern_[pos_++];
+      if (lo == '\\' && pos_ < pattern_.size()) lo = pattern_[pos_++];
+      char hi = lo;
+      if (pos_ + 1 < pattern_.size() && pattern_[pos_] == '-' &&
+          pattern_[pos_ + 1] != ']') {
+        ++pos_;
+        hi = pattern_[pos_++];
+        if (hi == '\\' && pos_ < pattern_.size()) hi = pattern_[pos_++];
+      }
+      term.ranges.emplace_back(lo, hi);
+    }
+    if (pos_ >= pattern_.size()) {
+      return Status::invalid_argument("unterminated character class");
+    }
+    ++pos_;  // ']'
+    return Status::ok();
+  }
+
+  std::string_view pattern_;
+  std::size_t pos_ = 0;
+};
+
+StatusOr<Regex> Regex::compile(std::string_view pattern) {
+  Regex regex;
+  RegexParser parser(pattern);
+  CYCADA_RETURN_IF_ERROR(parser.parse(regex));
+  return regex;
+}
+
+bool Regex::term_matches_char(const Term& term, char c) const {
+  switch (term.kind) {
+    case Term::Kind::kChar: return term.ch == c;
+    case Term::Kind::kAny: return c != '\n';
+    case Term::Kind::kClass: {
+      bool in_class = false;
+      for (const auto& [lo, hi] : term.ranges) {
+        if (c >= lo && c <= hi) {
+          in_class = true;
+          break;
+        }
+      }
+      return term.negated ? !in_class : in_class;
+    }
+    default: return false;
+  }
+}
+
+long Regex::match_here(const std::vector<Term>& seq, std::size_t term_index,
+                       std::string_view text, std::size_t pos) const {
+  if (term_index == seq.size()) return static_cast<long>(pos);
+  const Term& term = seq[term_index];
+
+  if (term.kind == Term::Kind::kAnchorStart) {
+    return pos == 0 ? match_here(seq, term_index + 1, text, pos) : -1;
+  }
+  if (term.kind == Term::Kind::kAnchorEnd) {
+    return pos == text.size() ? match_here(seq, term_index + 1, text, pos)
+                              : -1;
+  }
+
+  // One attempt of the term body at `pos`; returns end or -1.
+  const auto match_once = [&](std::size_t at) -> long {
+    if (term.kind == Term::Kind::kGroup) {
+      for (const auto& alternative : term.alternatives) {
+        const long end = match_here(alternative, 0, text, at);
+        if (end >= 0) return end;
+      }
+      return -1;
+    }
+    if (at < text.size() && term_matches_char(term, text[at])) {
+      return static_cast<long>(at + 1);
+    }
+    return -1;
+  };
+
+  switch (term.quant) {
+    case Term::Quant::kOne: {
+      const long end = match_once(pos);
+      return end >= 0 ? match_here(seq, term_index + 1, text,
+                                   static_cast<std::size_t>(end))
+                      : -1;
+    }
+    case Term::Quant::kOpt: {
+      const long end = match_once(pos);
+      if (end >= 0) {
+        const long rest = match_here(seq, term_index + 1, text,
+                                     static_cast<std::size_t>(end));
+        if (rest >= 0) return rest;
+      }
+      return match_here(seq, term_index + 1, text, pos);
+    }
+    case Term::Quant::kStar:
+    case Term::Quant::kPlus: {
+      // Greedy with backtracking: collect the chain of repeat endpoints.
+      std::vector<std::size_t> ends;
+      ends.push_back(pos);
+      std::size_t cursor = pos;
+      for (;;) {
+        const long end = match_once(cursor);
+        if (end < 0 || static_cast<std::size_t>(end) == cursor) break;
+        cursor = static_cast<std::size_t>(end);
+        ends.push_back(cursor);
+      }
+      const std::size_t min_repeats =
+          term.quant == Term::Quant::kPlus ? 1 : 0;
+      for (std::size_t count = ends.size(); count-- > 0;) {
+        if (count < min_repeats) break;
+        const long rest =
+            match_here(seq, term_index + 1, text, ends[count]);
+        if (rest >= 0) return rest;
+      }
+      return -1;
+    }
+  }
+  return -1;
+}
+
+bool Regex::test(std::string_view text) const {
+  for (std::size_t start = 0; start <= text.size(); ++start) {
+    for (const auto& alternative : alternatives_) {
+      if (match_here(alternative, 0, text, start) >= 0) return true;
+    }
+  }
+  return false;
+}
+
+int Regex::match_count(std::string_view text) const {
+  int count = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    long best = -1;
+    for (const auto& alternative : alternatives_) {
+      best = std::max(best, match_here(alternative, 0, text, start));
+    }
+    if (best < 0) {
+      ++start;
+      continue;
+    }
+    ++count;
+    start = static_cast<std::size_t>(best) > start
+                ? static_cast<std::size_t>(best)
+                : start + 1;
+  }
+  return count;
+}
+
+}  // namespace cycada::jsvm

@@ -1,0 +1,57 @@
+// A small backtracking regular-expression engine: literals, '.', character
+// classes, quantifiers (* + ?), alternation, grouping and anchors. The JIT
+// configuration caches compiled patterns; the non-JIT configuration
+// recompiles on every use, which is what makes "regexp" the worst SunSpider
+// category without a JIT (paper Figure 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cycada::jsvm {
+
+class Regex {
+ public:
+  static StatusOr<Regex> compile(std::string_view pattern);
+
+  // True if the pattern matches anywhere in `text`.
+  bool test(std::string_view text) const;
+  // Number of non-overlapping matches.
+  int match_count(std::string_view text) const;
+
+ private:
+  struct Term {
+    enum class Kind : std::uint8_t {
+      kChar,
+      kAny,
+      kClass,
+      kGroup,
+      kAnchorStart,
+      kAnchorEnd,
+    };
+    enum class Quant : std::uint8_t { kOne, kStar, kPlus, kOpt };
+
+    Kind kind = Kind::kChar;
+    Quant quant = Quant::kOne;
+    char ch = 0;
+    bool negated = false;
+    std::vector<std::pair<char, char>> ranges;            // kClass
+    std::vector<std::vector<Term>> alternatives;          // kGroup
+  };
+
+  Regex() = default;
+
+  // Attempts a match starting exactly at `pos`; returns end position or -1.
+  long match_here(const std::vector<Term>& seq, std::size_t term_index,
+                  std::string_view text, std::size_t pos) const;
+  bool term_matches_char(const Term& term, char c) const;
+
+  std::vector<std::vector<Term>> alternatives_;  // top-level alternation
+  friend class RegexParser;
+};
+
+}  // namespace cycada::jsvm

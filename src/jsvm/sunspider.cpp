@@ -1,0 +1,256 @@
+#include "jsvm/sunspider.h"
+
+namespace cycada::jsvm::sunspider {
+
+namespace {
+
+// --- 3d: mesh morph (sin-displaced vertex grid) -----------------------------
+constexpr std::string_view k3d = R"JS(
+function morph(verts, n, t) {
+  var i;
+  for (i = 0; i < n; i++) {
+    verts[3*i+1] = Math.sin(t + verts[3*i]) * 0.3 + Math.cos(t * 0.5 + verts[3*i+2]) * 0.2;
+  }
+  var sum = 0;
+  for (i = 0; i < n; i++) sum += verts[3*i+1];
+  return sum;
+}
+var n = 120;
+var verts = Array(3*n);
+var i;
+for (i = 0; i < n; i++) {
+  verts[3*i] = i * 0.1;
+  verts[3*i+1] = 0;
+  verts[3*i+2] = i * 0.05;
+}
+var acc = 0;
+var frame;
+for (frame = 0; frame < 60; frame++) {
+  acc += morph(verts, n, frame * 0.1);
+}
+Math.floor(acc * 1000);
+)JS";
+
+// --- access: nsieve + nested array walks ------------------------------------
+constexpr std::string_view kAccess = R"JS(
+function nsieve(m, flags) {
+  var i, k, count = 0;
+  for (i = 2; i < m; i++) flags[i] = 1;
+  for (i = 2; i < m; i++) {
+    if (flags[i]) {
+      for (k = i + i; k < m; k += i) flags[k] = 0;
+      count++;
+    }
+  }
+  return count;
+}
+var flags = Array(12000);
+var total = 0;
+var pass;
+for (pass = 0; pass < 6; pass++) {
+  total += nsieve(12000 - pass * 500, flags);
+}
+total;
+)JS";
+
+// --- bitops: bits-in-byte + bitwise rotations --------------------------------
+constexpr std::string_view kBitops = R"JS(
+function bitsinbyte(b) {
+  var m = 1, c = 0;
+  while (m < 256) {
+    if (b & m) c++;
+    m <<= 1;
+  }
+  return c;
+}
+function rot(x, k) { return ((x << k) | (x >>> (32 - k))) & 0xffffffff; }
+var sum = 0;
+var i, j;
+for (j = 0; j < 40; j++) {
+  for (i = 0; i < 256; i++) sum += bitsinbyte(i);
+}
+var h = 0x12345678;
+for (i = 0; i < 12000; i++) {
+  h = (rot(h, 5) ^ (h + i)) & 0xffffffff;
+}
+sum + (h >>> 16);
+)JS";
+
+// --- controlflow: recursion + branchy loops -----------------------------------
+constexpr std::string_view kControlflow = R"JS(
+function fib(n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+function collatz(n) {
+  var steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) n = n / 2;
+    else n = 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}
+var total = fib(16);
+var i;
+for (i = 1; i < 600; i++) total += collatz(i);
+total;
+)JS";
+
+// --- crypto: mixing rounds over a message schedule ------------------------------
+constexpr std::string_view kCrypto = R"JS(
+function mix(w, rounds) {
+  var a = 0x67452301, b = 0xefcdab89, c = 0x98badcfe, d = 0x10325476;
+  var r, i;
+  for (r = 0; r < rounds; r++) {
+    for (i = 0; i < w.length; i++) {
+      a = (a + ((b & c) | (~b & d)) + w[i]) & 0xffffffff;
+      a = ((a << 7) | (a >>> 25)) & 0xffffffff;
+      var t = d; d = c; c = b; b = a; a = t;
+    }
+  }
+  return ((a ^ b) + (c ^ d)) & 0xffffffff;
+}
+var w = Array(16);
+var i;
+for (i = 0; i < 16; i++) w[i] = (i * 0x9e3779b9) & 0xffffffff;
+var digest = 0;
+for (i = 0; i < 12; i++) digest = (digest + mix(w, 20)) & 0xffffffff;
+digest >>> 8;
+)JS";
+
+// --- date: timestamp formatting --------------------------------------------------
+constexpr std::string_view kDate = R"JS(
+function pad(n, width) {
+  var s = "" + n;
+  while (s.length < width) s = "0" + s;
+  return s;
+}
+function format(ms) {
+  var days = Math.floor(ms / 86400000);
+  var hours = Math.floor(ms / 3600000) % 24;
+  var mins = Math.floor(ms / 60000) % 60;
+  var secs = Math.floor(ms / 1000) % 60;
+  return pad(days, 3) + ":" + pad(hours, 2) + ":" + pad(mins, 2) + ":" + pad(secs, 2);
+}
+var check = 0;
+var i;
+for (i = 0; i < 800; i++) {
+  var stamp = __now() * 977;
+  var s = format(stamp);
+  check += s.charCodeAt(i % s.length);
+}
+check;
+)JS";
+
+// --- math: partial sums ------------------------------------------------------------
+constexpr std::string_view kMath = R"JS(
+function partial(n) {
+  var a1 = 0, a2 = 0, a3 = 0, a4 = 0, a5 = 0;
+  var k;
+  for (k = 1; k <= n; k++) {
+    var k2 = k * k;
+    var sk = Math.sin(k);
+    var ck = Math.cos(k);
+    a1 += Math.pow(2.0 / 3.0, k - 1);
+    a2 += 1.0 / (k * (k + 1.0));
+    a3 += 1.0 / (k2 * k * (sk * sk));
+    a4 += 1.0 / (k2 * k * (ck * ck));
+    a5 += 1.0 / k;
+  }
+  return a1 + a2 + a3 + a4 + a5;
+}
+var total = 0;
+var i;
+for (i = 0; i < 10; i++) total += partial(900);
+Math.floor(total * 100);
+)JS";
+
+// --- regexp: pattern tests over DNA-ish strings --------------------------------------
+constexpr std::string_view kRegexp = R"JS(
+function makedna(n) {
+  var s = "";
+  var bases = "acgt";
+  var x = 7;
+  var i;
+  for (i = 0; i < n; i++) {
+    x = (x * 1103515245 + 12345) % 2147483647;
+    s += bases.charAt(x % 4);
+  }
+  return s;
+}
+var dna = makedna(40);
+var patterns = [
+  "^agggtaaa|^tttaccct|^gaaggtaaa|^ctttaccct|^[acgt]gggtaaa|^tttaccc[acgt]",
+  "^[cgt]gggtaaa|^tttaccc[acg]|^a[act]ggtaaa|^tttacc[agt]t|^gg[at]cc[at]gg",
+  "^a[act]ggtaaa|^tttacc[agt]t|^ag[act]gtaaa|^tttac[agt]ct|^[acg]{0}at[cg]ta",
+  "^ag[act]gtaaa|^tttac[agt]ct|^agg[act]taaa|^ttta[agt]cct|^cc[ag]tt[ct]gg",
+  "^agg[act]taaa|^ttta[agt]cct|^aggg[acg]aaa|^ttt[cgt]ccct|^ta[cg]ca[ta]gt",
+  "^aggg[acg]aaa|^ttt[cgt]ccct|^agggt[cgt]aa|^tt[acg]accct|^gc[at]aa[cg]gc",
+  "^agggt[cgt]aa|^tt[acg]accct|^agggta[cgt]a|^t[acg]taccct|^at[cg]tt[ag]ta",
+  "^agggta[cgt]a|^t[acg]taccct|^agggtaa[cgt]|^[acg]ttaccct|^cg[ta]gg[ct]ac",
+  "^agggtaa[cgt]|^[acg]ttaccct|^agggtaaa|^tttaccct|^tt[ag]cc[ct]aa|^ga[ct]c"
+];
+var hits = 0;
+var round, p;
+for (round = 0; round < 400; round++) {
+  for (p = 0; p < patterns.length; p++) {
+    hits += __regex_match_count(patterns[p], dna);
+    if (__regex_test("g[acgt]g[acgt]g", dna)) hits++;
+  }
+}
+hits;
+)JS";
+
+// --- string: build + scan ---------------------------------------------------------------
+constexpr std::string_view kString = R"JS(
+function build(n) {
+  var s = "";
+  var i;
+  for (i = 0; i < n; i++) {
+    s += String.fromCharCode(97 + (i * 7) % 26);
+  }
+  return s;
+}
+function checksum(s) {
+  var c = 0;
+  var i;
+  for (i = 0; i < s.length; i++) c = (c * 31 + s.charCodeAt(i)) & 0xffffff;
+  return c;
+}
+var total = 0;
+var round;
+for (round = 0; round < 40; round++) {
+  var s = build(300);
+  var t = s.toUpperCase();
+  total = (total + checksum(s) + checksum(t) + s.indexOf("xyz")) & 0xffffff;
+  total += s.substring(10, 20).length;
+}
+total;
+)JS";
+
+}  // namespace
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload>* list = new std::vector<Workload>{
+      {"3d", k3d},
+      {"access", kAccess},
+      {"bitops", kBitops},
+      {"controlflow", kControlflow},
+      {"crypto", kCrypto},
+      {"date", kDate},
+      {"math", kMath},
+      {"regexp", kRegexp},
+      {"string", kString},
+  };
+  return *list;
+}
+
+std::string_view source_for(std::string_view category) {
+  for (const Workload& workload : workloads()) {
+    if (workload.category == category) return workload.source;
+  }
+  return {};
+}
+
+}  // namespace cycada::jsvm::sunspider

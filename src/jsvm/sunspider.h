@@ -1,0 +1,23 @@
+// SunSpider-style JavaScript workloads: one program per category of the
+// paper's Figure 5 (3d, access, bitops, controlflow, crypto, date, math,
+// regexp, string). Each program is deterministic and ends with a checksum
+// expression, so both execution tiers can be validated against each other.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace cycada::jsvm::sunspider {
+
+struct Workload {
+  std::string_view category;
+  std::string_view source;
+};
+
+// The nine categories, in Figure 5 order.
+const std::vector<Workload>& workloads();
+
+// Source of a single category ("" if unknown).
+std::string_view source_for(std::string_view category);
+
+}  // namespace cycada::jsvm::sunspider

@@ -1,0 +1,135 @@
+// The JavaScript value model shared by both execution engines: the naive
+// AST interpreter (the "JIT disabled" configuration) and the baseline
+// bytecode engine (the "JIT" configuration).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cycada::jsvm {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kUndefined, kNumber, kBool, kString, kArray };
+
+  Value() = default;
+  static Value number(double v) {
+    Value out;
+    out.kind_ = Kind::kNumber;
+    out.number_ = v;
+    return out;
+  }
+  static Value boolean(bool v) {
+    Value out;
+    out.kind_ = Kind::kBool;
+    out.number_ = v ? 1.0 : 0.0;
+    return out;
+  }
+  static Value string(std::string v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.string_ = std::make_shared<std::string>(std::move(v));
+    return out;
+  }
+  static Value string(std::shared_ptr<std::string> v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+  static Value array() {
+    Value out;
+    out.kind_ = Kind::kArray;
+    out.array_ = std::make_shared<std::vector<Value>>();
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_undefined() const { return kind_ == Kind::kUndefined; }
+
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return *string_; }
+  std::vector<Value>& as_array() { return *array_; }
+  const std::vector<Value>& as_array() const { return *array_; }
+
+  double to_number() const {
+    switch (kind_) {
+      case Kind::kNumber:
+      case Kind::kBool: return number_;
+      case Kind::kString: {
+        char* end = nullptr;
+        const double v = std::strtod(string_->c_str(), &end);
+        return end != string_->c_str() ? v : std::nan("");
+      }
+      default: return std::nan("");
+    }
+  }
+
+  bool to_bool() const {
+    switch (kind_) {
+      case Kind::kUndefined: return false;
+      case Kind::kNumber: return number_ != 0.0 && !std::isnan(number_);
+      case Kind::kBool: return number_ != 0.0;
+      case Kind::kString: return !string_->empty();
+      case Kind::kArray: return true;
+    }
+    return false;
+  }
+
+  std::string to_string() const {
+    switch (kind_) {
+      case Kind::kUndefined: return "undefined";
+      case Kind::kBool: return number_ != 0.0 ? "true" : "false";
+      case Kind::kNumber: {
+        if (std::isnan(number_)) return "NaN";
+        // Integers print without a decimal point, like JS.
+        if (number_ == std::floor(number_) &&
+            std::fabs(number_) < 1e15) {
+          char buffer[32];
+          std::snprintf(buffer, sizeof(buffer), "%lld",
+                        static_cast<long long>(number_));
+          return buffer;
+        }
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%g", number_);
+        return buffer;
+      }
+      case Kind::kString: return *string_;
+      case Kind::kArray: {
+        std::string out;
+        for (std::size_t i = 0; i < array_->size(); ++i) {
+          if (i > 0) out += ',';
+          out += (*array_)[i].to_string();
+        }
+        return out;
+      }
+    }
+    return "";
+  }
+
+  bool strict_equals(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kUndefined: return true;
+      case Kind::kNumber:
+      case Kind::kBool: return number_ == other.number_;
+      case Kind::kString: return *string_ == *other.string_;
+      case Kind::kArray: return array_ == other.array_;
+    }
+    return false;
+  }
+
+ private:
+  Kind kind_ = Kind::kUndefined;
+  double number_ = 0.0;
+  std::shared_ptr<std::string> string_;
+  std::shared_ptr<std::vector<Value>> array_;
+};
+
+}  // namespace cycada::jsvm

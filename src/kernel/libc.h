@@ -1,0 +1,50 @@
+// A bionic-style libc facade over the simulated kernel.
+//
+// Both personas' user-level code manage thread-private data through these
+// calls, mirroring pthread_key_create / pthread_getspecific & co. The Android
+// GL libraries keep their "current context" here, which is exactly why the
+// paper needs TLS migration for thread impersonation (§7.1).
+#pragma once
+
+#include "kernel/kernel.h"
+#include "kernel/persona.h"
+
+namespace cycada::kernel::libc {
+
+// Returns a globally-unique TLS slot id, or kInvalidTlsKey on exhaustion.
+// Fires the kernel's key-creation hooks (the 12-line patch of §7.1).
+inline TlsKey pthread_key_create() {
+  auto key = Kernel::instance().tls_key_create();
+  return key.is_ok() ? key.value() : kInvalidTlsKey;
+}
+
+// Releases a slot id and fires the deletion hooks.
+inline bool pthread_key_delete(TlsKey key) {
+  return Kernel::instance().tls_key_delete(key).is_ok();
+}
+
+// Reads the slot in the calling thread's *current persona* TLS area.
+inline void* pthread_getspecific(TlsKey key) {
+  return Kernel::instance().tls_get(key);
+}
+
+// Writes the slot in the calling thread's *current persona* TLS area.
+inline void pthread_setspecific(TlsKey key, void* value) {
+  Kernel::instance().tls_set(key, value);
+}
+
+// The calling thread's kernel tid (identity-sensitive libraries use this;
+// impersonation changes what it returns).
+inline Tid gettid() { return sys_gettid(); }
+
+// Per-persona errno of the calling thread.
+inline long get_errno() {
+  ThreadState& thread = Kernel::instance().current_thread();
+  return thread.persona_errno(thread.persona());
+}
+inline void set_errno(long value) {
+  ThreadState& thread = Kernel::instance().current_thread();
+  thread.set_persona_errno(thread.persona(), value);
+}
+
+}  // namespace cycada::kernel::libc

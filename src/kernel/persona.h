@@ -1,0 +1,25 @@
+// Personas: the execution modes a Cycada thread can be in. A persona selects
+// the kernel ABI personality and the TLS area used while executing
+// (paper §1, §3).
+#pragma once
+
+#include <cstdint>
+
+namespace cycada::kernel {
+
+enum class Persona : std::uint8_t {
+  kAndroid = 0,  // domestic: Linux ABI, bionic-style TLS
+  kIos = 1,      // foreign: XNU/Darwin ABI, Apple-style TLS
+};
+
+inline constexpr int kNumPersonas = 2;
+
+constexpr const char* persona_name(Persona persona) {
+  return persona == Persona::kAndroid ? "android" : "ios";
+}
+
+// Thread id within the simulated kernel.
+using Tid = std::int32_t;
+inline constexpr Tid kInvalidTid = -1;
+
+}  // namespace cycada::kernel

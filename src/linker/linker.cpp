@@ -1,0 +1,162 @@
+#include "linker/linker.h"
+
+#include <deque>
+
+#include "util/log.h"
+
+namespace cycada::linker {
+
+LibraryInstance* LoadContext::dep(std::string_view name) {
+  for (const auto& dep : self_->deps_) {
+    if (dep->name() == name) return dep->instance();
+  }
+  return nullptr;
+}
+
+Linker& Linker::instance() {
+  static Linker* linker = new Linker();  // intentionally immortal
+  return *linker;
+}
+
+void Linker::reset() {
+  std::lock_guard lock(mutex_);
+  loaded_.clear();
+  images_.clear();
+  load_counts_.clear();
+  next_namespace_ = 1;
+}
+
+Status Linker::register_image(LibraryImage image) {
+  std::lock_guard lock(mutex_);
+  if (image.name.empty() || !image.factory) {
+    return Status::invalid_argument("library image needs a name and factory");
+  }
+  auto [it, inserted] = images_.emplace(image.name, std::move(image));
+  (void)it;
+  if (!inserted) return Status::already_exists("library already registered");
+  return Status::ok();
+}
+
+bool Linker::has_image(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  return images_.find(name) != images_.end();
+}
+
+StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
+  std::lock_guard lock(mutex_);
+  return load_locked(name, ns);
+}
+
+StatusOr<Handle> Linker::dlforce(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  // A fresh namespace: nothing is "already loaded" in it, so the whole
+  // dependency closure is re-instanced and every constructor runs again.
+  const NamespaceId ns = next_namespace_++;
+  return load_locked(name, ns);
+}
+
+StatusOr<std::shared_ptr<LoadedLibrary>> Linker::load_locked(
+    std::string_view name, NamespaceId ns) {
+  const auto key = std::make_pair(ns, std::string(name));
+  auto it = loaded_.find(key);
+  if (it != loaded_.end()) {
+    // Normal dlopen semantics: hand back the copy already present in this
+    // namespace.
+    return it->second;
+  }
+
+  auto image_it = images_.find(name);
+  if (image_it == images_.end()) {
+    return Status::not_found("no such library: " + std::string(name));
+  }
+  const LibraryImage& image = image_it->second;
+
+  auto copy = std::make_shared<LoadedLibrary>(&image, ns);
+  // Publish before loading deps so dependency cycles terminate (the second
+  // visit resolves to this entry instead of recursing).
+  loaded_.emplace(key, copy);
+
+  for (const std::string& dep_name : image.deps) {
+    auto dep = load_locked(dep_name, ns);
+    if (!dep.is_ok()) {
+      loaded_.erase(key);
+      return Status::not_found("while loading " + std::string(name) + ": " +
+                               dep.status().message());
+    }
+    copy->deps_.push_back(std::move(dep.value()));
+  }
+
+  // Run the library's constructors / init data setup.
+  LoadContext context(*this, ns, copy.get());
+  copy->instance_ = image.factory(context);
+  if (copy->instance_ == nullptr) {
+    loaded_.erase(key);
+    return Status::internal("constructor failed for " + std::string(name));
+  }
+  ++load_counts_[std::string(name)];
+  CYCADA_LOG(kDebug) << "linker: loaded " << name << " into ns " << ns;
+  return copy;
+}
+
+void* Linker::dlsym(const Handle& handle, std::string_view symbol) {
+  if (handle == nullptr) return nullptr;
+  // Breadth-first over the handle's tree, never leaving its namespace —
+  // the dlforce-scoped search behavior of paper §8.1.
+  std::deque<const LoadedLibrary*> queue{handle.get()};
+  while (!queue.empty()) {
+    const LoadedLibrary* lib = queue.front();
+    queue.pop_front();
+    if (LibraryInstance* inst = const_cast<LoadedLibrary*>(lib)->instance()) {
+      if (void* address = inst->symbol(symbol)) return address;
+    }
+    for (const auto& dep : lib->deps()) queue.push_back(dep.get());
+  }
+  return nullptr;
+}
+
+Status Linker::dlclose(Handle handle) {
+  if (handle == nullptr) return Status::invalid_argument("null handle");
+  std::lock_guard lock(mutex_);
+  const auto key = std::make_pair(handle->namespace_id(), handle->name());
+  auto it = loaded_.find(key);
+  // Drop the caller's reference; if only the registry still holds the copy,
+  // unload it (and transitively, any dependencies nothing else references).
+  handle.reset();
+  if (it != loaded_.end() && it->second.use_count() == 1) {
+    // Collect the tree before erasing the root so dependency registry
+    // entries can be dropped too once orphaned.
+    std::vector<std::pair<NamespaceId, std::string>> candidates;
+    std::deque<const LoadedLibrary*> queue{it->second.get()};
+    while (!queue.empty()) {
+      const LoadedLibrary* lib = queue.front();
+      queue.pop_front();
+      candidates.emplace_back(lib->namespace_id(), lib->name());
+      for (const auto& dep : lib->deps()) queue.push_back(dep.get());
+    }
+    loaded_.erase(it);
+    for (const auto& candidate : candidates) {
+      auto cit = loaded_.find(candidate);
+      if (cit != loaded_.end() && cit->second.use_count() == 1) {
+        loaded_.erase(cit);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+int Linker::load_count(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = load_counts_.find(std::string(name));
+  return it == load_counts_.end() ? 0 : it->second;
+}
+
+int Linker::live_copy_count(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  int count = 0;
+  for (const auto& [key, copy] : loaded_) {
+    if (key.second == name && copy != nullptr) ++count;
+  }
+  return count;
+}
+
+}  // namespace cycada::linker

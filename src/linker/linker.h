@@ -1,0 +1,151 @@
+// Simulated dynamic linker with Dynamic Library Replication (DLR, paper §8.1).
+//
+// "Libraries" are registered images: a name, a dependency list and a factory
+// that constructs a LibraryInstance — the per-load globals, initialization
+// data and symbol table of one loaded copy. dlopen() follows the normal
+// rules (a library already present in the namespace is shared and
+// reference-counted); dlforce() creates a *replica*: a fresh namespace into
+// which the library and its entire dependency closure are loaded as if they
+// had never been loaded before. Every symbol of every replica — functions,
+// globals, init data — has a distinct address, and all constructors run
+// again, which is exactly the property Cycada needs to give each iOS
+// EAGLContext its own vendor EGL/GLES connection.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cycada::linker {
+
+class Linker;
+class LoadedLibrary;
+
+// Namespace 0 is the global (normal dlopen) namespace; each dlforce call
+// mints a new one.
+using NamespaceId = int;
+inline constexpr NamespaceId kGlobalNamespace = 0;
+
+// One loaded copy of a library: owns that copy's globals and resolves its
+// exported symbols to per-copy addresses. Authored by each library module
+// (vendor GLES, libui_wrapper, ...).
+class LibraryInstance {
+ public:
+  virtual ~LibraryInstance() = default;
+  // Per-instance address of an exported symbol; nullptr when not exported.
+  virtual void* symbol(std::string_view name) = 0;
+};
+
+// What a library factory sees while its constructors run.
+class LoadContext {
+ public:
+  LoadContext(Linker& linker, NamespaceId ns, LoadedLibrary* self)
+      : linker_(linker), ns_(ns), self_(self) {}
+
+  Linker& linker() { return linker_; }
+  // The namespace this load is happening in; libraries that dlopen lazily at
+  // run time must remember it so lookups stay inside their replica tree.
+  NamespaceId namespace_id() const { return ns_; }
+  // Instance of a declared dependency (already loaded); nullptr if `name`
+  // was not declared as a dependency.
+  LibraryInstance* dep(std::string_view name);
+
+ private:
+  Linker& linker_;
+  NamespaceId ns_;
+  LoadedLibrary* self_;
+};
+
+using LibraryFactory =
+    std::function<std::unique_ptr<LibraryInstance>(LoadContext&)>;
+
+// The on-disk image: immutable description registered once per library.
+struct LibraryImage {
+  std::string name;
+  std::vector<std::string> deps;
+  LibraryFactory factory;
+};
+
+// A node in a loaded tree. Exposed so callers can walk replica trees in
+// tests; user code normally holds only Handle.
+class LoadedLibrary {
+ public:
+  LoadedLibrary(const LibraryImage* image, NamespaceId ns)
+      : image_(image), ns_(ns) {}
+
+  const std::string& name() const { return image_->name; }
+  NamespaceId namespace_id() const { return ns_; }
+  LibraryInstance* instance() { return instance_.get(); }
+  const std::vector<std::shared_ptr<LoadedLibrary>>& deps() const {
+    return deps_;
+  }
+
+ private:
+  friend class Linker;
+  friend class LoadContext;
+
+  const LibraryImage* image_;
+  NamespaceId ns_;
+  std::unique_ptr<LibraryInstance> instance_;
+  std::vector<std::shared_ptr<LoadedLibrary>> deps_;
+  int refcount_ = 0;
+};
+
+using Handle = std::shared_ptr<LoadedLibrary>;
+
+class Linker {
+ public:
+  static Linker& instance();
+
+  // Unregisters all images and unloads everything (test support).
+  void reset();
+
+  // Registers an image; fails if the name is taken.
+  Status register_image(LibraryImage image);
+  bool has_image(std::string_view name) const;
+
+  // Normal load: shares an already-loaded copy in `ns` (refcounted),
+  // otherwise loads the library and its dependencies into `ns`.
+  StatusOr<Handle> dlopen(std::string_view name,
+                          NamespaceId ns = kGlobalNamespace);
+
+  // DLR load (paper §8.1): loads `name` and its whole dependency closure
+  // into a brand-new namespace as if nothing had ever been loaded. Returns
+  // the replica root; dlsym/dlopen against it stay inside the replica tree.
+  StatusOr<Handle> dlforce(std::string_view name);
+
+  // Resolves `symbol` in the handle's library, then breadth-first through
+  // its dependency tree (never escaping the handle's namespace).
+  void* dlsym(const Handle& handle, std::string_view symbol);
+
+  // Drops one reference; the copy (and, for replica roots, the whole tree)
+  // is destroyed when the last reference goes away.
+  Status dlclose(Handle handle);
+
+  // Introspection for tests and the DESIGN.md invariants.
+  int load_count(std::string_view name) const;   // total loads ever
+  int live_copy_count(std::string_view name) const;  // currently loaded copies
+
+ private:
+  Linker() = default;
+
+  StatusOr<std::shared_ptr<LoadedLibrary>> load_locked(std::string_view name,
+                                                       NamespaceId ns);
+
+  mutable std::recursive_mutex mutex_;
+  std::map<std::string, LibraryImage, std::less<>> images_;
+  // (namespace, name) -> loaded copy shared within that namespace.
+  std::map<std::pair<NamespaceId, std::string>,
+           std::shared_ptr<LoadedLibrary>, std::less<>>
+      loaded_;
+  std::map<std::string, int, std::less<>> load_counts_;
+  NamespaceId next_namespace_ = 1;
+};
+
+}  // namespace cycada::linker

@@ -1,0 +1,151 @@
+// Small vector / matrix math used by the software GPU, the fixed-function
+// GLES1 pipeline (matrix stacks) and the GLES2 shader kernels. Column-major
+// 4x4 matrices to match the OpenGL convention.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace cycada {
+
+struct Vec2 {
+  float x = 0.f, y = 0.f;
+};
+
+struct Vec3 {
+  float x = 0.f, y = 0.f, z = 0.f;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator*(Vec3 a, float s) { return {a.x * s, a.y * s, a.z * s}; }
+};
+
+struct Vec4 {
+  float x = 0.f, y = 0.f, z = 0.f, w = 0.f;
+
+  friend Vec4 operator+(Vec4 a, Vec4 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z, a.w + b.w};
+  }
+  friend Vec4 operator-(Vec4 a, Vec4 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z, a.w - b.w};
+  }
+  friend Vec4 operator*(Vec4 a, float s) {
+    return {a.x * s, a.y * s, a.z * s, a.w * s};
+  }
+  friend Vec4 operator*(Vec4 a, Vec4 b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z, a.w * b.w};
+  }
+};
+
+inline float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+inline float length(Vec3 v) { return std::sqrt(dot(v, v)); }
+inline Vec3 normalize(Vec3 v) {
+  const float len = length(v);
+  return len > 0.f ? v * (1.f / len) : v;
+}
+
+// Column-major 4x4 matrix: m[col * 4 + row], matching glLoadMatrixf layout.
+struct Mat4 {
+  std::array<float, 16> m{};
+
+  static Mat4 identity() {
+    Mat4 r;
+    r.m[0] = r.m[5] = r.m[10] = r.m[15] = 1.f;
+    return r;
+  }
+
+  float& at(std::size_t row, std::size_t col) { return m[col * 4 + row]; }
+  float at(std::size_t row, std::size_t col) const { return m[col * 4 + row]; }
+
+  friend Mat4 operator*(const Mat4& a, const Mat4& b) {
+    Mat4 r;
+    for (std::size_t col = 0; col < 4; ++col) {
+      for (std::size_t row = 0; row < 4; ++row) {
+        float sum = 0.f;
+        for (std::size_t k = 0; k < 4; ++k) sum += a.at(row, k) * b.at(k, col);
+        r.at(row, col) = sum;
+      }
+    }
+    return r;
+  }
+
+  friend Vec4 operator*(const Mat4& a, Vec4 v) {
+    return {
+        a.m[0] * v.x + a.m[4] * v.y + a.m[8] * v.z + a.m[12] * v.w,
+        a.m[1] * v.x + a.m[5] * v.y + a.m[9] * v.z + a.m[13] * v.w,
+        a.m[2] * v.x + a.m[6] * v.y + a.m[10] * v.z + a.m[14] * v.w,
+        a.m[3] * v.x + a.m[7] * v.y + a.m[11] * v.z + a.m[15] * v.w,
+    };
+  }
+
+  static Mat4 translate(float x, float y, float z) {
+    Mat4 r = identity();
+    r.m[12] = x;
+    r.m[13] = y;
+    r.m[14] = z;
+    return r;
+  }
+
+  static Mat4 scale(float x, float y, float z) {
+    Mat4 r = identity();
+    r.m[0] = x;
+    r.m[5] = y;
+    r.m[10] = z;
+    return r;
+  }
+
+  // Rotation of `degrees` about the (normalized internally) axis, matching
+  // glRotatef semantics.
+  static Mat4 rotate(float degrees, float ax, float ay, float az) {
+    const float rad = degrees * 3.14159265358979323846f / 180.f;
+    const Vec3 axis = normalize({ax, ay, az});
+    const float c = std::cos(rad), s = std::sin(rad), t = 1.f - c;
+    Mat4 r = identity();
+    r.at(0, 0) = t * axis.x * axis.x + c;
+    r.at(0, 1) = t * axis.x * axis.y - s * axis.z;
+    r.at(0, 2) = t * axis.x * axis.z + s * axis.y;
+    r.at(1, 0) = t * axis.x * axis.y + s * axis.z;
+    r.at(1, 1) = t * axis.y * axis.y + c;
+    r.at(1, 2) = t * axis.y * axis.z - s * axis.x;
+    r.at(2, 0) = t * axis.x * axis.z - s * axis.y;
+    r.at(2, 1) = t * axis.y * axis.z + s * axis.x;
+    r.at(2, 2) = t * axis.z * axis.z + c;
+    return r;
+  }
+
+  static Mat4 frustum(float l, float r, float b, float t, float n, float f) {
+    Mat4 out;
+    out.at(0, 0) = 2.f * n / (r - l);
+    out.at(0, 2) = (r + l) / (r - l);
+    out.at(1, 1) = 2.f * n / (t - b);
+    out.at(1, 2) = (t + b) / (t - b);
+    out.at(2, 2) = -(f + n) / (f - n);
+    out.at(2, 3) = -2.f * f * n / (f - n);
+    out.at(3, 2) = -1.f;
+    return out;
+  }
+
+  static Mat4 ortho(float l, float r, float b, float t, float n, float f) {
+    Mat4 out = identity();
+    out.at(0, 0) = 2.f / (r - l);
+    out.at(1, 1) = 2.f / (t - b);
+    out.at(2, 2) = -2.f / (f - n);
+    out.at(0, 3) = -(r + l) / (r - l);
+    out.at(1, 3) = -(t + b) / (t - b);
+    out.at(2, 3) = -(f + n) / (f - n);
+    return out;
+  }
+
+  static Mat4 perspective(float fovy_degrees, float aspect, float n, float f) {
+    const float half = fovy_degrees * 3.14159265358979323846f / 360.f;
+    const float top = n * std::tan(half);
+    const float right = top * aspect;
+    return frustum(-right, right, -top, top, n, f);
+  }
+};
+
+}  // namespace cycada

@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace cycada {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+constexpr const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message) {
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[cycada %s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace cycada

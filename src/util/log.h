@@ -1,0 +1,44 @@
+// Minimal leveled logging. Messages go to stderr; the threshold is a global
+// that tests and benches lower to keep output quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cycada {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+// Sets / reads the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cycada
+
+#define CYCADA_LOG(level)                                         \
+  if (::cycada::LogLevel::level < ::cycada::log_level()) {        \
+  } else                                                          \
+    ::cycada::detail::LogLine(::cycada::LogLevel::level)

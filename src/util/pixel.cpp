@@ -1,0 +1,49 @@
+#include "util/pixel.h"
+
+namespace cycada {
+
+const char* pixel_format_name(PixelFormat format) {
+  switch (format) {
+    case PixelFormat::kRgba8888: return "RGBA8888";
+    case PixelFormat::kRgbx8888: return "RGBX8888";
+    case PixelFormat::kRgb565: return "RGB565";
+    case PixelFormat::kAlpha8: return "ALPHA8";
+    case PixelFormat::kLuminance8: return "LUMINANCE8";
+  }
+  return "UNKNOWN";
+}
+
+std::uint32_t pack_rgba8888(Color c) {
+  const auto to8 = [](float v) {
+    return static_cast<std::uint32_t>(clamp01(v) * 255.f + 0.5f);
+  };
+  return to8(c.r) | (to8(c.g) << 8) | (to8(c.b) << 16) | (to8(c.a) << 24);
+}
+
+Color unpack_rgba8888(std::uint32_t packed) {
+  constexpr float kInv = 1.f / 255.f;
+  return {
+      static_cast<float>(packed & 0xff) * kInv,
+      static_cast<float>((packed >> 8) & 0xff) * kInv,
+      static_cast<float>((packed >> 16) & 0xff) * kInv,
+      static_cast<float>((packed >> 24) & 0xff) * kInv,
+  };
+}
+
+std::uint16_t pack_rgb565(Color c) {
+  const auto r = static_cast<std::uint16_t>(clamp01(c.r) * 31.f + 0.5f);
+  const auto g = static_cast<std::uint16_t>(clamp01(c.g) * 63.f + 0.5f);
+  const auto b = static_cast<std::uint16_t>(clamp01(c.b) * 31.f + 0.5f);
+  return static_cast<std::uint16_t>((r << 11) | (g << 5) | b);
+}
+
+Color unpack_rgb565(std::uint16_t packed) {
+  return {
+      static_cast<float>((packed >> 11) & 0x1f) / 31.f,
+      static_cast<float>((packed >> 5) & 0x3f) / 63.f,
+      static_cast<float>(packed & 0x1f) / 31.f,
+      1.f,
+  };
+}
+
+}  // namespace cycada

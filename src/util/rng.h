@@ -1,0 +1,42 @@
+// Deterministic pseudo-random numbers (SplitMix64). Workload generators use
+// this instead of std::mt19937 so runs are reproducible across platforms and
+// standard-library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace cycada {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  std::uint32_t next_below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(next_u64() % bound);
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cycada

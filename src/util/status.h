@@ -1,0 +1,160 @@
+// Lightweight Status / StatusOr error-propagation types.
+//
+// The Cycada bridge deals with many fallible operations (linker loads,
+// syscalls, GL object creation). We follow the Core Guidelines advice of
+// reporting errors through return values on boundaries that are expected to
+// fail in normal operation, and reserving exceptions for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cycada {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kPermissionDenied,
+};
+
+// Human-readable name of a status code, e.g. "NOT_FOUND".
+constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+  }
+  return "UNKNOWN";
+}
+
+// A success-or-error result with an optional message. Cheap to copy on the
+// success path (no allocation when ok).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status already_exists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status unimplemented(std::string m) {
+    return {StatusCode::kUnimplemented, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status permission_denied(std::string m) {
+    return {StatusCode::kPermissionDenied, std::move(m)};
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string out{cycada::to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or an error Status. `value()` asserts success; callers on fallible
+// paths should test `is_ok()` first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+  StatusOr(Status status) : repr_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(repr_).is_ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+
+  bool is_ok() const { return repr_.index() == 0; }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const {
+    static const Status ok_status{};
+    return is_ok() ? ok_status : std::get<1>(repr_);
+  }
+
+  T& value() & {
+    assert(is_ok());
+    return std::get<0>(repr_);
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<0>(repr_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(std::get<0>(repr_));
+  }
+
+  T value_or(T fallback) const& {
+    return is_ok() ? std::get<0>(repr_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagate an error status from an expression that yields a Status.
+#define CYCADA_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::cycada::Status cycada_status_tmp_ = (expr);     \
+    if (!cycada_status_tmp_.is_ok()) return cycada_status_tmp_; \
+  } while (false)
+
+}  // namespace cycada

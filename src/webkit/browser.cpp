@@ -1,0 +1,222 @@
+#include "webkit/browser.h"
+
+#include <cmath>
+
+#include "webkit/raster.h"
+
+namespace cycada::webkit {
+
+namespace {
+constexpr char kCompositeVs[] =
+    "attribute vec4 a_position; attribute vec2 a_texcoord;"
+    "uniform mat4 u_mvp; varying vec2 v_uv;"
+    "void main() { gl_Position = u_mvp * a_position; v_uv = a_texcoord; }";
+constexpr char kCompositeFs[] =
+    "uniform sampler2D u_tex; varying vec2 v_uv;"
+    "void main() { gl_FragColor = texture2D(u_tex, v_uv); }";
+}  // namespace
+
+Browser::Browser(glport::GlPort& port, bool jit_enabled)
+    : port_(port), js_(jsvm::JsOptions{.jit_enabled = jit_enabled}) {}
+
+Browser::~Browser() {
+  for (Tile& tile : tiles_) {
+    if (tile.texture != 0) port_.delete_texture(tile.texture);
+  }
+}
+
+Status Browser::ensure_tiles() {
+  if (!tiles_.empty()) return Status::ok();
+  if (program_ == 0) {
+    program_ = port_.build_program(kCompositeVs, kCompositeFs);
+    if (program_ == 0) return Status::internal("compositor program failed");
+  }
+  tile_cols_ = (port_.width() + kTileSize - 1) / kTileSize;
+  tile_rows_ = (port_.height() + kTileSize - 1) / kTileSize;
+  tiles_.resize(static_cast<std::size_t>(tile_cols_) * tile_rows_);
+  for (Tile& tile : tiles_) {
+    auto handle = port_.create_shared_buffer(kTileSize, kTileSize);
+    CYCADA_RETURN_IF_ERROR(handle.status());
+    tile.buffer_handle = handle.value();
+    tile.texture = port_.gen_texture();
+  }
+  return Status::ok();
+}
+
+Status Browser::load(std::string_view markup) {
+  auto document = Document::parse(markup);
+  CYCADA_RETURN_IF_ERROR(document.status());
+  document_ = std::make_unique<Document>(std::move(document.value()));
+  page_bg_ = document_->body().bg != 0 ? document_->body().bg : 0xff101010u;
+  display_list_ = layout(*document_, port_.width());
+  return render_frame();
+}
+
+void Browser::enable_threaded_rendering() {
+  if (render_queue_ == nullptr) {
+    render_queue_ =
+        std::make_unique<dispatch::DispatchQueue>("com.webkit.render");
+  }
+}
+
+Status Browser::render_frame() {
+  if (render_queue_ != nullptr) {
+    // The render thread adopts the submitting thread's EAGL context (GCD
+    // semantics); every GLES call it makes migrates TLS per call.
+    Status result = Status::ok();
+    render_queue_->sync([&] {
+      result = [&]() -> Status {
+        CYCADA_RETURN_IF_ERROR(ensure_tiles());
+        CYCADA_RETURN_IF_ERROR(paint_tiles());
+        return composite_and_present();
+      }();
+    });
+    CYCADA_RETURN_IF_ERROR(result);
+    ++frames_rendered_;
+    return Status::ok();
+  }
+  CYCADA_RETURN_IF_ERROR(ensure_tiles());
+  CYCADA_RETURN_IF_ERROR(paint_tiles());
+  CYCADA_RETURN_IF_ERROR(composite_and_present());
+  ++frames_rendered_;
+  return Status::ok();
+}
+
+Status Browser::paint_tiles() {
+  // The CoreGraphics path: CPU rasterization into shared graphics buffers.
+  // On the iOS port every lock/unlock is the §6.2 IOSurface dance.
+  for (int row = 0; row < tile_rows_; ++row) {
+    for (int col = 0; col < tile_cols_; ++col) {
+      Tile& tile = tiles_[static_cast<std::size_t>(row) * tile_cols_ + col];
+      auto canvas = port_.lock_buffer(tile.buffer_handle);
+      CYCADA_RETURN_IF_ERROR(canvas.status());
+      PixelWindow window;
+      window.pixels = canvas->pixels;
+      window.stride_px = canvas->stride_px;
+      window.width = canvas->width;
+      window.height = canvas->height;
+      window.origin_x = col * kTileSize;
+      window.origin_y = row * kTileSize;
+      raster_display_list(display_list_, page_bg_, window);
+      CYCADA_RETURN_IF_ERROR(port_.unlock_buffer(tile.buffer_handle));
+      if (!tile.bound) {
+        CYCADA_RETURN_IF_ERROR(
+            port_.bind_buffer_to_texture(tile.buffer_handle, tile.texture));
+        tile.bound = true;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status Browser::composite_and_present() {
+  port_.begin_frame();
+  port_.clear_color(0.f, 0.f, 0.f, 1.f);
+  port_.clear(glcore::GL_COLOR_BUFFER_BIT);
+  port_.use_program(program_);
+  port_.uniform_matrix(port_.uniform_location(program_, "u_mvp"),
+                       Mat4::identity());
+  port_.uniform1i(port_.uniform_location(program_, "u_tex"), 0);
+  port_.enable_vertex_attrib(0);
+  port_.enable_vertex_attrib(2);
+
+  const float sx = 2.f / static_cast<float>(port_.width());
+  const float sy = 2.f / static_cast<float>(port_.height());
+  for (int row = 0; row < tile_rows_; ++row) {
+    for (int col = 0; col < tile_cols_; ++col) {
+      Tile& tile = tiles_[static_cast<std::size_t>(row) * tile_cols_ + col];
+      const float x0 = -1.f + col * kTileSize * sx;
+      const float x1 = x0 + kTileSize * sx;
+      // Pixel row 0 is the top: NDC y starts at +1 and decreases.
+      const float y0 = 1.f - row * kTileSize * sy;
+      const float y1 = y0 - kTileSize * sy;
+      const float positions[] = {x0, y0, x1, y0, x1, y1,
+                                 x0, y0, x1, y1, x0, y1};
+      const float uvs[] = {0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1};
+      port_.bind_texture(tile.texture);
+      port_.vertex_attrib_pointer(0, 2, positions);
+      port_.vertex_attrib_pointer(2, 2, uvs);
+      port_.draw_arrays(glcore::GL_TRIANGLES, 0, 6);
+    }
+  }
+  port_.disable_vertex_attrib(0);
+  port_.disable_vertex_attrib(2);
+  port_.flush();
+  return port_.present();
+}
+
+StatusOr<double> Browser::run_script(std::string_view source) {
+  auto result = js_.run(source);
+  CYCADA_RETURN_IF_ERROR(result.status());
+  const double value = result->to_number();
+
+  // The WebKit pattern: render the dynamic result page after the script.
+  std::string markup =
+      "<body bg=#182028><h1 color=#ffffff>Results</h1>"
+      "<p color=#a0e0a0>score " +
+      std::to_string(static_cast<long long>(value)) + "</p></body>";
+  CYCADA_RETURN_IF_ERROR(load(markup));
+  return value;
+}
+
+std::string_view acid_page_markup() {
+  return R"HTML(<body bg=#ffffff>
+<h1 color=#202020>Acid</h1>
+<div bg=#ff0000 width=64 height=32></div>
+<div bg=#00ff00 width=64 height=32></div>
+<div bg=#0000ff width=64 height=32></div>
+<p color=#404040>The quick brown fox jumps over the lazy dog</p>
+<div bg=#123456 height=20><span color=#fedcba>nested</span></div>
+</body>)HTML";
+}
+
+int Browser::acid_score() {
+  int score = 0;
+  // 10 points: parser conformance.
+  score += parse_color("#ff0000") == 0xff0000ffu ? 2 : 0;
+  score += parse_color("#00ff00") == 0xff00ff00u ? 2 : 0;
+  score += parse_color("bogus") == 0 ? 2 : 0;
+  {
+    auto doc = Document::parse(acid_page_markup());
+    score += doc.is_ok() ? 2 : 0;
+    score += doc.is_ok() && doc->element_count() >= 7 ? 2 : 0;
+  }
+  // 10 points: layout conformance (analytic expectations).
+  if (load(acid_page_markup()).is_ok()) {
+    const DisplayList& list = display_list_;
+    score += !list.rects.empty() ? 2 : 0;
+    // The three color bars are 64px wide, stacked.
+    int bars = 0;
+    int last_y = -1;
+    for (const PaintRect& rect : list.rects) {
+      if (rect.rect.width == 64 && rect.rect.height == 32) {
+        ++bars;
+        score += rect.rect.y > last_y ? 1 : 0;
+        last_y = rect.rect.y;
+      }
+    }
+    score += bars == 3 ? 2 : 0;
+    score += !list.text_runs.empty() ? 1 : 0;
+    score += list.content_height > 100 ? 2 : 0;
+  }
+  // 80 points: rendering conformance — the GPU-composited output must be
+  // pixel-identical to the reference software renderer at 80 sample points.
+  const Image reference = software_render(display_list_, page_bg_,
+                                          port_.width(), port_.height());
+  const Image actual = port_.screen();
+  if (actual.width() == reference.width() &&
+      actual.height() == reference.height()) {
+    int passed = 0;
+    std::uint32_t x = 123456789;
+    for (int i = 0; i < 80; ++i) {
+      x = x * 1664525u + 1013904223u;
+      const int px = static_cast<int>(x % reference.width());
+      const int py = static_cast<int>((x >> 8) % reference.height());
+      if (actual.at(px, py) == reference.at(px, py)) ++passed;
+    }
+    score += passed;
+  }
+  return score;
+}
+
+}  // namespace cycada::webkit

@@ -1,0 +1,80 @@
+// The mini browser: markup -> document -> layout -> tile compositor over a
+// GlPort, plus script execution through the JS engine. On Cycada this is
+// the "Safari" workload: tiles are CPU-rastered into shared graphics
+// buffers (IOSurfaces on the iOS port — every repaint runs the
+// IOSurfaceLock dance) and composited with GLES2 textured quads, then
+// presented through EAGL.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dispatch/dispatch.h"
+#include "glport/gl_port.h"
+#include "jsvm/engine.h"
+#include "util/image.h"
+#include "webkit/document.h"
+#include "webkit/layout.h"
+
+namespace cycada::webkit {
+
+inline constexpr int kTileSize = 64;
+
+class Browser {
+ public:
+  // `jit_enabled` reflects whether this platform's JS engine can JIT
+  // (false on Cycada iOS — the Mach VM bug, paper §9).
+  Browser(glport::GlPort& port, bool jit_enabled);
+  ~Browser();
+
+  // WebKit-style threaded rendering (paper §7): paint + composite run on a
+  // dedicated render thread that adopts this thread's EAGL context. Only
+  // meaningful on the iOS port, where per-call TLS migration makes the
+  // foreign thread's GLES calls work.
+  void enable_threaded_rendering();
+  bool threaded_rendering() const { return render_queue_ != nullptr; }
+
+  // Parses, lays out and renders a page. The screen shows it after return.
+  Status load(std::string_view markup);
+  // Re-renders the current page (tile repaint + composite + present).
+  Status render_frame();
+
+  // Runs a script, then renders a results page (the WebKit pattern: GLES
+  // work follows every script run — paper §9's SunSpider profile).
+  StatusOr<double> run_script(std::string_view source);
+
+  // Acid-style conformance battery; returns a score out of 100.
+  int acid_score();
+
+  Image screen() { return port_.screen(); }
+  const DisplayList& display_list() const { return display_list_; }
+  int frames_rendered() const { return frames_rendered_; }
+
+ private:
+  struct Tile {
+    int buffer_handle = 0;
+    glport::GLuint texture = 0;
+    bool bound = false;
+  };
+
+  Status ensure_tiles();
+  Status paint_tiles();
+  Status composite_and_present();
+
+  glport::GlPort& port_;
+  jsvm::JsEngine js_;
+  std::unique_ptr<Document> document_;
+  DisplayList display_list_;
+  std::uint32_t page_bg_ = 0xff101010u;
+  std::vector<Tile> tiles_;
+  int tile_cols_ = 0;
+  int tile_rows_ = 0;
+  glport::GLuint program_ = 0;
+  int frames_rendered_ = 0;
+  std::unique_ptr<dispatch::DispatchQueue> render_queue_;
+};
+
+// The markup of the Acid-style conformance page.
+std::string_view acid_page_markup();
+
+}  // namespace cycada::webkit

@@ -1,0 +1,191 @@
+#include "webkit/document.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cycada::webkit {
+
+std::uint32_t parse_color(std::string_view text) {
+  if (text.size() != 7 || text[0] != '#') return 0;
+  std::uint32_t rgb = 0;
+  for (int i = 1; i < 7; ++i) {
+    const char c = text[i];
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return 0;
+    rgb = (rgb << 4) | digit;
+  }
+  // Packed RGBA little-endian (R low byte), alpha opaque.
+  const std::uint32_t r = (rgb >> 16) & 0xff;
+  const std::uint32_t g = (rgb >> 8) & 0xff;
+  const std::uint32_t b = rgb & 0xff;
+  return r | (g << 8) | (b << 16) | 0xff000000u;
+}
+
+namespace {
+
+class MarkupParser {
+ public:
+  explicit MarkupParser(std::string_view markup) : markup_(markup) {}
+
+  Status parse_into(Element& parent) {
+    while (pos_ < markup_.size()) {
+      skip_space();
+      if (pos_ >= markup_.size()) break;
+      if (markup_[pos_] == '<') {
+        if (pos_ + 1 < markup_.size() && markup_[pos_ + 1] == '/') {
+          return Status::ok();  // caller consumes the close tag
+        }
+        CYCADA_RETURN_IF_ERROR(parse_element(parent));
+      } else {
+        parse_text(parent);
+      }
+    }
+    return Status::ok();
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  void skip_space() {
+    while (pos_ < markup_.size() &&
+           std::isspace(static_cast<unsigned char>(markup_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void parse_text(Element& parent) {
+    std::string text;
+    while (pos_ < markup_.size() && markup_[pos_] != '<') {
+      text += markup_[pos_++];
+    }
+    // Collapse whitespace runs, trim edges.
+    std::string collapsed;
+    bool in_space = true;
+    for (char c : text) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) collapsed += ' ';
+        in_space = true;
+      } else {
+        collapsed += c;
+        in_space = false;
+      }
+    }
+    while (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
+    if (collapsed.empty()) return;
+    Element* node = parent.append_child("text");
+    node->text = std::move(collapsed);
+    node->color = parent.color;
+  }
+
+  Status parse_element(Element& parent) {
+    ++pos_;  // '<'
+    std::string tag;
+    while (pos_ < markup_.size() &&
+           (std::isalnum(static_cast<unsigned char>(markup_[pos_])))) {
+      tag += markup_[pos_++];
+    }
+    if (tag.empty()) return Status::invalid_argument("empty tag");
+    Element* node = parent.append_child(tag);
+    node->color = parent.color;
+
+    // Attributes.
+    for (;;) {
+      skip_space();
+      if (pos_ >= markup_.size()) {
+        return Status::invalid_argument("unterminated tag " + tag);
+      }
+      if (markup_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (markup_[pos_] == '/' && pos_ + 1 < markup_.size() &&
+          markup_[pos_ + 1] == '>') {
+        pos_ += 2;
+        return Status::ok();  // self-closing
+      }
+      std::string name;
+      while (pos_ < markup_.size() &&
+             (std::isalnum(static_cast<unsigned char>(markup_[pos_])))) {
+        name += markup_[pos_++];
+      }
+      if (pos_ >= markup_.size() || markup_[pos_] != '=') {
+        return Status::invalid_argument("bad attribute in <" + tag + ">");
+      }
+      ++pos_;
+      std::string value;
+      const bool quoted = pos_ < markup_.size() && markup_[pos_] == '"';
+      if (quoted) ++pos_;
+      while (pos_ < markup_.size() &&
+             (quoted ? markup_[pos_] != '"'
+                     : !std::isspace(static_cast<unsigned char>(
+                           markup_[pos_])) &&
+                           markup_[pos_] != '>')) {
+        value += markup_[pos_++];
+      }
+      if (quoted) {
+        if (pos_ >= markup_.size()) {
+          return Status::invalid_argument("unterminated attribute value");
+        }
+        ++pos_;
+      }
+      if (name == "bg") node->bg = parse_color(value);
+      else if (name == "color") node->color = parse_color(value);
+      else if (name == "width") node->width = std::atoi(value.c_str());
+      else if (name == "height") node->height = std::atoi(value.c_str());
+    }
+
+    // Children until the matching close tag.
+    CYCADA_RETURN_IF_ERROR(parse_into(*node));
+    skip_space();
+    if (pos_ + 1 < markup_.size() && markup_[pos_] == '<' &&
+        markup_[pos_ + 1] == '/') {
+      pos_ += 2;
+      std::string close;
+      while (pos_ < markup_.size() && markup_[pos_] != '>') {
+        close += markup_[pos_++];
+      }
+      if (pos_ >= markup_.size()) {
+        return Status::invalid_argument("unterminated close tag");
+      }
+      ++pos_;
+      if (close != tag) {
+        return Status::invalid_argument("mismatched </" + close +
+                                        "> for <" + tag + ">");
+      }
+      return Status::ok();
+    }
+    return Status::invalid_argument("missing close tag for <" + tag + ">");
+  }
+
+  std::string_view markup_;
+  std::size_t pos_ = 0;
+};
+
+int count_elements(const Element& element) {
+  int count = 1;
+  for (const auto& child : element.children) {
+    count += count_elements(*child);
+  }
+  return count;
+}
+
+}  // namespace
+
+StatusOr<Document> Document::parse(std::string_view markup) {
+  Document document;
+  MarkupParser parser(markup);
+  CYCADA_RETURN_IF_ERROR(parser.parse_into(document.body()));
+  // A single toplevel <body> wrapper replaces the implicit body.
+  if (document.body_->children.size() == 1 &&
+      document.body_->children[0]->tag == "body") {
+    document.body_ = std::move(document.body_->children[0]);
+  }
+  return document;
+}
+
+int Document::element_count() const { return count_elements(*body_); }
+
+}  // namespace cycada::webkit

@@ -1,0 +1,57 @@
+// The document model of the mini-WebKit engine: a tag tree parsed from a
+// small HTML-like markup dialect.
+//
+//   <body bg=#202830>
+//     <h1 color=#ffffff>Title</h1>
+//     <div bg=#4060a0 height=40></div>
+//     <p color=#d0d0d0>Some text that wraps...</p>
+//   </body>
+//
+// Supported attributes: bg, color (#rrggbb), width, height (px).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/pixel.h"
+#include "util/status.h"
+
+namespace cycada::webkit {
+
+struct Element {
+  std::string tag;          // "body", "div", "p", "h1", "span", "img", "text"
+  std::string text;         // for tag == "text"
+  std::uint32_t bg = 0;     // 0 = transparent, else packed RGBA
+  std::uint32_t color = 0xffffffffu;
+  int width = -1;           // -1 = auto
+  int height = -1;
+  std::vector<std::unique_ptr<Element>> children;
+
+  Element* append_child(std::string tag_name) {
+    children.push_back(std::make_unique<Element>());
+    children.back()->tag = std::move(tag_name);
+    return children.back().get();
+  }
+};
+
+class Document {
+ public:
+  // Parses markup; returns an error on malformed input.
+  static StatusOr<Document> parse(std::string_view markup);
+
+  Element& body() { return *body_; }
+  const Element& body() const { return *body_; }
+
+  // Number of elements in the tree (tests, Acid checks).
+  int element_count() const;
+
+ private:
+  Document() : body_(std::make_unique<Element>()) { body_->tag = "body"; }
+  std::unique_ptr<Element> body_;
+};
+
+// Parses "#rrggbb" into packed RGBA (alpha 0xff); 0 on failure.
+std::uint32_t parse_color(std::string_view text);
+
+}  // namespace cycada::webkit

@@ -1,0 +1,127 @@
+#include "webkit/layout.h"
+
+#include <algorithm>
+
+namespace cycada::webkit {
+
+namespace {
+
+constexpr int kBlockMargin = 4;
+constexpr int kPadding = 2;
+
+class LayoutEngine {
+ public:
+  explicit LayoutEngine(int width) : width_(width) {}
+
+  DisplayList take() { return std::move(list_); }
+
+  // Lays out `element` starting at vertical offset `y`; returns the new y.
+  int layout_block(const Element& element, int x, int y, int width) {
+    const int box_width = element.width >= 0
+                              ? std::min(element.width, width)
+                              : width;
+    const int content_x = x + kPadding;
+    const int content_width = std::max(kGlyphWidth, box_width - 2 * kPadding);
+    int cursor_y = y + kPadding;
+
+    // Children stack vertically; consecutive text/span children flow as
+    // inline lines.
+    int line_x = content_x;
+    const int scale = element.tag == "h1" ? kH1Scale : 1;
+    for (const auto& child : element.children) {
+      if (child->tag == "text" || child->tag == "span" ||
+          child->tag == "b") {
+        const std::string& text =
+            child->tag == "text"
+                ? child->text
+                : (child->children.empty() ? "" : child->children[0]->text);
+        cursor_y = layout_text(text, child->color, scale, content_x,
+                               content_width, line_x, cursor_y);
+      } else {
+        line_x = content_x;
+        cursor_y += kBlockMargin;
+        cursor_y = layout_element(*child, content_x, cursor_y, content_width);
+      }
+    }
+
+    const int natural_height = cursor_y + kPadding - y;
+    const int box_height =
+        element.height >= 0 ? element.height : natural_height;
+    return y + box_height;
+  }
+
+  int layout_element(const Element& element, int x, int y, int width) {
+    const int box_width =
+        element.width >= 0 ? std::min(element.width, width) : width;
+    const int start_y = y;
+    // Reserve the background slot now so it paints *under* the children.
+    std::size_t bg_slot = list_.rects.size();
+    if (element.bg != 0) list_.rects.push_back({});
+
+    const int end_y = layout_block(element, x, y, box_width);
+
+    if (element.bg != 0) {
+      list_.rects[bg_slot] =
+          PaintRect{{x, start_y, box_width, end_y - start_y}, element.bg};
+    }
+    return end_y;
+  }
+
+  // Flows text into lines; returns the new cursor y. `line_x` tracks the
+  // inline position across adjacent runs.
+  int layout_text(const std::string& text, std::uint32_t color, int scale,
+                  int left, int width, int& line_x, int y) {
+    const int glyph_w = kGlyphWidth * scale;
+    const int line_h = kGlyphHeight * scale + 2;
+    std::size_t word_start = 0;
+    int run_start_x = line_x;
+    std::string run;
+    const auto flush_run = [&] {
+      if (!run.empty()) {
+        list_.text_runs.push_back({run_start_x, y, scale, run, color});
+        run.clear();
+      }
+    };
+    while (word_start < text.size()) {
+      std::size_t word_end = text.find(' ', word_start);
+      if (word_end == std::string::npos) word_end = text.size();
+      const std::string word =
+          text.substr(word_start, word_end - word_start) + " ";
+      const int word_px = static_cast<int>(word.size()) * glyph_w;
+      if (line_x + word_px > left + width && line_x > left) {
+        flush_run();
+        line_x = left;
+        run_start_x = left;
+        y += line_h;
+      }
+      if (run.empty()) run_start_x = line_x;
+      run += word;
+      line_x += word_px;
+      word_start = word_end + 1;
+    }
+    flush_run();
+    return y + line_h;
+  }
+
+ private:
+  int width_;
+  DisplayList list_;
+};
+
+}  // namespace
+
+DisplayList layout(const Document& document, int width) {
+  LayoutEngine engine(width);
+  // The body background covers the whole viewport; content height is
+  // computed from the flow.
+  DisplayList list;
+  {
+    LayoutEngine body_engine(width);
+    const int end_y = body_engine.layout_element(document.body(), 0, 0, width);
+    list = body_engine.take();
+    list.content_height = end_y;
+  }
+  return list;
+}
+
+}  // namespace cycada::webkit

@@ -1,0 +1,42 @@
+// Block/inline layout for the mini-WebKit engine. Produces a display list:
+// background rectangles and positioned text runs, in paint order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "webkit/document.h"
+
+namespace cycada::webkit {
+
+// Fixed-metric font: every glyph is kGlyphWidth x kGlyphHeight pixels.
+inline constexpr int kGlyphWidth = 6;
+inline constexpr int kGlyphHeight = 10;
+inline constexpr int kH1Scale = 2;
+
+struct Rect {
+  int x = 0, y = 0, width = 0, height = 0;
+};
+
+struct PaintRect {
+  Rect rect;
+  std::uint32_t color = 0;
+};
+
+struct TextRun {
+  int x = 0, y = 0;
+  int scale = 1;  // h1 text is scaled up
+  std::string text;
+  std::uint32_t color = 0xffffffffu;
+};
+
+struct DisplayList {
+  std::vector<PaintRect> rects;
+  std::vector<TextRun> text_runs;
+  int content_height = 0;
+};
+
+// Lays the document out for a viewport `width` pixels wide.
+DisplayList layout(const Document& document, int width);
+
+}  // namespace cycada::webkit

@@ -1,0 +1,89 @@
+#include "webkit/raster.h"
+
+#include <algorithm>
+
+namespace cycada::webkit {
+
+bool glyph_pixel(char c, int gx, int gy) {
+  // 5x8 ink area inside the 6x10 cell, with a 1px gap right/bottom.
+  if (gx >= kGlyphWidth - 1 || gy < 1 || gy >= kGlyphHeight - 1) return false;
+  if (c == ' ') return false;
+  const std::uint32_t h =
+      (static_cast<std::uint32_t>(c) * 2654435761u) ^ (gy * 0x9e3779b9u);
+  return ((h >> (gx + 3)) & 1) != 0;
+}
+
+namespace {
+
+void fill_rect(PixelWindow& window, const Rect& rect, std::uint32_t color) {
+  const int x0 = std::max(rect.x - window.origin_x, 0);
+  const int y0 = std::max(rect.y - window.origin_y, 0);
+  const int x1 = std::min(rect.x + rect.width - window.origin_x, window.width);
+  const int y1 =
+      std::min(rect.y + rect.height - window.origin_y, window.height);
+  if (x0 >= x1 || y0 >= y1) return;
+  for (int y = y0; y < y1; ++y) {
+    std::uint32_t* row =
+        window.pixels + static_cast<std::size_t>(y) * window.stride_px;
+    std::fill(row + x0, row + x1, color);
+  }
+}
+
+void draw_text_run(PixelWindow& window, const TextRun& run) {
+  const int glyph_w = kGlyphWidth * run.scale;
+  const int glyph_h = kGlyphHeight * run.scale;
+  // Quick reject: run bounds vs window.
+  const int run_w = static_cast<int>(run.text.size()) * glyph_w;
+  if (run.x + run_w <= window.origin_x ||
+      run.x >= window.origin_x + window.width ||
+      run.y + glyph_h <= window.origin_y ||
+      run.y >= window.origin_y + window.height) {
+    return;
+  }
+  for (std::size_t i = 0; i < run.text.size(); ++i) {
+    const int cell_x = run.x + static_cast<int>(i) * glyph_w;
+    for (int gy = 0; gy < glyph_h; ++gy) {
+      const int py = run.y + gy - window.origin_y;
+      if (py < 0 || py >= window.height) continue;
+      std::uint32_t* row =
+          window.pixels + static_cast<std::size_t>(py) * window.stride_px;
+      for (int gx = 0; gx < glyph_w; ++gx) {
+        const int px = cell_x + gx - window.origin_x;
+        if (px < 0 || px >= window.width) continue;
+        if (glyph_pixel(run.text[i], gx / run.scale, gy / run.scale)) {
+          row[px] = run.color;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void raster_display_list(const DisplayList& list, std::uint32_t page_bg,
+                         PixelWindow window) {
+  fill_rect(window,
+            Rect{window.origin_x, window.origin_y, window.width,
+                 window.height},
+            page_bg);
+  for (const PaintRect& rect : list.rects) {
+    if (rect.color != 0) fill_rect(window, rect.rect, rect.color);
+  }
+  for (const TextRun& run : list.text_runs) {
+    draw_text_run(window, run);
+  }
+}
+
+Image software_render(const DisplayList& list, std::uint32_t page_bg,
+                      int width, int height) {
+  Image image(width, height);
+  PixelWindow window;
+  window.pixels = image.pixels().data();
+  window.stride_px = width;
+  window.width = width;
+  window.height = height;
+  raster_display_list(list, page_bg, window);
+  return image;
+}
+
+}  // namespace cycada::webkit

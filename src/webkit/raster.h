@@ -1,0 +1,35 @@
+// CPU rasterization of display lists (the CoreGraphics stand-in): fills and
+// fixed-metric glyphs drawn into pixel buffers. Used by the tile compositor
+// to paint tile contents and by the Acid conformance test as the reference
+// renderer.
+#pragma once
+
+#include "util/image.h"
+#include "webkit/layout.h"
+
+namespace cycada::webkit {
+
+// A writable pixel window (subrectangle of a larger surface).
+struct PixelWindow {
+  std::uint32_t* pixels = nullptr;
+  int stride_px = 0;
+  int width = 0;   // window size
+  int height = 0;
+  int origin_x = 0;  // window position in page coordinates
+  int origin_y = 0;
+};
+
+// Deterministic pseudo-font: whether the pixel (gx, gy) inside a glyph cell
+// is set for character `c`. Not a readable font, but stable — pixel-exact
+// comparisons across renderers are meaningful.
+bool glyph_pixel(char c, int gx, int gy);
+
+// Paints the parts of the display list that intersect `window`.
+void raster_display_list(const DisplayList& list, std::uint32_t page_bg,
+                         PixelWindow window);
+
+// Renders the whole list into an Image (the reference renderer).
+Image software_render(const DisplayList& list, std::uint32_t page_bg,
+                      int width, int height);
+
+}  // namespace cycada::webkit

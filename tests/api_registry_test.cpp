@@ -1,0 +1,110 @@
+// Locks the API-registry data to the numbers of the paper's Table 1 (and
+// the 344-function universe of Table 2). Any registry edit that breaks a
+// published count fails here, not silently in the bench output.
+#include "glcore/api_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cycada::glcore {
+namespace {
+
+TEST(ApiRegistryTest, StandardFunctionCountsMatchTable1) {
+  EXPECT_EQ(ios_registry().gles1_functions.size(), 145u);
+  EXPECT_EQ(ios_registry().gles2_functions.size(), 142u);
+  EXPECT_EQ(android_registry().gles1_functions.size(), 145u);
+  EXPECT_EQ(android_registry().gles2_functions.size(), 142u);
+  EXPECT_EQ(khronos_registry().gles1_functions.size(), 145u);
+  EXPECT_EQ(khronos_registry().gles2_functions.size(), 142u);
+}
+
+TEST(ApiRegistryTest, ExtensionFunctionCountsMatchTable1) {
+  EXPECT_EQ(count_extension_functions(ios_registry()), 94);
+  EXPECT_EQ(count_extension_functions(android_registry()), 42);
+  EXPECT_EQ(count_extension_functions(khronos_registry()), 285);
+}
+
+TEST(ApiRegistryTest, CommonExtensionFunctionsMatchTable1) {
+  EXPECT_EQ(
+      count_common_extension_functions(ios_registry(), android_registry()),
+      27);
+  // Symmetry.
+  EXPECT_EQ(
+      count_common_extension_functions(android_registry(), ios_registry()),
+      27);
+}
+
+TEST(ApiRegistryTest, ExtensionCountsMatchTable1) {
+  EXPECT_EQ(ios_registry().extensions.size(), 50u);
+  EXPECT_EQ(android_registry().extensions.size(), 60u);
+  EXPECT_EQ(khronos_registry().extensions.size(), 174u);
+  EXPECT_EQ(count_extensions_not_in(ios_registry(), android_registry()), 33);
+  EXPECT_EQ(count_extensions_not_in(android_registry(), ios_registry()), 43);
+  // Khronos is a superset of both platforms.
+  EXPECT_EQ(count_extensions_not_in(ios_registry(), khronos_registry()), 0);
+  EXPECT_EQ(count_extensions_not_in(android_registry(), khronos_registry()),
+            0);
+}
+
+TEST(ApiRegistryTest, UniverseIs344Functions) {
+  EXPECT_EQ(ios_function_universe().size(), 344u);
+}
+
+TEST(ApiRegistryTest, NoDuplicateStandardNames) {
+  for (const ApiRegistry* registry :
+       {&ios_registry(), &android_registry()}) {
+    std::set<std::string> gles1(registry->gles1_functions.begin(),
+                                registry->gles1_functions.end());
+    std::set<std::string> gles2(registry->gles2_functions.begin(),
+                                registry->gles2_functions.end());
+    EXPECT_EQ(gles1.size(), registry->gles1_functions.size());
+    EXPECT_EQ(gles2.size(), registry->gles2_functions.size());
+    // Exactly 37 names shared between the two standard lists (this is what
+    // makes 145 + 142 - 37 + 94 = 344).
+    int shared = 0;
+    for (const std::string& name : gles1) shared += gles2.contains(name);
+    EXPECT_EQ(shared, 37);
+  }
+}
+
+TEST(ApiRegistryTest, NoDuplicateExtensionNamesOrFunctions) {
+  for (const ApiRegistry* registry :
+       {&ios_registry(), &android_registry(), &khronos_registry()}) {
+    std::set<std::string> names;
+    std::set<std::string> functions;
+    for (const ExtensionInfo& info : registry->extensions) {
+      EXPECT_TRUE(names.insert(info.name).second) << info.name;
+      for (const std::string& fn : info.functions) {
+        EXPECT_TRUE(functions.insert(fn).second) << fn;
+      }
+    }
+  }
+}
+
+TEST(ApiRegistryTest, KeyPaperExtensionsPresent) {
+  const auto has_ext = [](const ApiRegistry& registry, std::string_view name) {
+    for (const ExtensionInfo& info : registry.extensions) {
+      if (info.name == name) return true;
+    }
+    return false;
+  };
+  // The extensions the paper's diplomat examples hinge on (§4.1).
+  EXPECT_TRUE(has_ext(ios_registry(), "GL_APPLE_fence"));
+  EXPECT_TRUE(has_ext(ios_registry(), "GL_APPLE_row_bytes"));
+  EXPECT_FALSE(has_ext(android_registry(), "GL_APPLE_fence"));
+  EXPECT_TRUE(has_ext(android_registry(), "GL_NV_fence"));
+  EXPECT_FALSE(has_ext(ios_registry(), "GL_NV_fence"));
+  EXPECT_TRUE(has_ext(ios_registry(), "GL_OES_EGL_image"));
+  EXPECT_TRUE(has_ext(android_registry(), "GL_OES_EGL_image"));
+}
+
+TEST(ApiRegistryTest, ExtensionStringIsSpaceSeparated) {
+  const std::string s = extension_string(android_registry());
+  EXPECT_NE(s.find("GL_NV_fence"), std::string::npos);
+  EXPECT_NE(s.find(' '), std::string::npos);
+  EXPECT_EQ(s.find("  "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cycada::glcore

@@ -1,0 +1,243 @@
+#include "core/diplomat.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/classification.h"
+#include "core/impersonation.h"
+
+namespace cycada::core {
+namespace {
+
+class DiplomatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel::Kernel::instance().reset(kernel::TrapModel::kCycada);
+    DiplomatRegistry::instance().reset();
+    GraphicsTlsTracker::instance().reset();
+    kernel::Kernel::instance().register_current_thread(
+        kernel::Persona::kIos);
+  }
+};
+
+TEST_F(DiplomatTest, CallRunsDomesticInAndroidPersona) {
+  DiplomatEntry& entry =
+      DiplomatRegistry::instance().entry("glClear", DiplomatPattern::kDirect);
+  kernel::Persona seen = kernel::Persona::kIos;
+  diplomat_call(entry, {}, [&] {
+    seen = kernel::Kernel::instance().current_thread().persona();
+  });
+  EXPECT_EQ(seen, kernel::Persona::kAndroid);
+  // Back in the foreign persona after the call.
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(),
+            kernel::Persona::kIos);
+  EXPECT_EQ(entry.calls.load(), 1u);
+}
+
+TEST_F(DiplomatTest, CallReturnsDomesticValue) {
+  DiplomatEntry& entry = DiplomatRegistry::instance().entry(
+      "glGetError", DiplomatPattern::kDirect);
+  const int value = diplomat_call(entry, {}, [] { return 42; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST_F(DiplomatTest, PreludeAndPostludeRunInForeignPersona) {
+  DiplomatEntry& entry = DiplomatRegistry::instance().entry(
+      "glFlush", DiplomatPattern::kDirect);
+  std::vector<std::pair<std::string, kernel::Persona>> trace;
+  DiplomatHooks hooks;
+  hooks.prelude = [&] {
+    trace.emplace_back("prelude",
+                       kernel::Kernel::instance().current_thread().persona());
+  };
+  hooks.postlude = [&] {
+    trace.emplace_back("postlude",
+                       kernel::Kernel::instance().current_thread().persona());
+  };
+  diplomat_call(entry, hooks, [&] {
+    trace.emplace_back("domestic",
+                       kernel::Kernel::instance().current_thread().persona());
+  });
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], (std::pair<std::string, kernel::Persona>{
+                          "prelude", kernel::Persona::kIos}));
+  EXPECT_EQ(trace[1], (std::pair<std::string, kernel::Persona>{
+                          "domestic", kernel::Persona::kAndroid}));
+  EXPECT_EQ(trace[2], (std::pair<std::string, kernel::Persona>{
+                          "postlude", kernel::Persona::kIos}));
+}
+
+TEST_F(DiplomatTest, ErrnoIsConvertedToDarwin) {
+  DiplomatEntry& entry =
+      DiplomatRegistry::instance().entry("open", DiplomatPattern::kDirect);
+  diplomat_call(entry, {}, [] {
+    kernel::libc::set_errno(11);  // Linux EAGAIN
+  });
+  // The foreign persona sees Darwin EAGAIN (35).
+  EXPECT_EQ(kernel::libc::get_errno(), 35);
+}
+
+TEST_F(DiplomatTest, NestedDiplomatsRestorePersona) {
+  DiplomatEntry& outer =
+      DiplomatRegistry::instance().entry("outer", DiplomatPattern::kMulti);
+  DiplomatEntry& inner =
+      DiplomatRegistry::instance().entry("inner", DiplomatPattern::kDirect);
+  diplomat_call(outer, {}, [&] {
+    // Domestic code invoking another diplomat: caller persona is Android
+    // and must be restored to Android, not blindly to iOS.
+    diplomat_call(inner, {}, [] {});
+    EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(),
+              kernel::Persona::kAndroid);
+  });
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(),
+            kernel::Persona::kIos);
+}
+
+TEST_F(DiplomatTest, ProfilingRecordsTime) {
+  DiplomatRegistry::instance().set_profiling(true);
+  DiplomatEntry& entry = DiplomatRegistry::instance().entry(
+      "glDrawArrays", DiplomatPattern::kDirect);
+  diplomat_call(entry, {}, [] {
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  });
+  EXPECT_EQ(entry.calls.load(), 1u);
+  EXPECT_GT(entry.total_ns.load(), 0);
+  auto snapshot = DiplomatRegistry::instance().snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "glDrawArrays");
+  DiplomatRegistry::instance().clear_stats();
+  EXPECT_EQ(DiplomatRegistry::instance().snapshot()[0].calls, 0u);
+}
+
+TEST_F(DiplomatTest, RegistryDeduplicatesEntries) {
+  DiplomatEntry& a =
+      DiplomatRegistry::instance().entry("glClear", DiplomatPattern::kDirect);
+  DiplomatEntry& b =
+      DiplomatRegistry::instance().entry("glClear", DiplomatPattern::kDirect);
+  EXPECT_EQ(&a, &b);
+}
+
+class TrackerTest : public DiplomatTest {};
+
+TEST_F(TrackerTest, OnlyGatedKeysAreGraphicsKeys) {
+  GraphicsTlsTracker& tracker = GraphicsTlsTracker::instance();
+  tracker.install();
+  const kernel::TlsKey plain = kernel::libc::pthread_key_create();
+  tracker.enter_graphics_diplomat();
+  const kernel::TlsKey graphics = kernel::libc::pthread_key_create();
+  tracker.exit_graphics_diplomat();
+  EXPECT_FALSE(tracker.is_graphics_key(plain));
+  EXPECT_TRUE(tracker.is_graphics_key(graphics));
+  // Deleting a key untracks it.
+  kernel::libc::pthread_key_delete(graphics);
+  EXPECT_FALSE(tracker.is_graphics_key(graphics));
+}
+
+TEST_F(TrackerTest, WellKnownKeysAreTracked) {
+  GraphicsTlsTracker& tracker = GraphicsTlsTracker::instance();
+  tracker.install();
+  const kernel::TlsKey apple_slot = kernel::libc::pthread_key_create();
+  tracker.add_well_known_key(apple_slot);
+  EXPECT_TRUE(tracker.is_graphics_key(apple_slot));
+}
+
+TEST_F(TrackerTest, GatingIsReentrant) {
+  GraphicsTlsTracker& tracker = GraphicsTlsTracker::instance();
+  tracker.install();
+  tracker.enter_graphics_diplomat();
+  tracker.enter_graphics_diplomat();
+  tracker.exit_graphics_diplomat();
+  EXPECT_TRUE(tracker.in_graphics_diplomat());
+  tracker.exit_graphics_diplomat();
+  EXPECT_FALSE(tracker.in_graphics_diplomat());
+}
+
+class ImpersonationTest : public DiplomatTest {};
+
+TEST_F(ImpersonationTest, MigratesGraphicsTlsBothWays) {
+  GraphicsTlsTracker& tracker = GraphicsTlsTracker::instance();
+  tracker.install();
+  tracker.enter_graphics_diplomat();
+  const kernel::TlsKey key = kernel::libc::pthread_key_create();
+  tracker.exit_graphics_diplomat();
+
+  kernel::Kernel& kernel = kernel::Kernel::instance();
+  // Target thread sets its graphics TLS (Android persona) and stays alive.
+  kernel::Tid target_tid = kernel::kInvalidTid;
+  int target_value = 1;
+  int running_value = 2;
+  std::atomic<bool> ready{false}, done{false};
+  void* target_after = nullptr;
+  std::thread target([&] {
+    kernel.register_current_thread(kernel::Persona::kAndroid);
+    target_tid = kernel.current_thread().tid();
+    kernel.tls_set(key, &target_value);
+    ready.store(true);
+    while (!done.load()) std::this_thread::yield();
+    target_after = kernel.tls_get(key);
+  });
+  while (!ready.load()) std::this_thread::yield();
+
+  // Running thread (iOS persona): its own value in the Android slot.
+  {
+    kernel::ScopedPersona android(kernel::Persona::kAndroid);
+    kernel.tls_set(key, &running_value);
+  }
+
+  int updated_value = 3;
+  {
+    ThreadImpersonation impersonation(target_tid);
+    ASSERT_TRUE(impersonation.active());
+    EXPECT_EQ(kernel::sys_gettid(), target_tid);
+    kernel::ScopedPersona android(kernel::Persona::kAndroid);
+    // The running thread now sees the target's value...
+    EXPECT_EQ(kernel.tls_get(key), &target_value);
+    // ...and updates it while impersonating.
+    kernel.tls_set(key, &updated_value);
+  }
+  // Identity restored.
+  EXPECT_EQ(kernel::sys_gettid(), kernel.current_thread().tid());
+  {
+    kernel::ScopedPersona android(kernel::Persona::kAndroid);
+    // The running thread's own TLS was restored.
+    EXPECT_EQ(kernel.tls_get(key), &running_value);
+  }
+  done.store(true);
+  target.join();
+  // The update was reflected back to the target thread.
+  EXPECT_EQ(target_after, &updated_value);
+}
+
+TEST_F(ImpersonationTest, SelfAndInvalidTargetsAreNoOps) {
+  const kernel::Tid self = kernel::Kernel::instance().current_thread().tid();
+  ThreadImpersonation self_imp(self);
+  EXPECT_FALSE(self_imp.active());
+  ThreadImpersonation bad(99999);
+  EXPECT_FALSE(bad.active());
+  EXPECT_EQ(kernel::sys_gettid(), self);
+}
+
+TEST(ClassificationTest, Table2CountsMatchPaper) {
+  const Table2Counts counts = count_table2();
+  EXPECT_EQ(counts.direct, 312);
+  EXPECT_EQ(counts.indirect, 15);
+  EXPECT_EQ(counts.data_dependent, 5);
+  EXPECT_EQ(counts.multi, 2);
+  EXPECT_EQ(counts.unimplemented, 10);
+  EXPECT_EQ(counts.total(), 344);
+}
+
+TEST(ClassificationTest, AppleFenceIsIndirect) {
+  EXPECT_EQ(classify_ios_gl_function("glSetFenceAPPLE"),
+            DiplomatPattern::kIndirect);
+  EXPECT_EQ(classify_ios_gl_function("glGetString"),
+            DiplomatPattern::kDataDependent);
+  EXPECT_EQ(classify_ios_gl_function("glDeleteTextures"),
+            DiplomatPattern::kMulti);
+  EXPECT_EQ(classify_ios_gl_function("glClear"), DiplomatPattern::kDirect);
+}
+
+}  // namespace
+}  // namespace cycada::core

@@ -1,0 +1,160 @@
+// Remaining-gap coverage: texture units, line/point rasterization,
+// read-only surface locks, small kernel syscalls, JS syntax edges.
+#include <gtest/gtest.h>
+
+#include "glcore/engine.h"
+#include "glport/system_config.h"
+#include "gpu/device.h"
+#include "iosurface/iosurface.h"
+#include "jsvm/engine.h"
+#include "kernel/kernel.h"
+
+namespace cycada {
+namespace {
+
+TEST(RasterPrimitivesTest, HorizontalLineDrawsContiguousPixels) {
+  gpu::GpuDevice::instance().reset();
+  auto& dev = gpu::GpuDevice::instance();
+  const auto target = dev.create_target(16, 16, false);
+  dev.submit_clear(target, std::nullopt, true, {0, 0, 0, 1}, false, 1.f);
+  std::vector<gpu::ShadedVertex> line(2);
+  line[0].clip_pos = {-0.9f, 0.f, 0.f, 1.f};
+  line[1].clip_pos = {0.9f, 0.f, 0.f, 1.f};
+  line[0].color = line[1].color = {1.f, 1.f, 1.f, 1.f};
+  dev.submit_draw(target, {}, gpu::PrimitiveKind::kLines, line);
+  std::vector<std::uint32_t> pixels(256);
+  ASSERT_TRUE(
+      dev.read_pixels(target, 0, 0, 16, 16, pixels.data(), 16).is_ok());
+  int lit = 0;
+  for (int x = 1; x < 15; ++x) lit += pixels[8 * 16 + x] == 0xffffffffu;
+  EXPECT_GE(lit, 12);  // a contiguous midline run
+  EXPECT_EQ(pixels[0], 0xff000000u);
+}
+
+TEST(RasterPrimitivesTest, PointSizeControlsFootprint) {
+  gpu::GpuDevice::instance().reset();
+  auto& dev = gpu::GpuDevice::instance();
+  const auto target = dev.create_target(16, 16, false);
+  dev.submit_clear(target, std::nullopt, true, {0, 0, 0, 1}, false, 1.f);
+  std::vector<gpu::ShadedVertex> point(1);
+  point[0].clip_pos = {0.f, 0.f, 0.f, 1.f};
+  point[0].color = {1.f, 0.f, 0.f, 1.f};
+  gpu::RasterState state;
+  state.point_size = 5.f;
+  dev.submit_draw(target, state, gpu::PrimitiveKind::kPoints, point);
+  dev.flush();
+  const auto stats = dev.stats();
+  EXPECT_EQ(stats.fragments_shaded, 25u);  // 5x5 square
+}
+
+TEST(TextureUnitsTest, SamplerSelectsUnitOne) {
+  kernel::Kernel::instance().reset();
+  gpu::GpuDevice::instance().reset();
+  glcore::GlesEngine engine({});
+  const auto target = gpu::GpuDevice::instance().create_target(8, 8, false);
+  const auto ctx = engine.create_context(2);
+  ASSERT_TRUE(engine.make_current(ctx, target).is_ok());
+  engine.glViewport(0, 0, 8, 8);
+
+  // Unit 0: red texture. Unit 1: green texture.
+  glcore::GLuint textures[2] = {};
+  engine.glGenTextures(2, textures);
+  const std::uint32_t red = 0xff0000ffu, green = 0xff00ff00u;
+  engine.glActiveTexture(glcore::GL_TEXTURE0);
+  engine.glBindTexture(glcore::GL_TEXTURE_2D, textures[0]);
+  engine.glTexImage2D(glcore::GL_TEXTURE_2D, 0, glcore::GL_RGBA, 1, 1, 0,
+                      glcore::GL_RGBA, glcore::GL_UNSIGNED_BYTE, &red);
+  engine.glActiveTexture(glcore::GL_TEXTURE0 + 1);
+  engine.glBindTexture(glcore::GL_TEXTURE_2D, textures[1]);
+  engine.glTexImage2D(glcore::GL_TEXTURE_2D, 0, glcore::GL_RGBA, 1, 1, 0,
+                      glcore::GL_RGBA, glcore::GL_UNSIGNED_BYTE, &green);
+
+  const char* vs =
+      "attribute vec4 a_position; attribute vec2 a_texcoord; uniform mat4 "
+      "u_mvp; varying vec2 v_uv;"
+      "void main() { gl_Position = u_mvp * a_position; v_uv = a_texcoord; }";
+  const char* fs =
+      "uniform sampler2D u_tex; varying vec2 v_uv;"
+      "void main() { gl_FragColor = texture2D(u_tex, v_uv); }";
+  const glcore::GLuint vsh = engine.glCreateShader(glcore::GL_VERTEX_SHADER);
+  const glcore::GLuint fsh = engine.glCreateShader(glcore::GL_FRAGMENT_SHADER);
+  engine.glShaderSource(vsh, 1, &vs, nullptr);
+  engine.glShaderSource(fsh, 1, &fs, nullptr);
+  engine.glCompileShader(vsh);
+  engine.glCompileShader(fsh);
+  const glcore::GLuint prog = engine.glCreateProgram();
+  engine.glAttachShader(prog, vsh);
+  engine.glAttachShader(prog, fsh);
+  engine.glLinkProgram(prog);
+  engine.glUseProgram(prog);
+  const float identity[16] = {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+  engine.glUniformMatrix4fv(0, 1, glcore::GL_FALSE, identity);
+  engine.glUniform1i(2, 1);  // sample unit 1
+
+  const float quad[] = {-1, -1, 1, -1, 1, 1, -1, -1, 1, 1, -1, 1};
+  const float uvs[] = {0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1};
+  engine.glEnableVertexAttribArray(0);
+  engine.glEnableVertexAttribArray(2);
+  engine.glVertexAttribPointer(0, 2, glcore::GL_FLOAT, glcore::GL_FALSE, 0,
+                               quad);
+  engine.glVertexAttribPointer(2, 2, glcore::GL_FLOAT, glcore::GL_FALSE, 0,
+                               uvs);
+  engine.glDrawArrays(glcore::GL_TRIANGLES, 0, 6);
+  std::uint32_t center = 0;
+  engine.glReadPixels(4, 4, 1, 1, glcore::GL_RGBA, glcore::GL_UNSIGNED_BYTE,
+                      &center);
+  EXPECT_EQ(center, green);
+}
+
+TEST(IOSurfaceReadOnlyTest, ReadOnlyLockForbidsNothingButIsHonored) {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  auto surface = iosurface::IOSurfaceCreate({.width = 4, .height = 4});
+  ASSERT_NE(surface, nullptr);
+  ASSERT_TRUE(
+      iosurface::IOSurfaceLock(surface, iosurface::kIOSurfaceLockReadOnly)
+          .is_ok());
+  EXPECT_NE(iosurface::IOSurfaceGetBaseAddress(surface), nullptr);
+  ASSERT_TRUE(iosurface::IOSurfaceUnlock(surface).is_ok());
+}
+
+TEST(KernelMiscTest, GetPidAndYield) {
+  kernel::Kernel::instance().reset();
+  kernel::Kernel::instance().register_current_thread(
+      kernel::Persona::kAndroid);
+  auto& kernel = kernel::Kernel::instance();
+  EXPECT_EQ(kernel.syscall(kernel::Sys::kGetPid), kernel.main_tid());
+  EXPECT_EQ(kernel.syscall(kernel::Sys::kYield), 0);
+}
+
+TEST(JsSyntaxEdgeTest, CommentsHexAndEscapes) {
+  jsvm::JsEngine engine{jsvm::JsOptions{}};
+  auto r = engine.run(
+      "// line comment\n"
+      "/* block\n comment */\n"
+      "var x = 0xff;            // hex literal\n"
+      "var s = \"a\\tb\\n\";    // escapes\n"
+      "x + s.length;");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_DOUBLE_EQ(r->to_number(), 259.0);
+}
+
+TEST(JsSyntaxEdgeTest, NestedTernaryAndChainedLogic) {
+  jsvm::JsEngine engine{jsvm::JsOptions{}};
+  auto r = engine.run(
+      "var a = 5;"
+      "var b = a > 3 ? (a > 10 ? 1 : 2) : 3;"
+      "var c = (a > 1 && a < 10) || a == 0 ? 100 : 200;"
+      "b * 1000 + c;");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r->to_number(), 2100.0);
+}
+
+TEST(JsSyntaxEdgeTest, WhitespaceAndSemicolonTolerance) {
+  jsvm::JsEngine engine{jsvm::JsOptions{}};
+  auto r = engine.run("  ;;; var x = 1 ;; x + 1 ;  ");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r->to_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace cycada

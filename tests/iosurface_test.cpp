@@ -1,0 +1,190 @@
+#include "iosurface/iosurface.h"
+
+#include <gtest/gtest.h>
+
+#include "android_gl/egl.h"
+#include "android_gl/vendor.h"
+#include "core/diplomat.h"
+#include "gpu/device.h"
+#include "kernel/kernel.h"
+
+namespace cycada::iosurface {
+namespace {
+
+class IOSurfaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel::Kernel::instance().reset();
+    gpu::GpuDevice::instance().reset();
+    gmem::GrallocAllocator::instance().reset();
+    linker::Linker::instance().reset();
+    LinuxCoreSurface::instance().reset();
+    core::DiplomatRegistry::instance().reset();
+    // Android-side setup (the wrapper, GL calls) happens in the Android
+    // persona, as it would when reached through diplomats. The IOSurface C
+    // API itself is persona-agnostic (its diplomats switch as needed).
+    kernel::Kernel::instance().register_current_thread(
+        kernel::Persona::kAndroid);
+  }
+
+  // Sets up an MC replica wrapper with a current GLES2 context, as the EAGL
+  // bridge would.
+  android_gl::UiWrapper* make_wrapper() {
+    android_gl::AndroidEgl* egl = android_gl::open_android_egl();
+    if (egl == nullptr || egl->eglInitialize() != android_gl::EGL_TRUE) {
+      return nullptr;
+    }
+    const int id = egl->eglReInitializeMC();
+    if (id <= 0) return nullptr;
+    android_gl::UiWrapper* wrapper = egl->connection_by_id(id)->ui_wrapper;
+    if (!wrapper->initialize(2, 8, 8).is_ok()) return nullptr;
+    return wrapper;
+  }
+};
+
+TEST_F(IOSurfaceTest, CreateAllocatesGraphicBufferBacking) {
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 16, .height = 8});
+  ASSERT_NE(surface, nullptr);
+  EXPECT_EQ(IOSurfaceGetWidth(surface), 16);
+  EXPECT_EQ(IOSurfaceGetHeight(surface), 8);
+  EXPECT_NE(surface->backing(), nullptr);
+  // gralloc pads rows to 16 pixels: 16 px * 4 bytes.
+  EXPECT_EQ(IOSurfaceGetBytesPerRow(surface), 64u);
+  // The creation ran through an indirect diplomat.
+  auto snapshot = core::DiplomatRegistry::instance().snapshot();
+  bool found = false;
+  for (const auto& entry : snapshot) {
+    if (entry.name == "IOSurfaceCreate") {
+      found = true;
+      EXPECT_EQ(entry.pattern, core::DiplomatPattern::kIndirect);
+      EXPECT_EQ(entry.calls, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(IOSurfaceTest, CreateRejectsBadDimensions) {
+  EXPECT_EQ(IOSurfaceCreate({.width = 0, .height = 8}), nullptr);
+  EXPECT_EQ(IOSurfaceCreate({.width = 8, .height = -1}), nullptr);
+}
+
+TEST_F(IOSurfaceTest, LookupFromIdSharesTheSurface) {
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+  ASSERT_NE(surface, nullptr);
+  IOSurfaceRef other = IOSurfaceLookupFromID(IOSurfaceGetID(surface));
+  EXPECT_EQ(surface.get(), other.get());
+  EXPECT_EQ(IOSurfaceLookupFromID(9999), nullptr);
+}
+
+TEST_F(IOSurfaceTest, SurfaceDiesWhenLastRefDrops) {
+  IOSurfaceId id = 0;
+  {
+    IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+    ASSERT_NE(surface, nullptr);
+    id = IOSurfaceGetID(surface);
+    EXPECT_EQ(LinuxCoreSurface::instance().live_surfaces(), 1u);
+  }
+  EXPECT_EQ(IOSurfaceLookupFromID(id), nullptr);
+  EXPECT_EQ(LinuxCoreSurface::instance().live_surfaces(), 0u);
+}
+
+TEST_F(IOSurfaceTest, LockUnlockWithoutTextureIsSimple) {
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+  ASSERT_NE(surface, nullptr);
+  EXPECT_EQ(IOSurfaceGetBaseAddress(surface), nullptr);  // not locked yet
+  ASSERT_TRUE(IOSurfaceLock(surface).is_ok());
+  void* base = IOSurfaceGetBaseAddress(surface);
+  ASSERT_NE(base, nullptr);
+  // CPU drawing into the locked surface.
+  static_cast<std::uint32_t*>(base)[0] = 0xff0000ffu;
+  EXPECT_FALSE(IOSurfaceLock(surface).is_ok());  // double lock
+  ASSERT_TRUE(IOSurfaceUnlock(surface).is_ok());
+  EXPECT_FALSE(IOSurfaceUnlock(surface).is_ok());  // double unlock
+  EXPECT_EQ(surface->backing()->pixels32()[0], 0xff0000ffu);
+}
+
+TEST_F(IOSurfaceTest, TextureBoundSurfaceCannotLockDirectly) {
+  // Sanity-check the underlying Android restriction that motivates the
+  // multi-diplomat dance: an EGLImage-associated buffer refuses CPU locks.
+  android_gl::UiWrapper* wrapper = make_wrapper();
+  ASSERT_NE(wrapper, nullptr);
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+  ASSERT_NE(surface, nullptr);
+
+  glcore::GlesEngine& gl = *wrapper->engine();
+  glcore::GLuint texture = 0;
+  gl.glGenTextures(1, &texture);
+  ASSERT_TRUE(LinuxCoreSurface::instance()
+                  .bind_gles_texture(surface, wrapper, texture)
+                  .is_ok());
+  EXPECT_EQ(surface->backing()->egl_image_refs(), 1);
+  EXPECT_FALSE(surface->backing()->lock(gmem::kUsageCpuRead).is_ok());
+}
+
+TEST_F(IOSurfaceTest, LockDanceDisassociatesAndReassociates) {
+  android_gl::UiWrapper* wrapper = make_wrapper();
+  ASSERT_NE(wrapper, nullptr);
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+  ASSERT_NE(surface, nullptr);
+
+  glcore::GlesEngine& gl = *wrapper->engine();
+  glcore::GLuint texture = 0;
+  gl.glGenTextures(1, &texture);
+  ASSERT_TRUE(LinuxCoreSurface::instance()
+                  .bind_gles_texture(surface, wrapper, texture)
+                  .is_ok());
+
+  // The multi diplomat makes the lock succeed despite the association.
+  ASSERT_TRUE(IOSurfaceLock(surface).is_ok());
+  EXPECT_EQ(surface->backing()->egl_image_refs(), 0);
+  auto* pixels = static_cast<std::uint32_t*>(IOSurfaceGetBaseAddress(surface));
+  ASSERT_NE(pixels, nullptr);
+  pixels[0] = 0xff00ff00u;  // 2D API drawing on the CPU
+  ASSERT_TRUE(IOSurfaceUnlock(surface).is_ok());
+
+  // Re-associated: the buffer is GLES texture storage again...
+  EXPECT_EQ(surface->backing()->egl_image_refs(), 1);
+  EXPECT_EQ(surface->bound_texture(), texture);
+  // ...and the CPU write is visible through the zero-copy alias.
+  EXPECT_EQ(surface->backing()->pixels32()[0], 0xff00ff00u);
+}
+
+TEST_F(IOSurfaceTest, DeleteTexturesMultiDiplomatSeversAssociation) {
+  android_gl::UiWrapper* wrapper = make_wrapper();
+  ASSERT_NE(wrapper, nullptr);
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+  glcore::GlesEngine& gl = *wrapper->engine();
+  glcore::GLuint texture = 0;
+  gl.glGenTextures(1, &texture);
+  ASSERT_TRUE(LinuxCoreSurface::instance()
+                  .bind_gles_texture(surface, wrapper, texture)
+                  .is_ok());
+  EXPECT_EQ(LinuxCoreSurface::instance()
+                .surface_for_texture(wrapper, texture)
+                .get(),
+            surface.get());
+
+  // glDeleteTextures (the §6.1 interposition): engine releases the EGLImage
+  // ref; the kernel module forgets the association.
+  gl.glDeleteTextures(1, &texture);
+  ASSERT_TRUE(
+      LinuxCoreSurface::instance().unbind_gles_texture(surface).is_ok());
+  EXPECT_EQ(surface->backing()->egl_image_refs(), 0);
+  EXPECT_TRUE(IOSurfaceLock(surface).is_ok());
+  EXPECT_TRUE(IOSurfaceUnlock(surface).is_ok());
+}
+
+TEST_F(IOSurfaceTest, BindLockedSurfaceFails) {
+  android_gl::UiWrapper* wrapper = make_wrapper();
+  ASSERT_NE(wrapper, nullptr);
+  IOSurfaceRef surface = IOSurfaceCreate({.width = 4, .height = 4});
+  ASSERT_TRUE(IOSurfaceLock(surface).is_ok());
+  glcore::GLuint texture = 0;
+  wrapper->engine()->glGenTextures(1, &texture);
+  EXPECT_FALSE(LinuxCoreSurface::instance()
+                   .bind_gles_texture(surface, wrapper, texture)
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace cycada::iosurface

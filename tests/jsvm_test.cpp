@@ -1,0 +1,260 @@
+#include "jsvm/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "jsvm/regex.h"
+#include "jsvm/sunspider.h"
+#include "util/clock.h"
+
+namespace cycada::jsvm {
+namespace {
+
+// Runs a source string on the given tier and returns the numeric result.
+double run_number(std::string_view source, bool jit) {
+  JsEngine engine({.jit_enabled = jit});
+  auto result = engine.run(source);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string() << "\nsource:\n"
+                              << source;
+  return result.is_ok() ? result->to_number() : std::nan("");
+}
+
+// Both tiers must agree on every program.
+class TierTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TierTest, Arithmetic) {
+  EXPECT_DOUBLE_EQ(run_number("1 + 2 * 3 - 4 / 2;", GetParam()), 5.0);
+  EXPECT_DOUBLE_EQ(run_number("(1 + 2) * (3 + 4);", GetParam()), 21.0);
+  EXPECT_DOUBLE_EQ(run_number("7 % 3;", GetParam()), 1.0);
+  EXPECT_DOUBLE_EQ(run_number("-5 + +3;", GetParam()), -2.0);
+}
+
+TEST_P(TierTest, BitwiseMatchesJsSemantics) {
+  EXPECT_DOUBLE_EQ(run_number("(0xff & 0x0f) | 0x30;", GetParam()), 0x3f);
+  EXPECT_DOUBLE_EQ(run_number("1 << 10;", GetParam()), 1024.0);
+  EXPECT_DOUBLE_EQ(run_number("-8 >> 1;", GetParam()), -4.0);
+  EXPECT_DOUBLE_EQ(run_number("-1 >>> 28;", GetParam()), 15.0);
+  EXPECT_DOUBLE_EQ(run_number("~5;", GetParam()), -6.0);
+}
+
+TEST_P(TierTest, VariablesAndCompoundAssignment) {
+  EXPECT_DOUBLE_EQ(run_number("var x = 2; x += 3; x *= 4; x;", GetParam()),
+                   20.0);
+  EXPECT_DOUBLE_EQ(run_number("var a = 1, b = 2; a + b;", GetParam()), 3.0);
+  EXPECT_DOUBLE_EQ(run_number("var i = 0; i++; i++; ++i; i;", GetParam()),
+                   3.0);
+  EXPECT_DOUBLE_EQ(run_number("var i = 5; var j = i++; j * 10 + i;",
+                              GetParam()),
+                   56.0);
+}
+
+TEST_P(TierTest, ControlFlow) {
+  EXPECT_DOUBLE_EQ(
+      run_number("var s = 0; for (var i = 0; i < 10; i++) s += i; s;",
+                 GetParam()),
+      45.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("var n = 100, c = 0; while (n > 1) { n = n / 2; c++; } c;",
+                 GetParam()),
+      7.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("var x = 5; if (x > 3) x = 1; else x = 2; x;", GetParam()),
+      1.0);
+  EXPECT_DOUBLE_EQ(run_number("true ? 10 : 20;", GetParam()), 10.0);
+  EXPECT_DOUBLE_EQ(run_number("0 && 5 || 7;", GetParam()), 7.0);
+}
+
+TEST_P(TierTest, BreakAndContinue) {
+  EXPECT_DOUBLE_EQ(
+      run_number("var s = 0; for (var i = 0; i < 100; i++) { if (i == 5) "
+                 "break; s += i; } s;",
+                 GetParam()),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("var s = 0; for (var i = 0; i < 10; i++) { if (i % 2 == 0) "
+                 "continue; s += i; } s;",
+                 GetParam()),
+      25.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("var n = 0; while (true) { n++; if (n >= 7) break; } n;",
+                 GetParam()),
+      7.0);
+  // Nested loops: break only exits the inner loop.
+  EXPECT_DOUBLE_EQ(
+      run_number("var c = 0; for (var i = 0; i < 3; i++) { for (var j = 0; "
+                 "j < 10; j++) { if (j == 2) break; c++; } } c;",
+                 GetParam()),
+      6.0);
+  // break/continue outside a loop is a compile/run error.
+  jsvm::JsEngine engine({.jit_enabled = GetParam()});
+  EXPECT_FALSE(engine.run("break;").is_ok());
+}
+
+TEST_P(TierTest, FunctionsAndRecursion) {
+  EXPECT_DOUBLE_EQ(run_number(
+                       "function add(a, b) { return a + b; } add(2, 3);",
+                       GetParam()),
+                   5.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("function fib(n) { if (n < 2) return n; return fib(n-1) + "
+                 "fib(n-2); } fib(12);",
+                 GetParam()),
+      144.0);
+  // Mutual recursion across definition order.
+  EXPECT_DOUBLE_EQ(
+      run_number("function isEven(n) { if (n == 0) return 1; return "
+                 "isOdd(n-1); } function isOdd(n) { if (n == 0) return 0; "
+                 "return isEven(n-1); } isEven(10);",
+                 GetParam()),
+      1.0);
+}
+
+TEST_P(TierTest, ArraysAndStrings) {
+  EXPECT_DOUBLE_EQ(run_number("var a = [1, 2, 3]; a[0] + a[2] + a.length;",
+                              GetParam()),
+                   7.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("var a = Array(4); a[3] = 7; a.push(9); a[3] + a[4] + "
+                 "a.length;",
+                 GetParam()),
+      21.0);
+  EXPECT_DOUBLE_EQ(run_number("\"abc\".length + \"abc\".charCodeAt(0);",
+                              GetParam()),
+                   100.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("var s = \"hello\" + \" \" + \"world\"; s.indexOf(\"world\");",
+                 GetParam()),
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("\"abcdef\".substring(2, 4).charCodeAt(0);", GetParam()),
+      99.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("String.fromCharCode(65, 66).charCodeAt(1);", GetParam()),
+      66.0);
+}
+
+TEST_P(TierTest, MathBuiltins) {
+  EXPECT_DOUBLE_EQ(run_number("Math.floor(3.7);", GetParam()), 3.0);
+  EXPECT_DOUBLE_EQ(run_number("Math.max(2, Math.min(5, 9));", GetParam()),
+                   5.0);
+  EXPECT_DOUBLE_EQ(run_number("Math.pow(2, 10);", GetParam()), 1024.0);
+  EXPECT_DOUBLE_EQ(run_number("Math.abs(-4.5);", GetParam()), 4.5);
+}
+
+TEST_P(TierTest, RegexBuiltins) {
+  EXPECT_DOUBLE_EQ(
+      run_number("__regex_test(\"a+b\", \"xxaaabzz\") ? 1 : 0;", GetParam()),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("__regex_test(\"^z\", \"xxaaabzz\") ? 1 : 0;", GetParam()),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      run_number("__regex_match_count(\"[0-9]+\", \"a1b22c333\");",
+                 GetParam()),
+      3.0);
+}
+
+TEST_P(TierTest, ParseErrorsSurface) {
+  JsEngine engine({.jit_enabled = GetParam()});
+  EXPECT_FALSE(engine.run("var = ;").is_ok());
+  EXPECT_FALSE(engine.run("foo(").is_ok());
+  EXPECT_FALSE(engine.run("nosuchfunction(1);").is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTiers, TierTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Jit" : "Interp";
+                         });
+
+TEST(JsvmParityTest, SunspiderWorkloadsAgreeAcrossTiers) {
+  for (const auto& workload : sunspider::workloads()) {
+    JsEngine jit({.jit_enabled = true});
+    JsEngine interp({.jit_enabled = false});
+    auto a = jit.run(workload.source);
+    auto b = interp.run(workload.source);
+    ASSERT_TRUE(a.is_ok()) << workload.category << ": "
+                           << a.status().to_string();
+    ASSERT_TRUE(b.is_ok()) << workload.category << ": "
+                           << b.status().to_string();
+    EXPECT_DOUBLE_EQ(a->to_number(), b->to_number()) << workload.category;
+    // Results are real numbers, not NaN/undefined.
+    EXPECT_FALSE(std::isnan(a->to_number())) << workload.category;
+  }
+}
+
+TEST(JsvmParityTest, JitIsSubstantiallyFaster) {
+  // The Figure 5 lever: the interpreter tier must be several times slower.
+  // Measured over a mixed workload to keep the test robust.
+  double jit_total = 0;
+  double interp_total = 0;
+  for (const auto& workload : sunspider::workloads()) {
+    JsEngine jit({.jit_enabled = true});
+    JsEngine interp({.jit_enabled = false});
+    const auto t0 = now_ns();
+    ASSERT_TRUE(jit.run(workload.source).is_ok());
+    const auto t1 = now_ns();
+    ASSERT_TRUE(interp.run(workload.source).is_ok());
+    const auto t2 = now_ns();
+    jit_total += static_cast<double>(t1 - t0);
+    interp_total += static_cast<double>(t2 - t1);
+  }
+  EXPECT_GT(interp_total / jit_total, 2.0);
+}
+
+TEST(JsvmRegexTest, NoJitTierRecompilesRegexesEveryCall) {
+  constexpr std::string_view kProgram =
+      "var i, n = 0;"
+      "for (i = 0; i < 10; i++) n += __regex_test(\"ab+c\", \"xabbbcx\") ? 1 "
+      ": 0; n;";
+  JsEngine jit({.jit_enabled = true});
+  JsEngine interp({.jit_enabled = false});
+  ASSERT_TRUE(jit.run(kProgram).is_ok());
+  ASSERT_TRUE(interp.run(kProgram).is_ok());
+  EXPECT_EQ(jit.regex_compiles(), 1u);      // cached
+  EXPECT_EQ(interp.regex_compiles(), 10u);  // recompiled per call
+}
+
+TEST(RegexTest, CoreSyntax) {
+  const auto matches = [](std::string_view pattern, std::string_view text) {
+    auto regex = Regex::compile(pattern);
+    EXPECT_TRUE(regex.is_ok()) << pattern;
+    return regex.is_ok() && regex->test(text);
+  };
+  EXPECT_TRUE(matches("abc", "xxabcxx"));
+  EXPECT_FALSE(matches("abc", "ab"));
+  EXPECT_TRUE(matches("a.c", "abc"));
+  EXPECT_TRUE(matches("ab*c", "ac"));
+  EXPECT_TRUE(matches("ab*c", "abbbc"));
+  EXPECT_TRUE(matches("ab+c", "abc"));
+  EXPECT_FALSE(matches("ab+c", "ac"));
+  EXPECT_TRUE(matches("ab?c", "ac"));
+  EXPECT_TRUE(matches("[a-c]+d", "abcd"));
+  EXPECT_FALSE(matches("[^a-c]d", "cd"));
+  EXPECT_TRUE(matches("cat|dog", "hotdog"));
+  EXPECT_TRUE(matches("^start", "start here"));
+  EXPECT_FALSE(matches("^start", "false start"));
+  EXPECT_TRUE(matches("end$", "the end"));
+  EXPECT_TRUE(matches("(ab)+c", "ababc"));
+  EXPECT_TRUE(matches("\\d+", "a42b"));
+  EXPECT_FALSE(matches("\\d+", "abc"));
+  EXPECT_TRUE(matches("a\\.b", "a.b"));
+  EXPECT_FALSE(matches("a\\.b", "axb"));
+}
+
+TEST(RegexTest, MatchCount) {
+  auto regex = Regex::compile("ab");
+  ASSERT_TRUE(regex.is_ok());
+  EXPECT_EQ(regex->match_count("abxabxab"), 3);
+  EXPECT_EQ(regex->match_count("zzz"), 0);
+  auto greedy = Regex::compile("a+");
+  ASSERT_TRUE(greedy.is_ok());
+  EXPECT_EQ(greedy->match_count("aaa b aa"), 2);
+}
+
+TEST(RegexTest, BadPatternsRejected) {
+  EXPECT_FALSE(Regex::compile("*a").is_ok());
+  EXPECT_FALSE(Regex::compile("(ab").is_ok());
+  EXPECT_FALSE(Regex::compile("[ab").is_ok());
+}
+
+}  // namespace
+}  // namespace cycada::jsvm

@@ -1,0 +1,229 @@
+#include "linker/linker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+namespace cycada::linker {
+namespace {
+
+// Lifecycle counters shared by the test libraries.
+std::atomic<int> g_constructed{0};
+std::atomic<int> g_destroyed{0};
+
+// A test library with a mutable global and an init-data value computed by
+// its "constructor".
+class CounterLib : public LibraryInstance {
+ public:
+  explicit CounterLib(std::string name) : name_(std::move(name)) {
+    init_data_ = g_constructed.fetch_add(1) + 1000;
+  }
+  ~CounterLib() override { g_destroyed.fetch_add(1); }
+
+  void* symbol(std::string_view symbol) override {
+    if (symbol == "global_counter") return &global_counter_;
+    if (symbol == "init_data") return &init_data_;
+    if (symbol == "lib_name") return &name_;
+    return nullptr;
+  }
+
+ private:
+  std::string name_;
+  int global_counter_ = 0;
+  int init_data_ = 0;
+};
+
+LibraryImage make_image(std::string name, std::vector<std::string> deps) {
+  LibraryImage image;
+  image.name = name;
+  image.deps = std::move(deps);
+  image.factory = [name](LoadContext&) {
+    return std::make_unique<CounterLib>(name);
+  };
+  return image;
+}
+
+class LinkerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Linker::instance().reset();
+    g_constructed.store(0);
+    g_destroyed.store(0);
+    // Mirror the paper's example tree: libGLESv2_tegra.so -> libnvrm.so ->
+    // libnvos.so (§8.1).
+    ASSERT_TRUE(Linker::instance()
+                    .register_image(make_image("libnvos.so", {}))
+                    .is_ok());
+    ASSERT_TRUE(Linker::instance()
+                    .register_image(make_image("libnvrm.so", {"libnvos.so"}))
+                    .is_ok());
+    ASSERT_TRUE(Linker::instance()
+                    .register_image(
+                        make_image("libGLESv2_tegra.so", {"libnvrm.so"}))
+                    .is_ok());
+  }
+};
+
+TEST_F(LinkerTest, DlopenSharesTheLoadedCopy) {
+  Linker& linker = Linker::instance();
+  auto first = linker.dlopen("libnvos.so");
+  auto second = linker.dlopen("libnvos.so");
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ(linker.load_count("libnvos.so"), 1);
+  EXPECT_EQ(linker.dlsym(*first, "global_counter"),
+            linker.dlsym(*second, "global_counter"));
+}
+
+TEST_F(LinkerTest, DlopenUnknownLibraryFails) {
+  auto result = Linker::instance().dlopen("libmissing.so");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LinkerTest, DuplicateRegistrationFails) {
+  EXPECT_FALSE(Linker::instance()
+                   .register_image(make_image("libnvos.so", {}))
+                   .is_ok());
+}
+
+TEST_F(LinkerTest, DependenciesLoadAndResolveTransitively) {
+  Linker& linker = Linker::instance();
+  auto gles = linker.dlopen("libGLESv2_tegra.so");
+  ASSERT_TRUE(gles.is_ok());
+  // The whole chain loaded.
+  EXPECT_EQ(linker.load_count("libnvrm.so"), 1);
+  EXPECT_EQ(linker.load_count("libnvos.so"), 1);
+  // dlsym searches the dependency tree: the root resolves its own name
+  // first, and symbols only deps export are still found.
+  auto* name = static_cast<std::string*>(linker.dlsym(*gles, "lib_name"));
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(*name, "libGLESv2_tegra.so");
+}
+
+TEST_F(LinkerTest, DlforceCreatesIndependentReplicas) {
+  Linker& linker = Linker::instance();
+  auto base = linker.dlopen("libGLESv2_tegra.so");
+  auto replica1 = linker.dlforce("libGLESv2_tegra.so");
+  auto replica2 = linker.dlforce("libGLESv2_tegra.so");
+  ASSERT_TRUE(base.is_ok());
+  ASSERT_TRUE(replica1.is_ok());
+  ASSERT_TRUE(replica2.is_ok());
+
+  // Every symbol of every replica has a unique virtual address (§8.1):
+  // globals and init data included.
+  for (const char* symbol : {"global_counter", "init_data", "lib_name"}) {
+    std::set<void*> addresses = {linker.dlsym(*base, symbol),
+                                 linker.dlsym(*replica1, symbol),
+                                 linker.dlsym(*replica2, symbol)};
+    EXPECT_EQ(addresses.size(), 3u) << symbol;
+    EXPECT_FALSE(addresses.contains(nullptr)) << symbol;
+  }
+
+  // Constructors ran once per copy, dependency closure included:
+  // 3 libraries x (1 base + 2 replicas).
+  EXPECT_EQ(g_constructed.load(), 9);
+  EXPECT_EQ(linker.load_count("libnvos.so"), 3);
+  EXPECT_EQ(linker.live_copy_count("libnvos.so"), 3);
+}
+
+TEST_F(LinkerTest, ReplicaGlobalsAreIsolated) {
+  Linker& linker = Linker::instance();
+  auto replica1 = linker.dlforce("libGLESv2_tegra.so");
+  auto replica2 = linker.dlforce("libGLESv2_tegra.so");
+  ASSERT_TRUE(replica1.is_ok());
+  ASSERT_TRUE(replica2.is_ok());
+
+  auto* counter1 = static_cast<int*>(linker.dlsym(*replica1, "global_counter"));
+  auto* counter2 = static_cast<int*>(linker.dlsym(*replica2, "global_counter"));
+  ASSERT_NE(counter1, nullptr);
+  ASSERT_NE(counter2, nullptr);
+  *counter1 = 41;
+  EXPECT_EQ(*counter2, 0);
+}
+
+TEST_F(LinkerTest, DlopenInsideReplicaNamespaceSharesReplicaCopy) {
+  Linker& linker = Linker::instance();
+  auto replica = linker.dlforce("libGLESv2_tegra.so");
+  ASSERT_TRUE(replica.is_ok());
+  const NamespaceId ns = (*replica)->namespace_id();
+  EXPECT_NE(ns, kGlobalNamespace);
+
+  // Lazy dlopen from code inside the replica resolves within the replica
+  // tree, not to a fresh copy and not to the global namespace.
+  auto inner = linker.dlopen("libnvrm.so", ns);
+  ASSERT_TRUE(inner.is_ok());
+  EXPECT_EQ(inner->get(), (*replica)->deps()[0].get());
+  auto global = linker.dlopen("libnvrm.so");
+  ASSERT_TRUE(global.is_ok());
+  EXPECT_NE(global->get(), inner->get());
+}
+
+TEST_F(LinkerTest, DlcloseUnloadsWholeReplicaTree) {
+  Linker& linker = Linker::instance();
+  auto replica = linker.dlforce("libGLESv2_tegra.so");
+  ASSERT_TRUE(replica.is_ok());
+  EXPECT_EQ(g_constructed.load(), 3);
+  ASSERT_TRUE(linker.dlclose(std::move(*replica)).is_ok());
+  EXPECT_EQ(g_destroyed.load(), 3);
+  EXPECT_EQ(linker.live_copy_count("libnvos.so"), 0);
+}
+
+TEST_F(LinkerTest, DlcloseKeepsCopiesOthersStillReference) {
+  Linker& linker = Linker::instance();
+  auto tree = linker.dlopen("libGLESv2_tegra.so");
+  auto dep = linker.dlopen("libnvrm.so");
+  ASSERT_TRUE(tree.is_ok());
+  ASSERT_TRUE(dep.is_ok());
+  ASSERT_TRUE(linker.dlclose(std::move(*tree)).is_ok());
+  // libnvrm is still dlopen'd explicitly; it and its own dep must survive.
+  EXPECT_EQ(linker.live_copy_count("libnvrm.so"), 1);
+  EXPECT_EQ(linker.live_copy_count("libnvos.so"), 1);
+  EXPECT_EQ(linker.live_copy_count("libGLESv2_tegra.so"), 0);
+  auto* counter = static_cast<int*>(linker.dlsym(*dep, "global_counter"));
+  ASSERT_NE(counter, nullptr);
+  *counter = 5;  // must not be use-after-free (exercised under ASan runs)
+}
+
+TEST_F(LinkerTest, DiamondDependencySharedWithinNamespace) {
+  Linker& linker = Linker::instance();
+  ASSERT_TRUE(linker.register_image(make_image("libd.so", {})).is_ok());
+  ASSERT_TRUE(
+      linker.register_image(make_image("libb.so", {"libd.so"})).is_ok());
+  ASSERT_TRUE(
+      linker.register_image(make_image("libc2.so", {"libd.so"})).is_ok());
+  ASSERT_TRUE(linker
+                  .register_image(make_image("liba.so", {"libb.so", "libc2.so"}))
+                  .is_ok());
+
+  auto root = linker.dlforce("liba.so");
+  ASSERT_TRUE(root.is_ok());
+  // Within one namespace the diamond shares a single libd copy.
+  EXPECT_EQ(linker.live_copy_count("libd.so"), 1);
+  const auto& deps = (*root)->deps();
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0]->deps()[0].get(), deps[1]->deps()[0].get());
+}
+
+TEST_F(LinkerTest, MissingDependencyFailsTheWholeLoad) {
+  Linker& linker = Linker::instance();
+  ASSERT_TRUE(
+      linker.register_image(make_image("libbroken.so", {"libnowhere.so"}))
+          .is_ok());
+  auto result = linker.dlopen("libbroken.so");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(linker.live_copy_count("libbroken.so"), 0);
+}
+
+TEST_F(LinkerTest, DlsymUnknownSymbolReturnsNull) {
+  auto lib = Linker::instance().dlopen("libnvos.so");
+  ASSERT_TRUE(lib.is_ok());
+  EXPECT_EQ(Linker::instance().dlsym(*lib, "no_such_symbol"), nullptr);
+  EXPECT_EQ(Linker::instance().dlsym(nullptr, "global_counter"), nullptr);
+}
+
+}  // namespace
+}  // namespace cycada::linker

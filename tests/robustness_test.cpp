@@ -1,0 +1,445 @@
+// Property sweeps, concurrency stress and failure injection across the
+// stack — the "keep widening coverage" suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "android_gl/vendor.h"
+#include "core/diplomat.h"
+#include "glcore/engine.h"
+#include "glport/system_config.h"
+#include "gpu/device.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/gles.h"
+#include "iosurface/iosurface.h"
+#include "kernel/libc.h"
+#include "passmark/passmark.h"
+#include "linker/linker.h"
+#include "util/rng.h"
+#include "webkit/browser.h"
+
+namespace cycada {
+namespace {
+
+// --- Rasterizer property: random draws never escape the scissor -------------
+
+class ScissorContainmentTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScissorContainmentTest, RandomTrianglesStayInsideScissor) {
+  gpu::GpuDevice::instance().reset();
+  auto& dev = gpu::GpuDevice::instance();
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const int size = 32;
+  const auto target = dev.create_target(size, size, true);
+  dev.submit_clear(target, std::nullopt, true, {0, 0, 0, 1}, true, 1.f);
+
+  gpu::ScissorRect scissor{static_cast<int>(rng.next_below(16)),
+                           static_cast<int>(rng.next_below(16)),
+                           static_cast<int>(rng.next_below(14)) + 2,
+                           static_cast<int>(rng.next_below(14)) + 2};
+  gpu::RasterState state;
+  state.scissor = scissor;
+  state.blend = rng.next_below(2) == 0;
+  state.blend_src = gpu::BlendFactor::kSrcAlpha;
+  state.blend_dst = gpu::BlendFactor::kOneMinusSrcAlpha;
+  state.depth_test = rng.next_below(2) == 0;
+
+  for (int i = 0; i < 20; ++i) {
+    std::vector<gpu::ShadedVertex> tri(3);
+    for (auto& v : tri) {
+      v.clip_pos = {rng.next_float(-2.f, 2.f), rng.next_float(-2.f, 2.f),
+                    rng.next_float(-1.f, 1.f), 1.f};
+      v.color = {1.f, 1.f, 1.f, rng.next_float(0.2f, 1.f)};
+    }
+    dev.submit_draw(target, state, gpu::PrimitiveKind::kTriangles, tri);
+  }
+  dev.flush();
+
+  std::vector<std::uint32_t> pixels(size * size);
+  ASSERT_TRUE(
+      dev.read_pixels(target, 0, 0, size, size, pixels.data(), size).is_ok());
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const bool inside = x >= scissor.x && x < scissor.x + scissor.width &&
+                          y >= scissor.y && y < scissor.y + scissor.height;
+      if (!inside) {
+        EXPECT_EQ(pixels[y * size + x], 0xff000000u)
+            << "pixel outside scissor touched at " << x << "," << y;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScissorContainmentTest,
+                         ::testing::Range(0, 12));
+
+// --- Blend factor sweep vs. CPU-computed expectations ------------------------
+
+struct BlendCase {
+  gpu::BlendFactor src;
+  gpu::BlendFactor dst;
+};
+
+class BlendSweepTest : public ::testing::TestWithParam<BlendCase> {};
+
+TEST_P(BlendSweepTest, MatchesClosedFormBlend) {
+  gpu::GpuDevice::instance().reset();
+  auto& dev = gpu::GpuDevice::instance();
+  const auto target = dev.create_target(4, 4, false);
+  const Color dst_color{0.25f, 0.5f, 0.75f, 0.5f};
+  const Color src_color{0.8f, 0.4f, 0.2f, 0.6f};
+  dev.submit_clear(target, std::nullopt, true, dst_color, false, 1.f);
+
+  gpu::RasterState state;
+  state.blend = true;
+  state.blend_src = GetParam().src;
+  state.blend_dst = GetParam().dst;
+  std::vector<gpu::ShadedVertex> quad(6);
+  const float pts[6][2] = {{-1, -1}, {1, -1}, {1, 1}, {-1, -1}, {1, 1}, {-1, 1}};
+  for (int i = 0; i < 6; ++i) {
+    quad[i].clip_pos = {pts[i][0], pts[i][1], 0.f, 1.f};
+    quad[i].color = src_color;
+  }
+  dev.submit_draw(target, state, gpu::PrimitiveKind::kTriangles, quad);
+  std::vector<std::uint32_t> pixels(16);
+  ASSERT_TRUE(dev.read_pixels(target, 0, 0, 4, 4, pixels.data(), 4).is_ok());
+
+  // Closed-form expectation (must quantize dst through the framebuffer
+  // the same way the device does).
+  const Color stored_dst = unpack_rgba8888(pack_rgba8888(dst_color));
+  const auto factor = [&](gpu::BlendFactor f, float s, float /*d*/) {
+    switch (f) {
+      case gpu::BlendFactor::kZero: return 0.f;
+      case gpu::BlendFactor::kOne: return 1.f;
+      case gpu::BlendFactor::kSrcAlpha: return src_color.a;
+      case gpu::BlendFactor::kOneMinusSrcAlpha: return 1.f - src_color.a;
+      case gpu::BlendFactor::kDstAlpha: return stored_dst.a;
+      case gpu::BlendFactor::kOneMinusDstAlpha: return 1.f - stored_dst.a;
+      case gpu::BlendFactor::kSrcColor: return s;
+      case gpu::BlendFactor::kOneMinusSrcColor: return 1.f - s;
+    }
+    return 1.f;
+  };
+  const auto expect_channel = [&](float s, float d) {
+    return clamp01(s * factor(GetParam().src, s, 0.f) +
+                   d * factor(GetParam().dst, s, 0.f));
+  };
+  const Color expected{expect_channel(src_color.r, stored_dst.r),
+                       expect_channel(src_color.g, stored_dst.g),
+                       expect_channel(src_color.b, stored_dst.b),
+                       expect_channel(src_color.a, stored_dst.a)};
+  const Color actual = unpack_rgba8888(pixels[5]);
+  EXPECT_NEAR(actual.r, expected.r, 2.f / 255.f);
+  EXPECT_NEAR(actual.g, expected.g, 2.f / 255.f);
+  EXPECT_NEAR(actual.b, expected.b, 2.f / 255.f);
+  EXPECT_NEAR(actual.a, expected.a, 2.f / 255.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Factors, BlendSweepTest,
+    ::testing::Values(
+        BlendCase{gpu::BlendFactor::kOne, gpu::BlendFactor::kZero},
+        BlendCase{gpu::BlendFactor::kSrcAlpha,
+                  gpu::BlendFactor::kOneMinusSrcAlpha},
+        BlendCase{gpu::BlendFactor::kOne, gpu::BlendFactor::kOne},
+        BlendCase{gpu::BlendFactor::kDstAlpha, gpu::BlendFactor::kZero},
+        BlendCase{gpu::BlendFactor::kSrcColor,
+                  gpu::BlendFactor::kOneMinusSrcColor},
+        BlendCase{gpu::BlendFactor::kZero,
+                  gpu::BlendFactor::kOneMinusDstAlpha}));
+
+// --- Topology equivalence: strip/fan/list produce identical pixels -----------
+
+TEST(TopologyTest, StripFanAndListAgree) {
+  kernel::Kernel::instance().reset();
+  gpu::GpuDevice::instance().reset();
+  glcore::GlesEngine engine({});
+  const auto render = [&](glcore::GLenum mode, const float* verts, int count) {
+    const auto target = gpu::GpuDevice::instance().create_target(16, 16, false);
+    const auto ctx = engine.create_context(1);
+    EXPECT_TRUE(engine.make_current(ctx, target).is_ok());
+    engine.glViewport(0, 0, 16, 16);
+    engine.glClearColor(0, 0, 0, 1);
+    engine.glClear(glcore::GL_COLOR_BUFFER_BIT);
+    engine.glColor4f(1.f, 0.f, 1.f, 1.f);
+    engine.glEnableClientState(glcore::GL_VERTEX_ARRAY);
+    engine.glVertexPointer(2, glcore::GL_FLOAT, 0, verts);
+    engine.glDrawArrays(mode, 0, count);
+    std::vector<std::uint32_t> pixels(256);
+    engine.glReadPixels(0, 0, 16, 16, glcore::GL_RGBA,
+                        glcore::GL_UNSIGNED_BYTE, pixels.data());
+    (void)engine.make_current(glcore::kNoContext, gpu::kNoHandle);
+    (void)engine.destroy_context(ctx);
+    return pixels;
+  };
+
+  // The same quad three ways.
+  const float list[] = {-0.5f, -0.5f, 0.5f, -0.5f, 0.5f, 0.5f,
+                        -0.5f, -0.5f, 0.5f, 0.5f,  -0.5f, 0.5f};
+  const float strip[] = {-0.5f, -0.5f, 0.5f, -0.5f, -0.5f, 0.5f, 0.5f, 0.5f};
+  const float fan[] = {-0.5f, -0.5f, 0.5f, -0.5f, 0.5f, 0.5f, -0.5f, 0.5f};
+  const auto a = render(glcore::GL_TRIANGLES, list, 6);
+  const auto b = render(glcore::GL_TRIANGLE_STRIP, strip, 4);
+  const auto c = render(glcore::GL_TRIANGLE_FAN, fan, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+// --- Kernel concurrency stress ------------------------------------------------
+
+TEST(KernelStressTest, ConcurrentSyscallsAndTlsStayConsistent) {
+  kernel::Kernel::instance().reset();
+  kernel::Kernel::instance().register_current_thread(
+      kernel::Persona::kAndroid);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      auto& kernel = kernel::Kernel::instance();
+      kernel.register_current_thread(t % 2 == 0 ? kernel::Persona::kAndroid
+                                                : kernel::Persona::kIos);
+      const kernel::TlsKey key = kernel::libc::pthread_key_create();
+      if (key == kernel::kInvalidTlsKey) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::intptr_t mine = t + 1;
+      for (int i = 0; i < kRounds; ++i) {
+        if (kernel::sys_null() != 0) failures.fetch_add(1);
+        kernel.tls_set(key, reinterpret_cast<void*>(mine));
+        if (kernel.tls_get(key) != reinterpret_cast<void*>(mine)) {
+          failures.fetch_add(1);
+        }
+        const kernel::Persona persona =
+            i % 2 == 0 ? kernel::Persona::kIos : kernel::Persona::kAndroid;
+        if (kernel::sys_set_persona(persona) != 0) failures.fetch_add(1);
+      }
+      kernel::libc::pthread_key_delete(key);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Linker stress: many replicas, concurrent loads ---------------------------
+
+TEST(LinkerStressTest, ManyReplicasStayIsolated) {
+  kernel::Kernel::instance().reset();
+  gpu::GpuDevice::instance().reset();
+  linker::Linker::instance().reset();
+  android_gl::register_android_graphics_libraries();
+  auto& linker = linker::Linker::instance();
+
+  std::vector<linker::Handle> replicas;
+  std::set<void*> globals;
+  for (int i = 0; i < 40; ++i) {
+    auto replica = linker.dlforce(android_gl::kNvRmLib);
+    ASSERT_TRUE(replica.is_ok()) << i;
+    void* global = linker.dlsym(*replica, "nv_global");
+    ASSERT_NE(global, nullptr);
+    EXPECT_TRUE(globals.insert(global).second) << "duplicate global at " << i;
+    replicas.push_back(std::move(replica.value()));
+  }
+  EXPECT_EQ(linker.live_copy_count(android_gl::kNvRmLib), 40);
+  for (auto& replica : replicas) {
+    EXPECT_TRUE(linker.dlclose(std::move(replica)).is_ok());
+  }
+  EXPECT_EQ(linker.live_copy_count(android_gl::kNvRmLib), 0);
+}
+
+TEST(LinkerStressTest, ConcurrentDlopenSharesOneCopy) {
+  kernel::Kernel::instance().reset();
+  linker::Linker::instance().reset();
+  android_gl::register_android_graphics_libraries();
+  auto& linker = linker::Linker::instance();
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<void*> seen(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &linker, &seen] {
+      for (int i = 0; i < 50; ++i) {
+        auto handle = linker.dlopen(android_gl::kNvOsLib);
+        if (!handle.is_ok()) return;
+        seen[t] = linker.dlsym(*handle, "nv_global");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_NE(seen[t], nullptr);
+  }
+}
+
+// --- Diplomat statistics under concurrency ------------------------------------
+
+TEST(DiplomatStressTest, ConcurrentCallsCountExactly) {
+  kernel::Kernel::instance().reset();
+  core::DiplomatRegistry::instance().reset();
+  auto& entry = core::DiplomatRegistry::instance().entry(
+      "stress.fn", core::DiplomatPattern::kDirect);
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&entry] {
+      kernel::Kernel::instance().register_current_thread(
+          kernel::Persona::kIos);
+      for (int i = 0; i < kCalls; ++i) {
+        core::diplomat_call(entry, {}, [] {});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(entry.calls.load(), static_cast<std::uint64_t>(kThreads) * kCalls);
+}
+
+// --- End-to-end: glDeleteTextures severs the IOSurface association ------------
+
+TEST(MultiDiplomatTest, DeleteTexturesSeversIoSurfaceBinding) {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  auto context = ios_gl::EAGLContext::init_with_api(
+      ios_gl::EAGLRenderingAPI::kOpenGLES2, 32, 32);
+  ASSERT_TRUE(context.is_ok());
+  ios_gl::EAGLContext::set_current_context(*context);
+
+  auto surface = iosurface::IOSurfaceCreate({.width = 8, .height = 8});
+  ASSERT_NE(surface, nullptr);
+  glcore::GLuint texture = 0;
+  ios_gl::glGenTextures(1, &texture);
+  ASSERT_TRUE((*context)->tex_image_io_surface(surface, texture).is_ok());
+  EXPECT_EQ(surface->backing()->egl_image_refs(), 1);
+  EXPECT_EQ(surface->bound_texture(), texture);
+
+  // The §6.1 multi diplomat: delete also removes the kernel-side
+  // association so the surface is CPU-lockable again without the dance.
+  ios_gl::glDeleteTextures(1, &texture);
+  EXPECT_EQ(surface->bound_texture(), 0u);
+  EXPECT_EQ(surface->backing()->egl_image_refs(), 0);
+  EXPECT_TRUE(iosurface::IOSurfaceLock(surface).is_ok());
+  EXPECT_TRUE(iosurface::IOSurfaceUnlock(surface).is_ok());
+  ios_gl::EAGLContext::clear_current_context();
+}
+
+// --- Failure injection ----------------------------------------------------------
+
+TEST(FailureInjectionTest, BadInputsFailGracefully) {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+
+  // EAGL: present without drawable storage.
+  auto context = ios_gl::EAGLContext::init_with_api(
+      ios_gl::EAGLRenderingAPI::kOpenGLES2, 16, 16);
+  ASSERT_TRUE(context.is_ok());
+  ios_gl::EAGLContext::set_current_context(*context);
+  EXPECT_EQ((*context)->present_renderbuffer(123).code(),
+            StatusCode::kFailedPrecondition);
+  // EAGL: zero-size layer.
+  EXPECT_FALSE((*context)
+                   ->renderbuffer_storage_from_drawable(
+                       1, ios_gl::CAEAGLLayer{0, 16})
+                   .is_ok());
+  // IOSurface: absurd dimensions.
+  EXPECT_EQ(iosurface::IOSurfaceCreate({.width = 1 << 20, .height = 4}),
+            nullptr);
+  // gralloc: zero usage flags.
+  EXPECT_FALSE(gmem::GrallocAllocator::instance()
+                   .allocate(4, 4, PixelFormat::kRgba8888, 0)
+                   .is_ok());
+  // Engine: unknown enum surfaces as GL_INVALID_ENUM, not a crash.
+  ios_gl::glEnable(0x9999);
+  EXPECT_EQ(ios_gl::glGetError(), glcore::GL_INVALID_ENUM);
+  ios_gl::EAGLContext::clear_current_context();
+}
+
+TEST(FailureInjectionTest, BrowserRejectsMalformedMarkupGracefully) {
+  glport::apply_system_config(glport::SystemConfig::kAndroid);
+  auto port = glport::make_gl_port(glport::SystemConfig::kAndroid);
+  ASSERT_TRUE(port->init(64, 64, 2).is_ok());
+  webkit::Browser browser(*port, true);
+  EXPECT_FALSE(browser.load("<body><div>no close").is_ok());
+  // The browser is still usable afterwards.
+  EXPECT_TRUE(browser.load("<body bg=#102030><p>ok</p></body>").is_ok());
+  EXPECT_EQ(browser.screen().at(40, 60), webkit::parse_color("#102030"));
+}
+
+// --- Determinism: identical screens across repeat runs -------------------------
+
+TEST(DeterminismTest, PassMarkFramesAreReproducible) {
+  const auto run_once = [] {
+    glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+    auto port = glport::make_gl_port(glport::SystemConfig::kCycadaIos);
+    EXPECT_TRUE(port->init(64, 64, 1).is_ok());
+    passmark::PassMark passmark(*port);
+    EXPECT_TRUE(passmark.run("Transparent Vectors", 3).is_ok());
+    return port->screen();
+  };
+  const Image first = run_once();
+  const Image second = run_once();
+  EXPECT_EQ(Image::diff_count(first, second), 0u);
+}
+
+
+// --- WebKit render thread (paper §7: "the iOS WebKit library spawns a
+// rendering thread ... used by other threads related to WebKit") -------------
+
+TEST(ThreadedRenderingTest, RenderThreadMatchesInlineRendering) {
+  const char* page =
+      "<body bg=#203040><h1 color=#f0f0f0>threads</h1>"
+      "<p color=#90c0f0>painted on a dedicated render thread</p></body>";
+
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  auto inline_port = glport::make_gl_port(glport::SystemConfig::kCycadaIos);
+  ASSERT_TRUE(inline_port->init(128, 128, 2).is_ok());
+  webkit::Browser inline_browser(*inline_port, false);
+  ASSERT_TRUE(inline_browser.load(page).is_ok());
+  const Image inline_screen = inline_browser.screen();
+
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  auto threaded_port = glport::make_gl_port(glport::SystemConfig::kCycadaIos);
+  ASSERT_TRUE(threaded_port->init(128, 128, 2).is_ok());
+  webkit::Browser threaded_browser(*threaded_port, false);
+  threaded_browser.enable_threaded_rendering();
+  EXPECT_TRUE(threaded_browser.threaded_rendering());
+  ASSERT_TRUE(threaded_browser.load(page).is_ok());
+  ASSERT_TRUE(threaded_browser.render_frame().is_ok());
+  const Image threaded_screen = threaded_browser.screen();
+
+  EXPECT_EQ(Image::diff_count(inline_screen, threaded_screen), 0u);
+}
+
+// --- Native-iOS IOSurface semantics: no dance needed -------------------------
+
+TEST(NativeIosTest, LockSucceedsWhileTextureBoundWithoutDance) {
+  glport::apply_system_config(glport::SystemConfig::kIos);
+  auto context = ios_gl::EAGLContext::init_with_api(
+      ios_gl::EAGLRenderingAPI::kOpenGLES2, 16, 16);
+  ASSERT_TRUE(context.is_ok());
+  ios_gl::EAGLContext::set_current_context(*context);
+
+  auto surface = iosurface::IOSurfaceCreate({.width = 8, .height = 8});
+  ASSERT_NE(surface, nullptr);
+  glcore::GLuint texture = 0;
+  ios_gl::glGenTextures(1, &texture);
+  ASSERT_TRUE((*context)->tex_image_io_surface(surface, texture).is_ok());
+  // On real iOS the buffer stays GLES-associated through the lock: Apple
+  // hardware permits concurrent CPU mapping (no §6.2 dance).
+  const int refs_before = surface->backing()->egl_image_refs();
+  EXPECT_GE(refs_before, 1);
+  ASSERT_TRUE(iosurface::IOSurfaceLock(surface).is_ok());
+  EXPECT_EQ(surface->backing()->egl_image_refs(), refs_before);
+  auto* pixels = static_cast<std::uint32_t*>(
+      iosurface::IOSurfaceGetBaseAddress(surface));
+  ASSERT_NE(pixels, nullptr);
+  pixels[0] = 0xff112233u;
+  ASSERT_TRUE(iosurface::IOSurfaceUnlock(surface).is_ok());
+  EXPECT_EQ(surface->backing()->pixels32()[0], 0xff112233u);
+  ios_gl::EAGLContext::clear_current_context();
+}
+
+}  // namespace
+}  // namespace cycada

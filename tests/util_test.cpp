@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/geometry.h"
+#include "util/image.h"
+#include "util/pixel.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cycada {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status error = Status::not_found("missing");
+  EXPECT_FALSE(error.is_ok());
+  EXPECT_EQ(error.code(), StatusCode::kNotFound);
+  EXPECT_EQ(error.to_string(), "NOT_FOUND: missing");
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(*value, 42);
+  StatusOr<int> error = Status::internal("boom");
+  EXPECT_FALSE(error.is_ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(error.value_or(-1), -1);
+  EXPECT_EQ(value.value_or(-1), 42);
+}
+
+TEST(PixelTest, PackUnpackRoundTripsAllChannels) {
+  // Property: every 8-bit channel value survives a pack/unpack round trip.
+  for (int v = 0; v < 256; v += 5) {
+    const Color color{v / 255.f, (255 - v) / 255.f, ((v * 3) % 256) / 255.f,
+                      ((v * 7) % 256) / 255.f};
+    const Color round = unpack_rgba8888(pack_rgba8888(color));
+    EXPECT_NEAR(round.r, color.r, 0.5f / 255.f);
+    EXPECT_NEAR(round.g, color.g, 0.5f / 255.f);
+    EXPECT_NEAR(round.b, color.b, 0.5f / 255.f);
+    EXPECT_NEAR(round.a, color.a, 0.5f / 255.f);
+  }
+}
+
+TEST(PixelTest, Rgb565RoundTripWithinQuantization) {
+  const Color color{0.4f, 0.7f, 0.1f, 1.f};
+  const Color round = unpack_rgb565(pack_rgb565(color));
+  EXPECT_NEAR(round.r, color.r, 1.f / 31.f);
+  EXPECT_NEAR(round.g, color.g, 1.f / 63.f);
+  EXPECT_NEAR(round.b, color.b, 1.f / 31.f);
+  EXPECT_FLOAT_EQ(round.a, 1.f);
+}
+
+TEST(PixelTest, PackingIsLittleEndianRgba) {
+  EXPECT_EQ(pack_rgba8888({1.f, 0.f, 0.f, 1.f}), 0xff0000ffu);
+  EXPECT_EQ(pack_rgba8888({0.f, 1.f, 0.f, 1.f}), 0xff00ff00u);
+  EXPECT_EQ(pack_rgba8888({0.f, 0.f, 1.f, 1.f}), 0xffff0000u);
+}
+
+TEST(GeometryTest, MatrixIdentityAndAssociativity) {
+  const Mat4 identity = Mat4::identity();
+  const Mat4 a = Mat4::rotate(33.f, 0.f, 0.f, 1.f) * Mat4::translate(1, 2, 3);
+  const Vec4 p{0.5f, -1.f, 2.f, 1.f};
+  const Vec4 via_identity = (identity * a) * p;
+  const Vec4 direct = a * p;
+  EXPECT_NEAR(via_identity.x, direct.x, 1e-5f);
+  EXPECT_NEAR(via_identity.y, direct.y, 1e-5f);
+  // (A*B)*p == A*(B*p)
+  const Mat4 b = Mat4::scale(2.f, 0.5f, 1.f);
+  const Vec4 left = (a * b) * p;
+  const Vec4 right = a * (b * p);
+  EXPECT_NEAR(left.x, right.x, 1e-4f);
+  EXPECT_NEAR(left.y, right.y, 1e-4f);
+  EXPECT_NEAR(left.z, right.z, 1e-4f);
+}
+
+TEST(GeometryTest, RotationPreservesLength) {
+  const Mat4 rotation = Mat4::rotate(67.f, 1.f, 2.f, 3.f);
+  const Vec4 p{1.f, -2.f, 0.5f, 1.f};
+  const Vec4 q = rotation * p;
+  const float len_p = std::sqrt(p.x * p.x + p.y * p.y + p.z * p.z);
+  const float len_q = std::sqrt(q.x * q.x + q.y * q.y + q.z * q.z);
+  EXPECT_NEAR(len_p, len_q, 1e-4f);
+}
+
+TEST(GeometryTest, OrthoMapsCornersToNdc) {
+  const Mat4 ortho = Mat4::ortho(0.f, 100.f, 100.f, 0.f, -1.f, 1.f);
+  const Vec4 top_left = ortho * Vec4{0.f, 0.f, 0.f, 1.f};
+  EXPECT_NEAR(top_left.x, -1.f, 1e-5f);
+  EXPECT_NEAR(top_left.y, 1.f, 1e-5f);
+  const Vec4 bottom_right = ortho * Vec4{100.f, 100.f, 0.f, 1.f};
+  EXPECT_NEAR(bottom_right.x, 1.f, 1e-5f);
+  EXPECT_NEAR(bottom_right.y, -1.f, 1e-5f);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  EXPECT_NE(Rng(7).next_u64(), c.next_u64());
+  // next_double in [0,1), next_float in range.
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const float f = r.next_float(-2.f, 3.f);
+    EXPECT_GE(f, -2.f);
+    EXPECT_LT(f, 3.f);
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(ImageTest, DiffAndChannelDelta) {
+  Image a(4, 4, 0xff000000u);
+  Image b(4, 4, 0xff000000u);
+  EXPECT_EQ(Image::diff_count(a, b), 0u);
+  EXPECT_EQ(Image::max_channel_delta(a, b), 0);
+  b.at(1, 2) = 0xff000005u;
+  EXPECT_EQ(Image::diff_count(a, b), 1u);
+  EXPECT_EQ(Image::max_channel_delta(a, b), 5);
+  Image c(3, 4);
+  EXPECT_EQ(Image::max_channel_delta(a, c), 255);
+}
+
+TEST(ImageTest, PpmWriteProducesFile) {
+  Image image(2, 2, 0xff00ff00u);
+  const std::string path = "/tmp/cycada_ppm_test.ppm";
+  ASSERT_TRUE(image.write_ppm(path));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char header[2] = {};
+  ASSERT_EQ(std::fread(header, 1, 2, file), 2u);
+  EXPECT_EQ(header[0], 'P');
+  EXPECT_EQ(header[1], '6');
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_FALSE(image.write_ppm("/no/such/dir/file.ppm"));
+}
+
+}  // namespace
+}  // namespace cycada
