@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dlr.dir/ablation_dlr.cpp.o"
+  "CMakeFiles/ablation_dlr.dir/ablation_dlr.cpp.o.d"
+  "ablation_dlr"
+  "ablation_dlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_impersonation.dir/ablation_impersonation.cpp.o"
+  "CMakeFiles/ablation_impersonation.dir/ablation_impersonation.cpp.o.d"
+  "ablation_impersonation"
+  "ablation_impersonation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_impersonation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sunspider.dir/fig5_sunspider.cpp.o"
+  "CMakeFiles/fig5_sunspider.dir/fig5_sunspider.cpp.o.d"
+  "fig5_sunspider"
+  "fig5_sunspider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sunspider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

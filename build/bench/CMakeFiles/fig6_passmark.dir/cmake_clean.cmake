@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_passmark.dir/fig6_passmark.cpp.o"
+  "CMakeFiles/fig6_passmark.dir/fig6_passmark.cpp.o.d"
+  "fig6_passmark"
+  "fig6_passmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_passmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

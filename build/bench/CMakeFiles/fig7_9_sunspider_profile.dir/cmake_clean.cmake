@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_9_sunspider_profile.dir/fig7_9_sunspider_profile.cpp.o"
+  "CMakeFiles/fig7_9_sunspider_profile.dir/fig7_9_sunspider_profile.cpp.o.d"
+  "fig7_9_sunspider_profile"
+  "fig7_9_sunspider_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_9_sunspider_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_10_passmark_profile.dir/fig8_10_passmark_profile.cpp.o"
+  "CMakeFiles/fig8_10_passmark_profile.dir/fig8_10_passmark_profile.cpp.o.d"
+  "fig8_10_passmark_profile"
+  "fig8_10_passmark_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_10_passmark_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

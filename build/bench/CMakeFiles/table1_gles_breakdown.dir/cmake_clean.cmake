@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_gles_breakdown.dir/table1_gles_breakdown.cpp.o"
+  "CMakeFiles/table1_gles_breakdown.dir/table1_gles_breakdown.cpp.o.d"
+  "table1_gles_breakdown"
+  "table1_gles_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gles_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_microbench.dir/table3_microbench.cpp.o"
+  "CMakeFiles/table3_microbench.dir/table3_microbench.cpp.o.d"
+  "table3_microbench"
+  "table3_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

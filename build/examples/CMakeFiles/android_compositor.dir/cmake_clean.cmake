@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_compositor.dir/android_compositor.cpp.o"
+  "CMakeFiles/android_compositor.dir/android_compositor.cpp.o.d"
+  "android_compositor"
+  "android_compositor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_compositor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

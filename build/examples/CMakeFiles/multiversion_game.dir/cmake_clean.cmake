@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiversion_game.dir/multiversion_game.cpp.o"
+  "CMakeFiles/multiversion_game.dir/multiversion_game.cpp.o.d"
+  "multiversion_game"
+  "multiversion_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiversion_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_gallery.dir/photo_gallery.cpp.o"
+  "CMakeFiles/photo_gallery.dir/photo_gallery.cpp.o.d"
+  "photo_gallery"
+  "photo_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safari_browser.dir/safari_browser.cpp.o"
+  "CMakeFiles/safari_browser.dir/safari_browser.cpp.o.d"
+  "safari_browser"
+  "safari_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safari_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

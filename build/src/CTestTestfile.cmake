@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("kernel")
+subdirs("linker")
+subdirs("gpu")
+subdirs("gmem")
+subdirs("glcore")
+subdirs("android_gl")
+subdirs("core")
+subdirs("iosurface")
+subdirs("ios_gl")
+subdirs("dispatch")
+subdirs("glport")
+subdirs("jsvm")
+subdirs("webkit")
+subdirs("passmark")

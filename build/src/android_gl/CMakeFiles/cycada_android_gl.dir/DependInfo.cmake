@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android_gl/egl.cpp" "src/android_gl/CMakeFiles/cycada_android_gl.dir/egl.cpp.o" "gcc" "src/android_gl/CMakeFiles/cycada_android_gl.dir/egl.cpp.o.d"
+  "/root/repo/src/android_gl/surface_flinger.cpp" "src/android_gl/CMakeFiles/cycada_android_gl.dir/surface_flinger.cpp.o" "gcc" "src/android_gl/CMakeFiles/cycada_android_gl.dir/surface_flinger.cpp.o.d"
+  "/root/repo/src/android_gl/ui_wrapper.cpp" "src/android_gl/CMakeFiles/cycada_android_gl.dir/ui_wrapper.cpp.o" "gcc" "src/android_gl/CMakeFiles/cycada_android_gl.dir/ui_wrapper.cpp.o.d"
+  "/root/repo/src/android_gl/vendor.cpp" "src/android_gl/CMakeFiles/cycada_android_gl.dir/vendor.cpp.o" "gcc" "src/android_gl/CMakeFiles/cycada_android_gl.dir/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/glcore/CMakeFiles/cycada_glcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/cycada_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cycada_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cycada_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmem/CMakeFiles/cycada_gmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cycada_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cycada_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

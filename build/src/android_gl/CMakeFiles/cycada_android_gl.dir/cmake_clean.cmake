@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_android_gl.dir/egl.cpp.o"
+  "CMakeFiles/cycada_android_gl.dir/egl.cpp.o.d"
+  "CMakeFiles/cycada_android_gl.dir/surface_flinger.cpp.o"
+  "CMakeFiles/cycada_android_gl.dir/surface_flinger.cpp.o.d"
+  "CMakeFiles/cycada_android_gl.dir/ui_wrapper.cpp.o"
+  "CMakeFiles/cycada_android_gl.dir/ui_wrapper.cpp.o.d"
+  "CMakeFiles/cycada_android_gl.dir/vendor.cpp.o"
+  "CMakeFiles/cycada_android_gl.dir/vendor.cpp.o.d"
+  "libcycada_android_gl.a"
+  "libcycada_android_gl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_android_gl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_core.dir/classification.cpp.o"
+  "CMakeFiles/cycada_core.dir/classification.cpp.o.d"
+  "CMakeFiles/cycada_core.dir/diplomat.cpp.o"
+  "CMakeFiles/cycada_core.dir/diplomat.cpp.o.d"
+  "CMakeFiles/cycada_core.dir/impersonation.cpp.o"
+  "CMakeFiles/cycada_core.dir/impersonation.cpp.o.d"
+  "libcycada_core.a"
+  "libcycada_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_dispatch.dir/dispatch.cpp.o"
+  "CMakeFiles/cycada_dispatch.dir/dispatch.cpp.o.d"
+  "libcycada_dispatch.a"
+  "libcycada_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

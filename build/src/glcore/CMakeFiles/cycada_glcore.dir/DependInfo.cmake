@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glcore/api_registry.cpp" "src/glcore/CMakeFiles/cycada_glcore.dir/api_registry.cpp.o" "gcc" "src/glcore/CMakeFiles/cycada_glcore.dir/api_registry.cpp.o.d"
+  "/root/repo/src/glcore/engine.cpp" "src/glcore/CMakeFiles/cycada_glcore.dir/engine.cpp.o" "gcc" "src/glcore/CMakeFiles/cycada_glcore.dir/engine.cpp.o.d"
+  "/root/repo/src/glcore/engine_draw.cpp" "src/glcore/CMakeFiles/cycada_glcore.dir/engine_draw.cpp.o" "gcc" "src/glcore/CMakeFiles/cycada_glcore.dir/engine_draw.cpp.o.d"
+  "/root/repo/src/glcore/engine_extra.cpp" "src/glcore/CMakeFiles/cycada_glcore.dir/engine_extra.cpp.o" "gcc" "src/glcore/CMakeFiles/cycada_glcore.dir/engine_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cycada_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cycada_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cycada_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmem/CMakeFiles/cycada_gmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_glcore.dir/api_registry.cpp.o"
+  "CMakeFiles/cycada_glcore.dir/api_registry.cpp.o.d"
+  "CMakeFiles/cycada_glcore.dir/engine.cpp.o"
+  "CMakeFiles/cycada_glcore.dir/engine.cpp.o.d"
+  "CMakeFiles/cycada_glcore.dir/engine_draw.cpp.o"
+  "CMakeFiles/cycada_glcore.dir/engine_draw.cpp.o.d"
+  "CMakeFiles/cycada_glcore.dir/engine_extra.cpp.o"
+  "CMakeFiles/cycada_glcore.dir/engine_extra.cpp.o.d"
+  "libcycada_glcore.a"
+  "libcycada_glcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_glcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcycada_glcore.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_glport.dir/android_port.cpp.o"
+  "CMakeFiles/cycada_glport.dir/android_port.cpp.o.d"
+  "CMakeFiles/cycada_glport.dir/ios_port.cpp.o"
+  "CMakeFiles/cycada_glport.dir/ios_port.cpp.o.d"
+  "CMakeFiles/cycada_glport.dir/system_config.cpp.o"
+  "CMakeFiles/cycada_glport.dir/system_config.cpp.o.d"
+  "libcycada_glport.a"
+  "libcycada_glport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_glport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cycada_glport.
+# This may be replaced when dependencies are built.

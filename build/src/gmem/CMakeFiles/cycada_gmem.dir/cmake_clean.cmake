@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_gmem.dir/graphic_buffer.cpp.o"
+  "CMakeFiles/cycada_gmem.dir/graphic_buffer.cpp.o.d"
+  "libcycada_gmem.a"
+  "libcycada_gmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_gmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

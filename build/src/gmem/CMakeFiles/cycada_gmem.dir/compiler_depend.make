@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cycada_gmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_gpu.dir/device.cpp.o"
+  "CMakeFiles/cycada_gpu.dir/device.cpp.o.d"
+  "CMakeFiles/cycada_gpu.dir/raster.cpp.o"
+  "CMakeFiles/cycada_gpu.dir/raster.cpp.o.d"
+  "libcycada_gpu.a"
+  "libcycada_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_ios_gl.dir/eagl.cpp.o"
+  "CMakeFiles/cycada_ios_gl.dir/eagl.cpp.o.d"
+  "CMakeFiles/cycada_ios_gl.dir/egl_bridge.cpp.o"
+  "CMakeFiles/cycada_ios_gl.dir/egl_bridge.cpp.o.d"
+  "CMakeFiles/cycada_ios_gl.dir/gles.cpp.o"
+  "CMakeFiles/cycada_ios_gl.dir/gles.cpp.o.d"
+  "CMakeFiles/cycada_ios_gl.dir/platform.cpp.o"
+  "CMakeFiles/cycada_ios_gl.dir/platform.cpp.o.d"
+  "libcycada_ios_gl.a"
+  "libcycada_ios_gl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_ios_gl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cycada_ios_gl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_iosurface.dir/iosurface.cpp.o"
+  "CMakeFiles/cycada_iosurface.dir/iosurface.cpp.o.d"
+  "libcycada_iosurface.a"
+  "libcycada_iosurface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_iosurface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsvm/builtins.cpp" "src/jsvm/CMakeFiles/cycada_jsvm.dir/builtins.cpp.o" "gcc" "src/jsvm/CMakeFiles/cycada_jsvm.dir/builtins.cpp.o.d"
+  "/root/repo/src/jsvm/bytecode.cpp" "src/jsvm/CMakeFiles/cycada_jsvm.dir/bytecode.cpp.o" "gcc" "src/jsvm/CMakeFiles/cycada_jsvm.dir/bytecode.cpp.o.d"
+  "/root/repo/src/jsvm/interpreter.cpp" "src/jsvm/CMakeFiles/cycada_jsvm.dir/interpreter.cpp.o" "gcc" "src/jsvm/CMakeFiles/cycada_jsvm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/jsvm/parser.cpp" "src/jsvm/CMakeFiles/cycada_jsvm.dir/parser.cpp.o" "gcc" "src/jsvm/CMakeFiles/cycada_jsvm.dir/parser.cpp.o.d"
+  "/root/repo/src/jsvm/regex.cpp" "src/jsvm/CMakeFiles/cycada_jsvm.dir/regex.cpp.o" "gcc" "src/jsvm/CMakeFiles/cycada_jsvm.dir/regex.cpp.o.d"
+  "/root/repo/src/jsvm/sunspider.cpp" "src/jsvm/CMakeFiles/cycada_jsvm.dir/sunspider.cpp.o" "gcc" "src/jsvm/CMakeFiles/cycada_jsvm.dir/sunspider.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cycada_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

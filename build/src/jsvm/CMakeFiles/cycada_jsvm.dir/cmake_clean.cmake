@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_jsvm.dir/builtins.cpp.o"
+  "CMakeFiles/cycada_jsvm.dir/builtins.cpp.o.d"
+  "CMakeFiles/cycada_jsvm.dir/bytecode.cpp.o"
+  "CMakeFiles/cycada_jsvm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/cycada_jsvm.dir/interpreter.cpp.o"
+  "CMakeFiles/cycada_jsvm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/cycada_jsvm.dir/parser.cpp.o"
+  "CMakeFiles/cycada_jsvm.dir/parser.cpp.o.d"
+  "CMakeFiles/cycada_jsvm.dir/regex.cpp.o"
+  "CMakeFiles/cycada_jsvm.dir/regex.cpp.o.d"
+  "CMakeFiles/cycada_jsvm.dir/sunspider.cpp.o"
+  "CMakeFiles/cycada_jsvm.dir/sunspider.cpp.o.d"
+  "libcycada_jsvm.a"
+  "libcycada_jsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_jsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/cycada_kernel.dir/kernel.cpp.o.d"
+  "libcycada_kernel.a"
+  "libcycada_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

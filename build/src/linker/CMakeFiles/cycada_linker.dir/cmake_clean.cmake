@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_linker.dir/linker.cpp.o"
+  "CMakeFiles/cycada_linker.dir/linker.cpp.o.d"
+  "libcycada_linker.a"
+  "libcycada_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passmark/passmark.cpp" "src/passmark/CMakeFiles/cycada_passmark.dir/passmark.cpp.o" "gcc" "src/passmark/CMakeFiles/cycada_passmark.dir/passmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/glport/CMakeFiles/cycada_glport.dir/DependInfo.cmake"
+  "/root/repo/build/src/ios_gl/CMakeFiles/cycada_ios_gl.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosurface/CMakeFiles/cycada_iosurface.dir/DependInfo.cmake"
+  "/root/repo/build/src/android_gl/CMakeFiles/cycada_android_gl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cycada_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/glcore/CMakeFiles/cycada_glcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/cycada_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmem/CMakeFiles/cycada_gmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cycada_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/cycada_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cycada_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

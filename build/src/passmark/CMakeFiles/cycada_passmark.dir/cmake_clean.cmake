@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_passmark.dir/passmark.cpp.o"
+  "CMakeFiles/cycada_passmark.dir/passmark.cpp.o.d"
+  "libcycada_passmark.a"
+  "libcycada_passmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_passmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

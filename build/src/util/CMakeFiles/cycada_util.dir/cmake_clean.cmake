@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_util.dir/image.cpp.o"
+  "CMakeFiles/cycada_util.dir/image.cpp.o.d"
+  "CMakeFiles/cycada_util.dir/log.cpp.o"
+  "CMakeFiles/cycada_util.dir/log.cpp.o.d"
+  "CMakeFiles/cycada_util.dir/pixel.cpp.o"
+  "CMakeFiles/cycada_util.dir/pixel.cpp.o.d"
+  "libcycada_util.a"
+  "libcycada_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

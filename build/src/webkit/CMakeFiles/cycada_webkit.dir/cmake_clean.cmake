@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycada_webkit.dir/browser.cpp.o"
+  "CMakeFiles/cycada_webkit.dir/browser.cpp.o.d"
+  "CMakeFiles/cycada_webkit.dir/document.cpp.o"
+  "CMakeFiles/cycada_webkit.dir/document.cpp.o.d"
+  "CMakeFiles/cycada_webkit.dir/layout.cpp.o"
+  "CMakeFiles/cycada_webkit.dir/layout.cpp.o.d"
+  "CMakeFiles/cycada_webkit.dir/raster.cpp.o"
+  "CMakeFiles/cycada_webkit.dir/raster.cpp.o.d"
+  "libcycada_webkit.a"
+  "libcycada_webkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycada_webkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

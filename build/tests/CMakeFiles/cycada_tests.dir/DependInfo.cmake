@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/android_gl_test.cpp" "tests/CMakeFiles/cycada_tests.dir/android_gl_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/android_gl_test.cpp.o.d"
+  "/root/repo/tests/api_registry_test.cpp" "tests/CMakeFiles/cycada_tests.dir/api_registry_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/api_registry_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/cycada_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/cycada_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/cycada_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/glcore_extra_test.cpp" "tests/CMakeFiles/cycada_tests.dir/glcore_extra_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/glcore_extra_test.cpp.o.d"
+  "/root/repo/tests/glcore_test.cpp" "tests/CMakeFiles/cycada_tests.dir/glcore_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/glcore_test.cpp.o.d"
+  "/root/repo/tests/gpu_test.cpp" "tests/CMakeFiles/cycada_tests.dir/gpu_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/gpu_test.cpp.o.d"
+  "/root/repo/tests/ios_gl_test.cpp" "tests/CMakeFiles/cycada_tests.dir/ios_gl_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/ios_gl_test.cpp.o.d"
+  "/root/repo/tests/iosurface_test.cpp" "tests/CMakeFiles/cycada_tests.dir/iosurface_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/iosurface_test.cpp.o.d"
+  "/root/repo/tests/jsvm_test.cpp" "tests/CMakeFiles/cycada_tests.dir/jsvm_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/jsvm_test.cpp.o.d"
+  "/root/repo/tests/kernel_test.cpp" "tests/CMakeFiles/cycada_tests.dir/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/kernel_test.cpp.o.d"
+  "/root/repo/tests/linker_test.cpp" "tests/CMakeFiles/cycada_tests.dir/linker_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/linker_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/cycada_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/cycada_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/cycada_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/cycada_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/cycada_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/cycada_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/glcore/CMakeFiles/cycada_glcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmem/CMakeFiles/cycada_gmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/android_gl/CMakeFiles/cycada_android_gl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cycada_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosurface/CMakeFiles/cycada_iosurface.dir/DependInfo.cmake"
+  "/root/repo/build/src/ios_gl/CMakeFiles/cycada_ios_gl.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsvm/CMakeFiles/cycada_jsvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatch/CMakeFiles/cycada_dispatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/glport/CMakeFiles/cycada_glport.dir/DependInfo.cmake"
+  "/root/repo/build/src/webkit/CMakeFiles/cycada_webkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/passmark/CMakeFiles/cycada_passmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cycada_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
