@@ -7,10 +7,13 @@
 // implementation (libEGLbridge).
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
+#include <string>
 
 #include "core/diplomat.h"
 #include "glport/system_config.h"
 #include "jsvm/sunspider.h"
+#include "trace/metrics.h"
 #include "webkit/browser.h"
 
 int main() {
@@ -70,5 +73,24 @@ int main() {
       "eglSwapBuffers next; ~40%% of time in EAGL-implementation functions;\n"
       "most top functions average >10us/call, dwarfing the <1us diplomat"
       " overhead.\n");
+
+  // Text summary of the process-wide metrics, then a machine-readable JSON
+  // blob: per-diplomat latency stats plus the full metrics snapshot.
+  std::printf("\n");
+  cycada::trace::MetricsRegistry::instance().dump_summary(std::cout);
+  std::string json = "{\"bench\":\"fig7_9_sunspider_profile\",\"diplomats\":[";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& s = snapshot[i];
+    if (i > 0) json += ",";
+    json += "{\"name\":\"" + s.name +
+            "\",\"calls\":" + std::to_string(s.calls) +
+            ",\"total_ns\":" + std::to_string(s.total_ns) +
+            ",\"p50_ns\":" + std::to_string(s.p50_ns) +
+            ",\"p95_ns\":" + std::to_string(s.p95_ns) +
+            ",\"p99_ns\":" + std::to_string(s.p99_ns) + "}";
+  }
+  json += "],\"metrics\":" +
+          cycada::trace::MetricsRegistry::instance().snapshot().to_json() + "}";
+  cycada::trace::emit_bench_json(std::cout, json);
   return 0;
 }

@@ -3,8 +3,10 @@
 // usage pattern supports. The counts come from the live classification the
 // Cycada dispatch layer uses, applied to the iOS function universe.
 #include <cstdio>
+#include <iostream>
 
 #include "core/classification.h"
+#include "trace/metrics.h"
 
 int main() {
   using namespace cycada::core;
@@ -35,5 +37,16 @@ int main() {
   for (const auto& name : functions_with_pattern(DiplomatPattern::kMulti)) {
     std::printf("  %s\n", name.c_str());
   }
+
+  // Machine-readable mirror of the table, via the metrics registry.
+  cycada::trace::MetricsRegistry& metrics =
+      cycada::trace::MetricsRegistry::instance();
+  metrics.counter("table2.direct").set(counts.direct);
+  metrics.counter("table2.indirect").set(counts.indirect);
+  metrics.counter("table2.data_dependent").set(counts.data_dependent);
+  metrics.counter("table2.multi").set(counts.multi);
+  metrics.counter("table2.unimplemented").set(counts.unimplemented);
+  metrics.counter("table2.total").set(counts.total());
+  cycada::trace::emit_bench_json(std::cout, metrics.snapshot().to_json());
   return 0;
 }

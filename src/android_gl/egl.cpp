@@ -6,6 +6,8 @@
 #include "android_gl/vendor.h"
 #include "gpu/device.h"
 #include "kernel/libc.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/log.h"
 
 namespace cycada::android_gl {
@@ -51,6 +53,7 @@ EGLint AndroidEgl::eglGetError() {
 }
 
 EGLBoolean AndroidEgl::eglInitialize() {
+  TRACE_SCOPE("gl", "eglInitialize");
   std::lock_guard lock(mutex_);
   if (process_connection_ != nullptr) return EGL_TRUE;
   // Load the (shared) vendor library — the one vendor connection the stock
@@ -171,6 +174,7 @@ EGLBoolean AndroidEgl::eglDestroySurface(EglSurface* surface) {
 }
 
 EglContext* AndroidEgl::eglCreateContext(int gles_version) {
+  TRACE_SCOPE("gl", "eglCreateContext");
   EglConnection* connection = current_connection();
   if (connection == nullptr) {
     set_error(EGL_NOT_INITIALIZED);
@@ -220,6 +224,7 @@ EGLBoolean AndroidEgl::eglDestroyContext(EglContext* context) {
 
 EGLBoolean AndroidEgl::eglMakeCurrent(EglSurface* surface,
                                       EglContext* context) {
+  TRACE_SCOPE("gl", "eglMakeCurrent");
   if (context == nullptr) {
     kernel::libc::pthread_setspecific(tls_context_key_, nullptr);
     if (glcore::GlesEngine* engine = gles()) {
@@ -253,10 +258,14 @@ EglContext* AndroidEgl::eglGetCurrentContext() {
 }
 
 EGLBoolean AndroidEgl::eglSwapBuffers(EglSurface* surface) {
+  TRACE_SCOPE("gl", "eglSwapBuffers");
   if (surface == nullptr) {
     set_error(EGL_BAD_SURFACE);
     return EGL_FALSE;
   }
+  static trace::Counter& swaps =
+      trace::MetricsRegistry::instance().counter("gl.egl_swaps");
+  swaps.add();
   // Retire all queued rendering into the back buffer, then flip.
   device().flush();
   surface->back_ = 1 - surface->back_;
@@ -310,6 +319,7 @@ EGLBoolean AndroidEgl::eglDestroyImageKHR(glcore::EglImage* image) {
 }
 
 int AndroidEgl::eglReInitializeMC() {
+  TRACE_SCOPE("gl", "eglReInitializeMC");
   // DLR: replicate libui_wrapper and, through its dependency closure, the
   // whole vendor GLES stack (paper §8.1.1). The replica becomes the calling
   // thread's connection.

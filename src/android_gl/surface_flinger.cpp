@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <vector>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "util/clock.h"
+
 namespace cycada::android_gl {
+
+namespace {
+// 60 Hz display budget; a composition that exceeds it counts as a dropped
+// frame (the scanout would have missed its vsync).
+constexpr std::int64_t kFrameBudgetNs = 16'666'667;
+}  // namespace
 
 SurfaceFlinger& SurfaceFlinger::instance() {
   static SurfaceFlinger* flinger = new SurfaceFlinger();
@@ -54,6 +64,8 @@ std::size_t SurfaceFlinger::layer_count() const {
 }
 
 Image SurfaceFlinger::compose(int display_width, int display_height) {
+  TRACE_SCOPE("frame", "SurfaceFlinger.compose");
+  const std::int64_t start_ns = now_ns();
   std::vector<Layer> ordered;
   {
     std::lock_guard lock(mutex_);
@@ -95,6 +107,15 @@ Image SurfaceFlinger::compose(int display_width, int display_height) {
       }
     }
   }
+
+  trace::MetricsRegistry& metrics = trace::MetricsRegistry::instance();
+  static trace::Counter& frames = metrics.counter("frame.composed");
+  static trace::Counter& dropped = metrics.counter("frame.dropped");
+  static trace::Histogram& compose_ns = metrics.histogram("frame.compose_ns");
+  const std::int64_t elapsed_ns = now_ns() - start_ns;
+  frames.add();
+  compose_ns.record(elapsed_ns);
+  if (elapsed_ns > kFrameBudgetNs) dropped.add();
   return display;
 }
 

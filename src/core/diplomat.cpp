@@ -14,7 +14,7 @@ void DiplomatRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (auto& [name, entry] : entries_) {
     entry->calls.store(0);
-    entry->total_ns.store(0);
+    entry->latency.reset();
   }
   profiling_.store(false);
 }
@@ -36,7 +36,7 @@ void DiplomatRegistry::clear_stats() {
   std::lock_guard lock(mutex_);
   for (auto& [name, entry] : entries_) {
     entry->calls.store(0);
-    entry->total_ns.store(0);
+    entry->latency.reset();
   }
 }
 
@@ -46,7 +46,9 @@ std::vector<DiplomatSnapshot> DiplomatRegistry::snapshot() const {
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
     out.push_back({name, entry->pattern, entry->calls.load(),
-                   entry->total_ns.load()});
+                   entry->latency.sum(), entry->latency.percentile(50),
+                   entry->latency.percentile(95),
+                   entry->latency.percentile(99)});
   }
   return out;
 }

@@ -27,6 +27,8 @@
 
 #include "kernel/kernel.h"
 #include "kernel/libc.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/clock.h"
 
 namespace cycada::core {
@@ -57,13 +59,15 @@ struct DiplomatEntry {
   DiplomatPattern pattern = DiplomatPattern::kDirect;
   // Step-1 cache: the resolved domestic entry point (opaque).
   std::atomic<void*> cached_symbol{nullptr};
+  // Incremented on every call, whether or not profiling is on, so counts
+  // are identical across profiled and unprofiled runs.
   std::atomic<std::uint64_t> calls{0};
-  std::atomic<std::int64_t> total_ns{0};
+  // Per-call latency distribution, populated only while profiling — the
+  // data behind Figures 7-10, now with percentiles rather than only means.
+  trace::Histogram latency;
 
-  void record(std::int64_t ns) {
-    calls.fetch_add(1, std::memory_order_relaxed);
-    total_ns.fetch_add(ns, std::memory_order_relaxed);
-  }
+  void record_latency(std::int64_t ns) { latency.record(ns); }
+  std::int64_t total_ns() const { return latency.sum(); }
 };
 
 struct DiplomatSnapshot {
@@ -71,6 +75,9 @@ struct DiplomatSnapshot {
   DiplomatPattern pattern;
   std::uint64_t calls;
   std::int64_t total_ns;
+  std::int64_t p50_ns;
+  std::int64_t p95_ns;
+  std::int64_t p99_ns;
 };
 
 class DiplomatRegistry {
@@ -116,6 +123,7 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
   DiplomatRegistry& registry = DiplomatRegistry::instance();
   const bool profiling = registry.profiling();
   const std::int64_t start_ns = profiling ? now_ns() : 0;
+  TRACE_SCOPE("diplomat", entry.name.c_str());
 
   // Step 2: prelude in the foreign persona.
   if (hooks.prelude) hooks.prelude();
@@ -136,8 +144,8 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
     }
     // Step 10: postlude in the foreign persona.
     if (hooks.postlude) hooks.postlude();
-    if (profiling) entry.record(now_ns() - start_ns);
-    entry.calls.fetch_add(profiling ? 0 : 1, std::memory_order_relaxed);
+    entry.calls.fetch_add(1, std::memory_order_relaxed);
+    if (profiling) entry.record_latency(now_ns() - start_ns);
   };
 
   if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {

@@ -1,5 +1,7 @@
 #include "core/impersonation.h"
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/log.h"
 
 namespace cycada::core {
@@ -77,6 +79,7 @@ bool GraphicsTlsTracker::is_graphics_key(kernel::TlsKey key) const {
 }
 
 ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {
+  TRACE_SCOPE("impersonation", "acquire");
   kernel::Kernel& kernel = kernel::Kernel::instance();
   self_ = kernel.current_thread().tid();
   if (target_ == kernel::kInvalidTid || target_ == self_) return;
@@ -86,41 +89,54 @@ ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {
   }
   keys_ = GraphicsTlsTracker::instance().graphics_keys();
   const int count = static_cast<int>(keys_.size());
-  for (int p = 0; p < kernel::kNumPersonas; ++p) {
-    const auto persona = static_cast<kernel::Persona>(p);
-    saved_[p].resize(keys_.size());
-    std::vector<void*> incoming(keys_.size());
-    // Save the running thread's graphics TLS and install the target's, in
-    // both personas (steps 3 of §7.1, via the locate/propagate syscalls).
-    if (kernel::sys_locate_tls(self_, persona, keys_.data(), saved_[p].data(),
-                               count) != 0 ||
-        kernel::sys_locate_tls(target_, persona, keys_.data(), incoming.data(),
-                               count) != 0 ||
-        kernel::sys_propagate_tls(self_, persona, keys_.data(), incoming.data(),
-                                  count) != 0) {
-      return;
+  {
+    TRACE_SCOPE("impersonation", "migrate_tls_in");
+    for (int p = 0; p < kernel::kNumPersonas; ++p) {
+      const auto persona = static_cast<kernel::Persona>(p);
+      saved_[p].resize(keys_.size());
+      std::vector<void*> incoming(keys_.size());
+      // Save the running thread's graphics TLS and install the target's, in
+      // both personas (steps 3 of §7.1, via the locate/propagate syscalls).
+      if (kernel::sys_locate_tls(self_, persona, keys_.data(),
+                                 saved_[p].data(), count) != 0 ||
+          kernel::sys_locate_tls(target_, persona, keys_.data(),
+                                 incoming.data(), count) != 0 ||
+          kernel::sys_propagate_tls(self_, persona, keys_.data(),
+                                    incoming.data(), count) != 0) {
+        return;
+      }
     }
   }
   kernel::sys_impersonate(target_);
   active_ = true;
+  static trace::Counter& acquires =
+      trace::MetricsRegistry::instance().counter("impersonation.acquires");
+  static trace::Counter& migrated = trace::MetricsRegistry::instance().counter(
+      "impersonation.migrated_keys");
+  acquires.add();
+  migrated.add(static_cast<std::uint64_t>(count) * kernel::kNumPersonas);
 }
 
 ThreadImpersonation::~ThreadImpersonation() {
   if (!active_) return;
+  TRACE_SCOPE("impersonation", "release");
   const int count = static_cast<int>(keys_.size());
-  for (int p = 0; p < kernel::kNumPersonas; ++p) {
-    const auto persona = static_cast<kernel::Persona>(p);
-    std::vector<void*> updated(keys_.size());
-    // Reflect updates back into the TLS associated with the context (the
-    // target thread), then restore the running thread's own state
-    // (steps 4-5 of §7.1).
-    if (kernel::sys_locate_tls(self_, persona, keys_.data(), updated.data(),
-                               count) == 0) {
-      (void)kernel::sys_propagate_tls(target_, persona, keys_.data(),
-                                      updated.data(), count);
+  {
+    TRACE_SCOPE("impersonation", "migrate_tls_out");
+    for (int p = 0; p < kernel::kNumPersonas; ++p) {
+      const auto persona = static_cast<kernel::Persona>(p);
+      std::vector<void*> updated(keys_.size());
+      // Reflect updates back into the TLS associated with the context (the
+      // target thread), then restore the running thread's own state
+      // (steps 4-5 of §7.1).
+      if (kernel::sys_locate_tls(self_, persona, keys_.data(), updated.data(),
+                                 count) == 0) {
+        (void)kernel::sys_propagate_tls(target_, persona, keys_.data(),
+                                        updated.data(), count);
+      }
+      (void)kernel::sys_propagate_tls(self_, persona, keys_.data(),
+                                      saved_[p].data(), count);
     }
-    (void)kernel::sys_propagate_tls(self_, persona, keys_.data(),
-                                    saved_[p].data(), count);
   }
   kernel::sys_impersonate(kernel::kInvalidTid);
 }

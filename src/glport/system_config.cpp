@@ -1,5 +1,7 @@
 #include "glport/system_config.h"
 
+#include <cstdlib>
+
 #include "android_gl/vendor.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
@@ -10,10 +12,43 @@
 #include "iosurface/iosurface.h"
 #include "kernel/kernel.h"
 #include "linker/linker.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "util/log.h"
 
 namespace cycada::glport {
 
+namespace {
+// CYCADA_TRACE=path.json turns the tracer on for the whole run and writes a
+// chrome://tracing-loadable JSON at process exit. Installed once, from the
+// first apply_system_config() call (every bench/example goes through here).
+void install_trace_env_hook() {
+  static const bool installed = [] {
+    const char* path = std::getenv("CYCADA_TRACE");
+    if (path == nullptr || *path == '\0') return false;
+    trace::Tracer::instance().set_enabled(true);
+    static std::string out_path(path);
+    std::atexit([] {
+      const Status status = trace::write_chrome_trace(out_path);
+      if (!status.is_ok()) {
+        CYCADA_LOG(kError) << "CYCADA_TRACE export failed: "
+                           << status.to_string();
+      } else if (const std::uint64_t dropped = trace::Tracer::instance().dropped();
+                 dropped > 0) {
+        // Long runs overflow the fixed per-thread rings (drop-newest); the
+        // exported file is truncated, not corrupt — say so.
+        CYCADA_LOG(kWarn) << "CYCADA_TRACE: " << dropped
+                          << " events dropped to full ring buffers";
+      }
+    });
+    return true;
+  }();
+  (void)installed;
+}
+}  // namespace
+
 void apply_system_config(SystemConfig config) {
+  install_trace_env_hook();
   // Leave no dangling per-thread context before tearing the world down.
   ios_gl::EAGLContext::clear_current_context();
 
@@ -30,6 +65,10 @@ void apply_system_config(SystemConfig config) {
   linker::Linker::instance().reset();
   iosurface::LinuxCoreSurface::instance().reset();
   core::DiplomatRegistry::instance().reset();
+  // Metrics are scoped to one configuration, like diplomat stats; the trace
+  // timeline deliberately survives so one CYCADA_TRACE file can span a whole
+  // multi-config bench run.
+  trace::MetricsRegistry::instance().reset();
   core::GraphicsTlsTracker::instance().reset();
   core::GraphicsTlsTracker::instance().install();
   ios_gl::reset_native_ios();

@@ -5,6 +5,8 @@
 #include "core/diplomat.h"
 #include "gpu/device.h"
 #include "kernel/kernel.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace cycada::ios_gl {
 
@@ -28,6 +30,7 @@ glcore::GlesEngine* EAGLContext::engine() const {
 StatusOr<EAGLContext::Ref> EAGLContext::init_with_api(EAGLRenderingAPI api,
                                                       int drawable_width,
                                                       int drawable_height) {
+  TRACE_SCOPE("gl", "EAGLContext.initWithAPI");
   auto context = Ref(new EAGLContext());
   context->api_ = api;
   context->sharegroup_ = std::make_shared<EAGLSharegroup>();
@@ -80,6 +83,7 @@ StatusOr<EAGLContext::Ref> EAGLContext::init_with_api_sharegroup(
 }
 
 bool EAGLContext::set_current_context(Ref context) {
+  TRACE_SCOPE("gl", "EAGLContext.setCurrentContext");
   t_current_context = context;
   if (context == nullptr) return true;
   if (platform() == Platform::kNativeIos) {
@@ -154,6 +158,10 @@ Status EAGLContext::renderbuffer_storage_from_drawable(
 }
 
 Status EAGLContext::present_renderbuffer(glcore::GLuint renderbuffer) {
+  TRACE_SCOPE("gl", "EAGLContext.presentRenderbuffer");
+  static trace::Counter& presents =
+      trace::MetricsRegistry::instance().counter("gl.eagl_presents");
+  presents.add();
   auto it = drawables_.find(renderbuffer);
   if (it == drawables_.end()) {
     return Status::failed_precondition(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/log.h"
 
 namespace cycada::kernel {
@@ -357,6 +359,11 @@ Tid sys_gettid() {
 }
 
 long sys_set_persona(Persona persona) {
+  TRACE_SCOPE("persona", persona == Persona::kIos ? "set_persona(ios)"
+                                                  : "set_persona(android)");
+  static trace::Counter& switches =
+      trace::MetricsRegistry::instance().counter("persona.switches");
+  switches.add();
   SyscallArgs args;
   args.reg[0] = static_cast<std::uint64_t>(persona);
   return Kernel::instance().syscall(Sys::kSetPersona, args);

@@ -2,6 +2,9 @@
 
 #include <deque>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "util/clock.h"
 #include "util/log.h"
 
 namespace cycada::linker {
@@ -43,16 +46,28 @@ bool Linker::has_image(std::string_view name) const {
 }
 
 StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
+  TRACE_SCOPE("linker", "dlopen");
   std::lock_guard lock(mutex_);
   return load_locked(name, ns);
 }
 
 StatusOr<Handle> Linker::dlforce(std::string_view name) {
+  TRACE_SCOPE("linker", "dlforce");
+  static trace::Counter& replicas =
+      trace::MetricsRegistry::instance().counter("linker.replica_loads");
+  static trace::Histogram& load_ns =
+      trace::MetricsRegistry::instance().histogram("linker.dlforce_ns");
+  const std::int64_t start_ns = now_ns();
   std::lock_guard lock(mutex_);
   // A fresh namespace: nothing is "already loaded" in it, so the whole
   // dependency closure is re-instanced and every constructor runs again.
   const NamespaceId ns = next_namespace_++;
-  return load_locked(name, ns);
+  auto result = load_locked(name, ns);
+  if (result.is_ok()) {
+    replicas.add();
+    load_ns.record(now_ns() - start_ns);
+  }
+  return result;
 }
 
 StatusOr<std::shared_ptr<LoadedLibrary>> Linker::load_locked(
@@ -70,6 +85,14 @@ StatusOr<std::shared_ptr<LoadedLibrary>> Linker::load_locked(
     return Status::not_found("no such library: " + std::string(name));
   }
   const LibraryImage& image = image_it->second;
+
+  // Only actual instancing (cache misses) is worth a span; the name string
+  // must outlive the span, hence the local.
+  const std::string span_name = "load:" + std::string(name);
+  TRACE_SCOPE("linker", span_name.c_str());
+  static trace::Counter& loads =
+      trace::MetricsRegistry::instance().counter("linker.libraries_loaded");
+  loads.add();
 
   auto copy = std::make_shared<LoadedLibrary>(&image, ns);
   // Publish before loading deps so dependency cycles terminate (the second
@@ -100,6 +123,10 @@ StatusOr<std::shared_ptr<LoadedLibrary>> Linker::load_locked(
 
 void* Linker::dlsym(const Handle& handle, std::string_view symbol) {
   if (handle == nullptr) return nullptr;
+  TRACE_SCOPE("linker", "dlsym");
+  static trace::Counter& lookups =
+      trace::MetricsRegistry::instance().counter("linker.dlsym_lookups");
+  lookups.add();
   // Breadth-first over the handle's tree, never leaving its namespace —
   // the dlforce-scoped search behavior of paper §8.1.
   std::deque<const LoadedLibrary*> queue{handle.get()};

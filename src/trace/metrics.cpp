@@ -1,0 +1,211 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+
+namespace cycada::trace {
+
+namespace {
+void atomic_store_min(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_store_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+}  // namespace
+
+int Histogram::bucket_index(std::int64_t value) {
+  if (value <= 0) return 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  const int h = std::bit_width(v) - 1;  // floor(log2(v))
+  const int sub = h > 0 ? static_cast<int>((v >> (h - 1)) & 1) : 0;
+  return std::min(kBuckets - 1, h * 2 + sub);
+}
+
+std::int64_t Histogram::bucket_upper_bound(int index) {
+  const int h = index / 2;
+  const std::int64_t base = std::int64_t{1} << h;
+  return index % 2 == 0 ? base + base / 2 - 1 : base * 2 - 1;
+}
+
+void Histogram::record(std::int64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_store_min(min_, value);
+  atomic_store_max(max_, value);
+}
+
+std::int64_t Histogram::min() const {
+  const std::int64_t value = min_.load(std::memory_order_relaxed);
+  return value == std::numeric_limits<std::int64_t>::max() ? 0 : value;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  // Work from a consistent-enough copy; concurrent updates make this
+  // approximate, which is fine for reporting.
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, clamped / 100.0 * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return std::min(bucket_upper_bound(i), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.push_back({name, histogram->count(), histogram->sum(),
+                              histogram->min(), histogram->max(),
+                              histogram->percentile(50),
+                              histogram->percentile(95),
+                              histogram->percentile(99)});
+  }
+  return out;
+}
+
+void MetricsRegistry::dump_summary(std::ostream& os) const {
+  const MetricsSnapshot snap = snapshot();
+  os << "--- metrics summary -------------------------------------------\n";
+  if (!snap.counters.empty()) {
+    os << "counters:\n";
+    for (const auto& counter : snap.counters) {
+      os << "  " << std::left << std::setw(40) << counter.name << std::right
+         << std::setw(12) << counter.value << "\n";
+    }
+  }
+  if (!snap.histograms.empty()) {
+    os << "histograms (us):\n  " << std::left << std::setw(40) << "name"
+       << std::right << std::setw(10) << "count" << std::setw(12) << "total"
+       << std::setw(10) << "p50" << std::setw(10) << "p95" << std::setw(10)
+       << "p99" << std::setw(10) << "max" << "\n";
+    for (const auto& histogram : snap.histograms) {
+      const auto us = [](std::int64_t ns) {
+        return static_cast<double>(ns) / 1000.0;
+      };
+      os << "  " << std::left << std::setw(40) << histogram.name << std::right
+         << std::setw(10) << histogram.count << std::fixed
+         << std::setprecision(1) << std::setw(12) << us(histogram.sum)
+         << std::setw(10) << us(histogram.p50) << std::setw(10)
+         << us(histogram.p95) << std::setw(10) << us(histogram.p99)
+         << std::setw(10) << us(histogram.max) << "\n";
+      os.unsetf(std::ios::fixed);
+    }
+  }
+  os << "---------------------------------------------------------------\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& counter : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, counter.name);
+    out += "\":" + std::to_string(counter.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& histogram : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, histogram.name);
+    out += "\":{\"count\":" + std::to_string(histogram.count) +
+           ",\"sum_ns\":" + std::to_string(histogram.sum) +
+           ",\"min_ns\":" + std::to_string(histogram.min) +
+           ",\"max_ns\":" + std::to_string(histogram.max) +
+           ",\"p50_ns\":" + std::to_string(histogram.p50) +
+           ",\"p95_ns\":" + std::to_string(histogram.p95) +
+           ",\"p99_ns\":" + std::to_string(histogram.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void emit_bench_json(std::ostream& os, const std::string& json) {
+  if (const char* path = std::getenv("CYCADA_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream file(path);
+    file << json << "\n";
+    if (file.good()) return;
+    // Fall through to stdout so the data is never silently lost.
+  }
+  os << "=== metrics json ===\n" << json << "\n";
+}
+
+}  // namespace cycada::trace

@@ -1,0 +1,125 @@
+// Process-wide named counters and fixed-bucket latency histograms.
+//
+// Counters and histograms are registered once (references are process-
+// lifetime, like DiplomatEntry) and updated wait-free with relaxed atomics,
+// so hot paths may cache a reference in a function-local static. Histograms
+// use two logarithmic buckets per octave (resolution about ±25%), covering
+// 1 ns to ~18 minutes, which is plenty for the paper's ns-to-ms latency
+// range while keeping percentile math trivial.
+//
+// MetricsRegistry::dump_summary() prints the human-readable table the
+// benches append to their output; MetricsSnapshot::to_json() backs the
+// structured bench output (CYCADA_BENCH_JSON) that perf-trajectory tooling
+// consumes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cycada::trace {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  // Two buckets per octave: indices 2h and 2h+1 split [2^h, 2^(h+1)) at
+  // 1.5*2^h. 80 buckets reach 2^40 ns; larger samples clamp into the last.
+  static constexpr int kBuckets = 80;
+
+  void record(std::int64_t value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const;  // 0 when empty
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  // p in [0, 100]. Returns the upper bound of the bucket holding the
+  // p-th-percentile sample (clamped to the observed max), 0 when empty.
+  std::int64_t percentile(double p) const;
+  void reset();
+
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_upper_bound(int index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count;
+  std::int64_t sum;
+  std::int64_t min;
+  std::int64_t max;
+  std::int64_t p50;
+  std::int64_t p95;
+  std::int64_t p99;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Finds or creates; the returned reference is valid forever.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+  // Sorted text table of all counters and histograms (benches append this
+  // to their human-readable output).
+  void dump_summary(std::ostream& os) const;
+  // Zeroes every metric; registered names stay valid.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Bench helper: writes `json` to the path in $CYCADA_BENCH_JSON when set,
+// otherwise prints it to `os` under a "=== metrics json ===" marker line.
+void emit_bench_json(std::ostream& os, const std::string& json);
+
+}  // namespace cycada::trace

@@ -1,0 +1,120 @@
+#include "trace/trace.h"
+
+#include <bit>
+
+#include "util/log.h"
+
+namespace cycada::trace {
+
+namespace {
+// The calling thread's buffer. Buffers are owned by the Tracer registry and
+// live for the process lifetime — reset() discards events but never frees a
+// buffer, so a thread mid-push can never race a destruction.
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+void copy_bounded(char* dst, std::size_t capacity, const char* src) {
+  std::size_t i = 0;
+  for (; src != nullptr && src[i] != '\0' && i + 1 < capacity; ++i) {
+    dst[i] = src[i];
+  }
+  dst[i] = '\0';
+}
+}  // namespace
+
+ThreadBuffer::ThreadBuffer(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid), capacity_(std::bit_ceil(capacity == 0 ? 1 : capacity)) {
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool ThreadBuffer::push(const TraceEvent& event) {
+  Slot& slot = slots_[head_ & (capacity_ - 1)];
+  // The slot is free for this lap when its sequence equals the producer
+  // position; otherwise the consumer has not drained it yet — drop.
+  if (slot.seq.load(std::memory_order_acquire) != head_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slot.event = event;
+  slot.event.tid = tid_;
+  slot.seq.store(head_ + 1, std::memory_order_release);
+  ++head_;
+  return true;
+}
+
+std::size_t ThreadBuffer::drain(std::vector<TraceEvent>& out) {
+  std::size_t drained = 0;
+  for (;;) {
+    Slot& slot = slots_[tail_ & (capacity_ - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != tail_ + 1) break;
+    out.push_back(slot.event);
+    // Mark the slot free for the producer's next lap.
+    slot.seq.store(tail_ + capacity_, std::memory_order_release);
+    ++tail_;
+    ++drained;
+  }
+  return drained;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // intentionally immortal
+  return *tracer;
+}
+
+ThreadBuffer& Tracer::buffer() {
+  if (t_buffer != nullptr) return *t_buffer;
+  std::lock_guard lock(mutex_);
+  auto owned = std::make_unique<ThreadBuffer>(
+      static_cast<std::uint32_t>(thread_ordinal()));
+  t_buffer = owned.get();
+  buffers_.push_back(std::move(owned));
+  return *t_buffer;
+}
+
+void Tracer::record_complete(const char* category, const char* name,
+                             std::int64_t start_ns, std::int64_t duration_ns) {
+  if (!enabled()) return;
+  TraceEvent event;
+  copy_bounded(event.category, kMaxCategoryChars, category);
+  copy_bounded(event.name, kMaxNameChars, name);
+  event.type = EventType::kComplete;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  (void)buffer().push(event);
+}
+
+void Tracer::record_instant(const char* category, const char* name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  copy_bounded(event.category, kMaxCategoryChars, category);
+  copy_bounded(event.name, kMaxNameChars, name);
+  event.type = EventType::kInstant;
+  event.start_ns = now_ns();
+  (void)buffer().push(event);
+}
+
+std::vector<TraceEvent> Tracer::collect() {
+  std::lock_guard lock(mutex_);
+  for (const auto& buffer : buffers_) buffer->drain(collected_);
+  return collected_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped();
+  return total;
+}
+
+void Tracer::reset() {
+  std::lock_guard lock(mutex_);
+  // Buffers are never freed (threads may be mid-push); just drain pending
+  // events into oblivion and drop what was already collected.
+  std::vector<TraceEvent> discard;
+  for (const auto& buffer : buffers_) buffer->drain(discard);
+  collected_.clear();
+}
+
+}  // namespace cycada::trace

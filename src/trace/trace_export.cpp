@@ -1,0 +1,84 @@
+// Serializes collected trace events as Chrome trace-event JSON ("JSON array
+// with metadata" flavor), loadable in chrome://tracing and Perfetto.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace cycada::trace {
+
+namespace {
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void append_event(std::string& out, const TraceEvent& event) {
+  char buffer[64];
+  out += "{\"name\":\"";
+  append_escaped(out, event.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, event.category);
+  out += "\",\"ph\":\"";
+  out += event.type == EventType::kComplete ? 'X' : 'i';
+  out += '"';
+  if (event.type == EventType::kInstant) out += ",\"s\":\"t\"";
+  // Chrome expects microseconds; keep nanosecond precision as decimals.
+  std::snprintf(buffer, sizeof buffer, ",\"ts\":%.3f",
+                static_cast<double>(event.start_ns) / 1000.0);
+  out += buffer;
+  if (event.type == EventType::kComplete) {
+    std::snprintf(buffer, sizeof buffer, ",\"dur\":%.3f",
+                  static_cast<double>(event.duration_ns) / 1000.0);
+    out += buffer;
+  }
+  std::snprintf(buffer, sizeof buffer, ",\"pid\":1,\"tid\":%" PRIu32 "}",
+                event.tid);
+  out += buffer;
+}
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = Tracer::instance().collect();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    append_event(out, event);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status write_chrome_trace(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::internal("cannot open trace output: " + path);
+  }
+  const std::string json = chrome_trace_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return Status::internal("short write to trace output: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace cycada::trace

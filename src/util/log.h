@@ -10,9 +10,15 @@ namespace cycada {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
 
-// Sets / reads the global minimum level that will be emitted.
+// Sets / reads the global minimum level that will be emitted. Backed by an
+// atomic so tests/benches may flip it while worker threads are logging.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Small per-thread ordinal (1, 2, ...) assigned on first use. Shared by log
+// lines and trace events so interleaved multi-thread (impersonation) output
+// is attributable to a stable thread identity.
+int thread_ordinal();
 
 namespace detail {
 void log_emit(LogLevel level, std::string_view message);

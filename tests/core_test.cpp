@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "core/classification.h"
@@ -103,12 +104,33 @@ TEST_F(DiplomatTest, ProfilingRecordsTime) {
     for (int i = 0; i < 1000; ++i) sink = sink + i;
   });
   EXPECT_EQ(entry.calls.load(), 1u);
-  EXPECT_GT(entry.total_ns.load(), 0);
+  EXPECT_GT(entry.total_ns(), 0);
+  // Entries are process-lifetime, so other tests' entries may also be in
+  // the snapshot; find ours rather than assuming it is alone.
   auto snapshot = DiplomatRegistry::instance().snapshot();
-  ASSERT_EQ(snapshot.size(), 1u);
-  EXPECT_EQ(snapshot[0].name, "glDrawArrays");
+  auto it = std::find_if(snapshot.begin(), snapshot.end(), [](const auto& s) {
+    return s.name == "glDrawArrays";
+  });
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_GT(it->p50_ns, 0);
+  EXPECT_GE(it->p99_ns, it->p50_ns);
   DiplomatRegistry::instance().clear_stats();
-  EXPECT_EQ(DiplomatRegistry::instance().snapshot()[0].calls, 0u);
+  for (const auto& s : DiplomatRegistry::instance().snapshot()) {
+    EXPECT_EQ(s.calls, 0u);
+  }
+}
+
+TEST_F(DiplomatTest, CallCountsIdenticalWithProfilingOnAndOff) {
+  DiplomatEntry& entry = DiplomatRegistry::instance().entry(
+      "glFinish", DiplomatPattern::kDirect);
+  DiplomatRegistry::instance().set_profiling(false);
+  for (int i = 0; i < 3; ++i) diplomat_call(entry, {}, [] {});
+  EXPECT_EQ(entry.calls.load(), 3u);
+  EXPECT_EQ(entry.latency.count(), 0u);  // no latency samples when off
+  DiplomatRegistry::instance().set_profiling(true);
+  for (int i = 0; i < 3; ++i) diplomat_call(entry, {}, [] {});
+  EXPECT_EQ(entry.calls.load(), 6u);
+  EXPECT_EQ(entry.latency.count(), 3u);
 }
 
 TEST_F(DiplomatTest, RegistryDeduplicatesEntries) {
