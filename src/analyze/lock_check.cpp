@@ -1,0 +1,36 @@
+// Lock-order checker: judges the acquisition graph recorded by
+// util::LockOrderGraph (enable recording before the workload).
+#include <string>
+
+#include "analyze/analyze.h"
+#include "util/lock_order.h"
+
+namespace cycada::analyze {
+
+void check_lock_order(Report& report) {
+  util::LockOrderGraph& graph = util::LockOrderGraph::instance();
+
+  for (const util::LockOrderGraph::Edge& edge : graph.inversions()) {
+    report.add("locks", "locks.order-inversion",
+               edge.from_name + std::string(" -> ") + edge.to_name,
+               std::string(util::lock_level_name(edge.to_level)) +
+                   " (level " + std::to_string(edge.to_level) +
+                   ") acquired while holding " +
+                   util::lock_level_name(edge.from_level) + " (level " +
+                   std::to_string(edge.from_level) + "), " +
+                   std::to_string(edge.count) + " time(s)");
+  }
+
+  for (const std::vector<std::string>& cycle : graph.find_cycles()) {
+    std::string path;
+    for (const std::string& node : cycle) {
+      if (!path.empty()) path += " -> ";
+      path += node;
+    }
+    report.add("locks", "locks.cycle", path,
+               "the observed acquisition graph contains a cycle; two "
+               "threads interleaving these nests can deadlock");
+  }
+}
+
+}  // namespace cycada::analyze

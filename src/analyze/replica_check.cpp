@@ -1,0 +1,79 @@
+// DLR replica isolation checker (paper §8.1): every symbol of every loaded
+// copy — globals included — must have a distinct address, replica trees must
+// be namespace-closed, and no run-time load of the vendor stack may bypass
+// the replica-aware path.
+#include <map>
+#include <string>
+
+#include "analyze/analyze.h"
+#include "linker/linker.h"
+
+namespace cycada::analyze {
+
+namespace {
+
+std::string copy_label(const linker::Linker::LoadedCopy& copy) {
+  return copy.name + "@ns" + std::to_string(copy.ns);
+}
+
+}  // namespace
+
+void check_replica_isolation(Report& report) {
+  linker::Linker& linker = linker::Linker::instance();
+  const std::vector<linker::Linker::LoadedCopy> copies =
+      linker.loaded_copies();
+
+  struct Owner {
+    const linker::LoadedLibrary* copy;
+    std::string label;
+    std::string symbol;
+  };
+  std::map<void*, Owner> owners;
+
+  for (const linker::Linker::LoadedCopy& copy : copies) {
+    linker::LibraryInstance* instance = copy.copy->instance();
+    if (instance == nullptr) continue;
+    const std::string label = copy_label(copy);
+
+    for (const std::string& symbol : instance->exported_symbols()) {
+      void* address = instance->symbol(symbol);
+      if (address == nullptr) {
+        report.add("replica", "replica.null-symbol", label + ":" + symbol,
+                   "listed in exported_symbols() but symbol() returned "
+                   "nullptr");
+        continue;
+      }
+      auto [it, inserted] = owners.emplace(
+          address, Owner{copy.copy.get(), label, symbol});
+      if (!inserted && it->second.copy != copy.copy.get()) {
+        report.add("replica", "replica.shared-address",
+                   label + ":" + symbol,
+                   "address also exported by " + it->second.label + ":" +
+                       it->second.symbol +
+                       "; replicas must not share state");
+      }
+    }
+
+    // Namespace closure: a replica's dependency tree must stay inside the
+    // replica's namespace (a dependency resolved into another namespace
+    // aliases that namespace's globals).
+    for (const auto& dep : copy.copy->deps()) {
+      if (dep->namespace_id() != copy.ns) {
+        report.add("replica", "replica.ns-escape",
+                   label + " -> " + dep->name(),
+                   "dependency loaded in ns" +
+                       std::to_string(dep->namespace_id()) +
+                       " instead of the copy's namespace");
+      }
+    }
+  }
+
+  for (const std::string& name : linker.replica_bypass_events()) {
+    report.add("replica", "replica.bypass", name,
+               "global-namespace dlopen of a replica-aware library while "
+               "replicas were live; the load bypassed the replica-aware "
+               "path");
+  }
+}
+
+}  // namespace cycada::analyze

@@ -1,0 +1,45 @@
+#include "analyze/analyze.h"
+
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace cycada::analyze {
+
+void Report::add(Finding finding) {
+  TRACE_INSTANT("analyze", "finding");
+  trace::MetricsRegistry& metrics = trace::MetricsRegistry::instance();
+  metrics.counter("analyze.findings").add();
+  metrics.counter("analyze.findings." + finding.checker).add();
+  findings_.push_back(std::move(finding));
+}
+
+std::vector<Finding> Report::by_checker(std::string_view checker) const {
+  std::vector<Finding> out;
+  for (const Finding& finding : findings_) {
+    if (finding.checker == checker) out.push_back(finding);
+  }
+  return out;
+}
+
+bool Report::has_rule(std::string_view rule) const {
+  for (const Finding& finding : findings_) {
+    if (finding.rule == rule) return true;
+  }
+  return false;
+}
+
+int Report::print(std::ostream& os) const {
+  for (const Finding& finding : findings_) {
+    os << "[" << finding.checker << "] " << finding.rule << " ("
+       << finding.subject << "): " << finding.message << "\n";
+  }
+  return static_cast<int>(findings_.size());
+}
+
+void check_all_runtime(Report& report) {
+  check_diplomat_contracts(report);
+  check_lock_order(report);
+  check_replica_isolation(report);
+}
+
+}  // namespace cycada::analyze

@@ -42,6 +42,10 @@ void* AndroidEgl::symbol(std::string_view name) {
   return nullptr;
 }
 
+std::vector<std::string> AndroidEgl::exported_symbols() const {
+  return {"egl_wrapper"};
+}
+
 void AndroidEgl::set_error(EGLint error) {
   kernel::libc::pthread_setspecific(tls_error_key_, pack_error(error));
 }

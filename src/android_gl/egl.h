@@ -92,6 +92,7 @@ class AndroidEgl : public linker::LibraryInstance {
   AndroidEgl();
   ~AndroidEgl() override;
   void* symbol(std::string_view name) override;
+  std::vector<std::string> exported_symbols() const override;
 
   // --- Standard EGL ------------------------------------------------------
   EGLBoolean eglInitialize();

@@ -52,6 +52,10 @@ void* UiWrapper::symbol(std::string_view name) {
   return nullptr;
 }
 
+std::vector<std::string> UiWrapper::exported_symbols() const {
+  return {"ui_wrapper", "replica_global"};
+}
+
 Status UiWrapper::initialize(int gles_version, int width, int height) {
   if (engine_ == nullptr) {
     return Status::failed_precondition("vendor GLES missing from replica");

@@ -28,6 +28,7 @@ class UiWrapper : public linker::LibraryInstance {
   explicit UiWrapper(linker::LoadContext& context);
   ~UiWrapper() override;
   void* symbol(std::string_view name) override;
+  std::vector<std::string> exported_symbols() const override;
 
   glcore::GlesEngine* engine() { return engine_; }
   glcore::ContextId context_id() const { return context_; }

@@ -15,6 +15,9 @@ class NvSupportLib : public linker::LibraryInstance {
     if (name == "nv_global") return &global_;
     return nullptr;
   }
+  std::vector<std::string> exported_symbols() const override {
+    return {"nv_global"};
+  }
 
  private:
   int global_ = 0;
@@ -41,6 +44,10 @@ void* VendorGles::symbol(std::string_view name) {
   return nullptr;
 }
 
+std::vector<std::string> VendorGles::exported_symbols() const {
+  return {"gles_engine", "vendor_global"};
+}
+
 glcore::GlesEngine* engine_from_handle(const linker::Handle& handle) {
   void* symbol = linker::Linker::instance().dlsym(handle, "gles_engine");
   return static_cast<glcore::GlesEngine*>(symbol);
@@ -50,18 +57,22 @@ void register_android_graphics_libraries() {
   linker::Linker& linker = linker::Linker::instance();
   if (linker.has_image(kVendorGlesLib)) return;
 
+  // The vendor stack below libEGL is replica_aware: once eglReInitializeMC
+  // has minted replicas, any further global-namespace dlopen of these
+  // libraries is a bypass of the replica-aware path (audited by the linker,
+  // reported by analyze::check_replica_isolation).
   (void)linker.register_image(
       {kNvOsLib, {}, [](linker::LoadContext&) {
          return std::make_unique<NvSupportLib>();
-       }});
+       }, /*replica_aware=*/true});
   (void)linker.register_image(
       {kNvRmLib, {kNvOsLib}, [](linker::LoadContext&) {
          return std::make_unique<NvSupportLib>();
-       }});
+       }, /*replica_aware=*/true});
   (void)linker.register_image(
       {kVendorGlesLib, {kNvRmLib}, [](linker::LoadContext&) {
          return std::make_unique<VendorGles>();
-       }});
+       }, /*replica_aware=*/true});
   (void)linker.register_image(
       {kEglLib, {kVendorGlesLib}, [](linker::LoadContext&) {
          return std::make_unique<AndroidEgl>();
@@ -69,7 +80,7 @@ void register_android_graphics_libraries() {
   (void)linker.register_image(
       {kUiWrapperLib, {kVendorGlesLib}, [](linker::LoadContext& context) {
          return std::make_unique<UiWrapper>(context);
-       }});
+       }, /*replica_aware=*/true});
 }
 
 }  // namespace cycada::android_gl

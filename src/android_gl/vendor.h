@@ -32,6 +32,7 @@ class VendorGles : public linker::LibraryInstance {
  public:
   VendorGles();
   void* symbol(std::string_view name) override;
+  std::vector<std::string> exported_symbols() const override;
   glcore::GlesEngine& engine() { return engine_; }
 
  private:

@@ -15,6 +15,7 @@ void DiplomatRegistry::reset() {
   for (auto& [name, entry] : entries_) {
     entry->calls.store(0);
     entry->latency.reset();
+    entry->contract.reset();
   }
   profiling_.store(false);
 }
@@ -23,7 +24,15 @@ DiplomatEntry& DiplomatRegistry::entry(std::string_view name,
                                        DiplomatPattern pattern) {
   std::lock_guard lock(mutex_);
   auto it = entries_.find(name);
-  if (it != entries_.end()) return *it->second;
+  if (it != entries_.end()) {
+    if (it->second->pattern != pattern) {
+      // Two call sites disagree on this function's classification; the
+      // first registration wins, the checker reports the conflict.
+      it->second->contract.pattern_conflicts.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    return *it->second;
+  }
   auto entry = std::make_unique<DiplomatEntry>();
   entry->name = std::string(name);
   entry->pattern = pattern;
@@ -37,6 +46,7 @@ void DiplomatRegistry::clear_stats() {
   for (auto& [name, entry] : entries_) {
     entry->calls.store(0);
     entry->latency.reset();
+    entry->contract.reset();
   }
 }
 
@@ -45,10 +55,15 @@ std::vector<DiplomatSnapshot> DiplomatRegistry::snapshot() const {
   std::vector<DiplomatSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
+    const DiplomatContract& contract = entry->contract;
     out.push_back({name, entry->pattern, entry->calls.load(),
                    entry->latency.sum(), entry->latency.percentile(50),
-                   entry->latency.percentile(95),
-                   entry->latency.percentile(99)});
+                   entry->latency.percentile(95), entry->latency.percentile(99),
+                   contract.preludes.load(), contract.postludes.load(),
+                   contract.domestic_calls.load(),
+                   contract.skipped_calls.load(),
+                   contract.unbalanced_persona.load(),
+                   contract.pattern_conflicts.load()});
   }
   return out;
 }

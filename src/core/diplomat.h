@@ -30,6 +30,7 @@
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/clock.h"
+#include "util/lock_order.h"
 
 namespace cycada::core {
 
@@ -52,6 +53,38 @@ constexpr std::string_view pattern_name(DiplomatPattern pattern) {
   return "?";
 }
 
+// Contract evidence accumulated per entry by the diplomat procedure itself.
+// All counters are relaxed atomics bumped on paths that already pay two
+// syscalls, so the cost is noise; `analyze::check_diplomat_contracts()`
+// turns imbalances into findings (see DESIGN.md §6).
+struct DiplomatContract {
+  // How many times the library prelude / postlude hooks actually ran. A
+  // call site whose hooks carry a prelude but no postlude (or vice versa)
+  // diverges these.
+  std::atomic<std::uint64_t> preludes{0};
+  std::atomic<std::uint64_t> postludes{0};
+  // Calls that crossed into the Android persona and invoked the domestic
+  // function, vs. calls that deliberately answered on the iOS side
+  // (diplomat_skip — legal only for data-dependent diplomats).
+  std::atomic<std::uint64_t> domestic_calls{0};
+  std::atomic<std::uint64_t> skipped_calls{0};
+  // Times the domestic function returned in a persona other than the one
+  // the diplomat set — an unbalanced set_persona inside domestic code.
+  std::atomic<std::uint64_t> unbalanced_persona{0};
+  // Times the entry was re-requested under a different pattern than it was
+  // registered with (two call sites disagreeing on classification).
+  std::atomic<std::uint64_t> pattern_conflicts{0};
+
+  void reset() {
+    preludes.store(0);
+    postludes.store(0);
+    domestic_calls.store(0);
+    skipped_calls.store(0);
+    unbalanced_persona.store(0);
+    pattern_conflicts.store(0);
+  }
+};
+
 // One registered diplomat. Entries live for the registry's lifetime;
 // call-site statics hold pointers to them (step 1's cached symbol).
 struct DiplomatEntry {
@@ -65,6 +98,7 @@ struct DiplomatEntry {
   // Per-call latency distribution, populated only while profiling — the
   // data behind Figures 7-10, now with percentiles rather than only means.
   trace::Histogram latency;
+  DiplomatContract contract;
 
   void record_latency(std::int64_t ns) { latency.record(ns); }
   std::int64_t total_ns() const { return latency.sum(); }
@@ -78,6 +112,13 @@ struct DiplomatSnapshot {
   std::int64_t p50_ns;
   std::int64_t p95_ns;
   std::int64_t p99_ns;
+  // Contract evidence (see DiplomatContract).
+  std::uint64_t preludes;
+  std::uint64_t postludes;
+  std::uint64_t domestic_calls;
+  std::uint64_t skipped_calls;
+  std::uint64_t unbalanced_persona;
+  std::uint64_t pattern_conflicts;
 };
 
 class DiplomatRegistry {
@@ -97,7 +138,8 @@ class DiplomatRegistry {
 
  private:
   DiplomatRegistry() = default;
-  mutable std::mutex mutex_;
+  mutable util::OrderedMutex mutex_{util::LockLevel::kDiplomatRegistry,
+                                    "core.diplomat_registry"};
   std::map<std::string, std::unique_ptr<DiplomatEntry>, std::less<>> entries_;
   std::atomic<bool> profiling_{false};
 };
@@ -126,7 +168,10 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
   TRACE_SCOPE("diplomat", entry.name.c_str());
 
   // Step 2: prelude in the foreign persona.
-  if (hooks.prelude) hooks.prelude();
+  if (hooks.prelude) {
+    hooks.prelude();
+    entry.contract.preludes.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Steps 3-5: arguments live in `domestic`'s closure (the stack); switch
   // the kernel ABI personality and TLS pointer to the domestic persona.
@@ -136,6 +181,12 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
 
   long domestic_errno = 0;
   const auto finish = [&] {
+    // Contract: the domestic function must return in the persona the
+    // diplomat put it in; anything else is an unbalanced set_persona.
+    if (kernel.current_thread().persona() != kernel::Persona::kAndroid) {
+      entry.contract.unbalanced_persona.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
     // Capture domestic TLS state, then switch back (steps 7-9).
     domestic_errno = kernel::libc::get_errno();
     kernel::sys_set_persona(caller_persona);
@@ -143,7 +194,11 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
       kernel::libc::set_errno(detail::errno_linux_to_darwin(domestic_errno));
     }
     // Step 10: postlude in the foreign persona.
-    if (hooks.postlude) hooks.postlude();
+    if (hooks.postlude) {
+      hooks.postlude();
+      entry.contract.postludes.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry.contract.domestic_calls.fetch_add(1, std::memory_order_relaxed);
     entry.calls.fetch_add(1, std::memory_order_relaxed);
     if (profiling) entry.record_latency(now_ns() - start_ns);
   };
@@ -156,6 +211,16 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
     finish();
     return result;  // step 11
   }
+}
+
+// Records a call that a data-dependent diplomat answered entirely on the
+// foreign side (paper §4.1: e.g. glGetString's Apple-proprietary query, the
+// APPLE_row_bytes parameters of glPixelStorei). Keeps `calls` comparable
+// across patterns while letting the contract checker verify that only
+// kDataDependent entries ever skip their Android call.
+inline void diplomat_skip(DiplomatEntry& entry) {
+  entry.calls.fetch_add(1, std::memory_order_relaxed);
+  entry.contract.skipped_calls.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace cycada::core

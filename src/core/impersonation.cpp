@@ -9,7 +9,21 @@ namespace cycada::core {
 namespace {
 // Per-thread nesting depth of graphics-diplomat prelude/postlude windows.
 thread_local int t_graphics_depth = 0;
+
+// Most recent completed migration. Leaf mutex: nothing is acquired under it.
+std::mutex g_migration_mutex;
+std::optional<MigrationRecord> g_last_migration;
 }  // namespace
+
+std::optional<MigrationRecord> last_migration() {
+  std::lock_guard lock(g_migration_mutex);
+  return g_last_migration;
+}
+
+void clear_migration_record() {
+  std::lock_guard lock(g_migration_mutex);
+  g_last_migration.reset();
+}
 
 GraphicsTlsTracker& GraphicsTlsTracker::instance() {
   static GraphicsTlsTracker* tracker = new GraphicsTlsTracker();
@@ -37,6 +51,7 @@ void GraphicsTlsTracker::reset() {
   }
   keys_.clear();
   t_graphics_depth = 0;
+  clear_migration_record();
 }
 
 void GraphicsTlsTracker::enter_graphics_diplomat() { ++t_graphics_depth; }
@@ -109,6 +124,10 @@ ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {
   }
   kernel::sys_impersonate(target_);
   active_ = true;
+  {
+    std::lock_guard lock(g_migration_mutex);
+    g_last_migration = MigrationRecord{self_, target_, keys_};
+  }
   static trace::Counter& acquires =
       trace::MetricsRegistry::instance().counter("impersonation.acquires");
   static trace::Counter& migrated = trace::MetricsRegistry::instance().counter(

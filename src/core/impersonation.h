@@ -10,10 +10,12 @@
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "kernel/kernel.h"
+#include "util/lock_order.h"
 
 namespace cycada::core {
 
@@ -44,12 +46,24 @@ class GraphicsTlsTracker {
   void on_key_created(kernel::TlsKey key);
   void on_key_deleted(kernel::TlsKey key);
 
-  mutable std::mutex mutex_;
+  mutable util::OrderedMutex mutex_{util::LockLevel::kTlsTracker,
+                                    "core.tls_tracker"};
   std::set<kernel::TlsKey> keys_;
   int create_hook_ = 0;
   int delete_hook_ = 0;
   bool installed_ = false;
 };
+
+// What the most recent completed ThreadImpersonation actually migrated.
+// `analyze::check_tls_migration()` cross-references this against the
+// tracker's graphics-key set to prove migration completeness.
+struct MigrationRecord {
+  kernel::Tid self = kernel::kInvalidTid;
+  kernel::Tid target = kernel::kInvalidTid;
+  std::vector<kernel::TlsKey> keys;
+};
+std::optional<MigrationRecord> last_migration();
+void clear_migration_record();
 
 // RAII thread impersonation for graphics (paper §7.1's five-step procedure):
 // saves the running thread's graphics TLS in BOTH personas, installs the

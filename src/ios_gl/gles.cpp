@@ -166,6 +166,7 @@ const GLubyte* glGetString(GLenum name) {
     }
     // Cycada interprets the input and answers without calling Android: no
     // Apple-proprietary extensions are available on this device.
+    core::diplomat_skip(entry);
     return reinterpret_cast<const GLubyte*>("");
   }
   return dispatch(entry,
@@ -192,7 +193,7 @@ void glPixelStorei(GLenum pname, GLint param) {
       } else {
         eagl->set_apple_unpack_row_bytes(param);
       }
-      entry.calls.fetch_add(1, std::memory_order_relaxed);
+      core::diplomat_skip(entry);
     }
     return;
   }

@@ -38,7 +38,9 @@ Kernel& Kernel::instance() {
 }
 
 void Kernel::reset(TrapModel model) {
-  std::scoped_lock lock(registry_mutex_, keys_mutex_);
+  // Acquired in lock-order: kernel-threads (40) before kernel-keys (50).
+  std::lock_guard registry_lock(registry_mutex_);
+  std::lock_guard keys_lock(keys_mutex_);
   threads_.clear();
   next_tid_.store(100);
   main_tid_.store(kInvalidTid);
@@ -227,8 +229,10 @@ long Kernel::sys_locate_tls(ThreadState& caller, const SyscallArgs& args) {
   const auto* keys = reinterpret_cast<const TlsKey*>(args.reg[2]);
   auto** values = reinterpret_cast<void**>(args.reg[3]);
   const int count = static_cast<int>(args.reg[4]);
-  if (persona_index >= kNumPersonas || keys == nullptr || values == nullptr ||
-      count < 0) {
+  // An empty batch is legal (a thread with no graphics keys still
+  // impersonates); the arrays are only dereferenced when count > 0.
+  if (persona_index >= kNumPersonas || count < 0 ||
+      (count > 0 && (keys == nullptr || values == nullptr))) {
     return kErrInval;
   }
   ThreadState* target = find_thread(tid);
@@ -249,8 +253,9 @@ long Kernel::sys_propagate_tls(ThreadState& caller, const SyscallArgs& args) {
   const auto* keys = reinterpret_cast<const TlsKey*>(args.reg[2]);
   auto* const* values = reinterpret_cast<void* const*>(args.reg[3]);
   const int count = static_cast<int>(args.reg[4]);
-  if (persona_index >= kNumPersonas || keys == nullptr || values == nullptr ||
-      count < 0) {
+  // An empty batch is legal, mirroring sys_locate_tls.
+  if (persona_index >= kNumPersonas || count < 0 ||
+      (count > 0 && (keys == nullptr || values == nullptr))) {
     return kErrInval;
   }
   ThreadState* target = find_thread(tid);

@@ -26,6 +26,7 @@
 
 #include "kernel/persona.h"
 #include "kernel/syscall.h"
+#include "util/lock_order.h"
 #include "util/status.h"
 
 namespace cycada::kernel {
@@ -86,7 +87,8 @@ class ThreadState {
   std::array<long, kNumPersonas> errno_{};
   std::array<TlsArea, kNumPersonas> tls_;
   // Guards TLS areas for cross-thread access via locate/propagate_tls.
-  mutable std::mutex tls_mutex_;
+  mutable util::OrderedMutex tls_mutex_{util::LockLevel::kThreadTls,
+                                        "kernel.thread_tls"};
 };
 
 // Notification hooks invoked on TLS key creation/deletion — the mechanism
@@ -156,7 +158,8 @@ class Kernel {
   TrapModel trap_model_ = TrapModel::kCycada;
   std::atomic<std::uint64_t> generation_{1};
 
-  mutable std::mutex registry_mutex_;
+  mutable util::OrderedMutex registry_mutex_{util::LockLevel::kKernelThreads,
+                                             "kernel.threads"};
   std::unordered_map<Tid, std::unique_ptr<ThreadState>> threads_;
   std::atomic<Tid> next_tid_{100};
   std::atomic<Tid> main_tid_{kInvalidTid};
@@ -164,7 +167,8 @@ class Kernel {
   // Sorted (foreign, native) pairs; binary-searched on every foreign trap.
   std::vector<std::pair<std::int32_t, std::int32_t>> foreign_sysno_table_;
 
-  mutable std::mutex keys_mutex_;
+  mutable util::OrderedMutex keys_mutex_{util::LockLevel::kKernelKeys,
+                                         "kernel.keys"};
   std::array<bool, kMaxTlsSlots> key_in_use_{};
   TlsKey next_key_probe_ = kFirstUserTlsKey;
   std::vector<std::pair<int, TlsKeyHook>> key_create_hooks_;

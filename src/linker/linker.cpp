@@ -26,6 +26,7 @@ void Linker::reset() {
   loaded_.clear();
   images_.clear();
   load_counts_.clear();
+  replica_bypasses_.clear();
   next_namespace_ = 1;
 }
 
@@ -48,6 +49,20 @@ bool Linker::has_image(std::string_view name) const {
 StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
   TRACE_SCOPE("linker", "dlopen");
   std::lock_guard lock(mutex_);
+  if (ns == kGlobalNamespace) {
+    // Replica-path bypass audit: a global-namespace open of a replicated
+    // vendor-stack library, while replicas exist, aliases replica state.
+    auto image_it = images_.find(name);
+    if (image_it != images_.end() && image_it->second.replica_aware) {
+      for (const auto& [key, copy] : loaded_) {
+        if (key.first != kGlobalNamespace && key.second == name &&
+            copy != nullptr) {
+          replica_bypasses_.push_back(std::string(name));
+          break;
+        }
+      }
+    }
+  }
   return load_locked(name, ns);
 }
 
@@ -175,6 +190,21 @@ int Linker::load_count(std::string_view name) const {
   std::lock_guard lock(mutex_);
   auto it = load_counts_.find(std::string(name));
   return it == load_counts_.end() ? 0 : it->second;
+}
+
+std::vector<Linker::LoadedCopy> Linker::loaded_copies() const {
+  std::lock_guard lock(mutex_);
+  std::vector<LoadedCopy> out;
+  out.reserve(loaded_.size());
+  for (const auto& [key, copy] : loaded_) {
+    if (copy != nullptr) out.push_back({key.second, key.first, copy});
+  }
+  return out;
+}
+
+std::vector<std::string> Linker::replica_bypass_events() const {
+  std::lock_guard lock(mutex_);
+  return replica_bypasses_;
 }
 
 int Linker::live_copy_count(std::string_view name) const {

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/lock_order.h"
 #include "util/status.h"
 
 namespace cycada::linker {
@@ -40,6 +41,11 @@ class LibraryInstance {
   virtual ~LibraryInstance() = default;
   // Per-instance address of an exported symbol; nullptr when not exported.
   virtual void* symbol(std::string_view name) = 0;
+  // The names symbol() resolves, globals included. Drives the DLR replica
+  // isolation check (`analyze::check_replica_isolation()`): every listed
+  // symbol of every loaded copy must have a distinct address. Libraries
+  // that return {} are skipped by the check.
+  virtual std::vector<std::string> exported_symbols() const { return {}; }
 };
 
 // What a library factory sees while its constructors run.
@@ -70,6 +76,11 @@ struct LibraryImage {
   std::string name;
   std::vector<std::string> deps;
   LibraryFactory factory;
+  // Marks a member of the DLR-replicated vendor stack. Once any replica of
+  // it exists, run-time dlopens of the library into the global namespace
+  // are recorded as replica-path bypasses (a lazily-loading library that
+  // forgot its LoadContext namespace would alias replica state).
+  bool replica_aware = false;
 };
 
 // A node in a loaded tree. Exposed so callers can walk replica trees in
@@ -132,19 +143,35 @@ class Linker {
   int load_count(std::string_view name) const;   // total loads ever
   int live_copy_count(std::string_view name) const;  // currently loaded copies
 
+  // Every currently loaded copy, for the replica isolation check. The
+  // shared_ptrs keep the copies alive while the checker walks them.
+  struct LoadedCopy {
+    std::string name;
+    NamespaceId ns;
+    std::shared_ptr<LoadedLibrary> copy;
+  };
+  std::vector<LoadedCopy> loaded_copies() const;
+
+  // Global-namespace dlopens of replica_aware images that happened while a
+  // replica of the image was live — each is a bypass of the replica-aware
+  // load path. Cleared by reset().
+  std::vector<std::string> replica_bypass_events() const;
+
  private:
   Linker() = default;
 
   StatusOr<std::shared_ptr<LoadedLibrary>> load_locked(std::string_view name,
                                                        NamespaceId ns);
 
-  mutable std::recursive_mutex mutex_;
+  mutable util::OrderedRecursiveMutex mutex_{util::LockLevel::kLinker,
+                                             "linker"};
   std::map<std::string, LibraryImage, std::less<>> images_;
   // (namespace, name) -> loaded copy shared within that namespace.
   std::map<std::pair<NamespaceId, std::string>,
            std::shared_ptr<LoadedLibrary>, std::less<>>
       loaded_;
   std::map<std::string, int, std::less<>> load_counts_;
+  std::vector<std::string> replica_bypasses_;
   NamespaceId next_namespace_ = 1;
 };
 

@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/lock_order.h"
+
 namespace cycada::trace {
 
 class Counter {
@@ -113,7 +115,8 @@ class MetricsRegistry {
 
  private:
   MetricsRegistry() = default;
-  mutable std::mutex mutex_;
+  mutable util::OrderedMutex mutex_{util::LockLevel::kMetrics,
+                                    "trace.metrics"};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };

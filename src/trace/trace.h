@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/lock_order.h"
 #include "util/status.h"
 
 namespace cycada::trace {
@@ -116,7 +117,7 @@ class Tracer {
   ThreadBuffer& buffer();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
+  mutable util::OrderedMutex mutex_{util::LockLevel::kTracer, "trace.tracer"};
   // Buffers live for the process lifetime (a thread's events remain
   // exportable after it exits); the thread keeps only a raw pointer.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

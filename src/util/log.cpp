@@ -5,11 +5,12 @@
 #include <mutex>
 
 #include "util/clock.h"
+#include "util/lock_order.h"
 
 namespace cycada {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+util::OrderedMutex g_emit_mutex{util::LockLevel::kLogEmit, "log.emit"};
 
 constexpr const char* level_tag(LogLevel level) {
   switch (level) {
