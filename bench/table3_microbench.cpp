@@ -7,9 +7,13 @@
 // the paper's ARM hardware; the orderings and ratios are the result.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "core/diplomat.h"
 #include "core/impersonation.h"
+#include "dispatch_compare.h"
 #include "kernel/kernel.h"
+#include "trace/metrics.h"
 
 namespace {
 
@@ -132,6 +136,41 @@ void BM_DiplomatGlPrePost(benchmark::State& state) {
 }
 BENCHMARK(BM_DiplomatGlPrePost);
 
+// --- Dispatch fast path (before/after; docs/DISPATCH.md) --------------------
+
+void BM_DispatchByName_MutexBaseline(benchmark::State& state) {
+  static cycada::benchcmp::MutexMapRegistry* baseline =
+      new cycada::benchcmp::MutexMapRegistry();
+  (void)baseline->entry("bench.bm_dispatch",
+                        cycada::core::DiplomatPattern::kDirect);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&baseline->entry(
+        "bench.bm_dispatch", cycada::core::DiplomatPattern::kDirect));
+  }
+}
+BENCHMARK(BM_DispatchByName_MutexBaseline);
+
+void BM_DispatchByName_Snapshot(benchmark::State& state) {
+  auto& registry = cycada::core::DiplomatRegistry::instance();
+  (void)registry.entry("bench.bm_dispatch",
+                       cycada::core::DiplomatPattern::kDirect);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&registry.entry(
+        "bench.bm_dispatch", cycada::core::DiplomatPattern::kDirect));
+  }
+}
+BENCHMARK(BM_DispatchByName_Snapshot);
+
+void BM_DispatchById_Snapshot(benchmark::State& state) {
+  auto& registry = cycada::core::DiplomatRegistry::instance();
+  const cycada::core::DiplomatId id = registry.resolve(
+      "bench.bm_dispatch", cycada::core::DiplomatPattern::kDirect);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&registry.entry_by_id(id));
+  }
+}
+BENCHMARK(BM_DispatchById_Snapshot);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,5 +183,13 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+
+  // Before/after dispatch comparison + steady-state lock-free verification;
+  // the numbers back BENCH_pr3.json (scripts/bench_baseline.sh).
+  const auto comparison = cycada::benchcmp::run_dispatch_comparison();
+  cycada::benchcmp::report_dispatch_comparison(comparison, "table3");
+  cycada::trace::emit_bench_json(
+      std::cout,
+      cycada::trace::MetricsRegistry::instance().snapshot().to_json());
+  return comparison.steady_registry_acquisitions == 0 ? 0 : 1;
 }

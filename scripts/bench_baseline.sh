@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Produces the committed benchmark baseline for this PR (BENCH_pr3.json):
+# a Release build of the two bench targets, each run with CYCADA_BENCH_JSON
+# pointed at a temp file, merged into one document whose schema is described
+# in docs/BENCHMARKING.md. From the repo root:
+#
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr3.json
+#   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR=3
+OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
+BUILD=build-bench
+
+echo "==> configuring ${BUILD} (Release)"
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "==> building bench targets"
+cmake --build "${BUILD}" -j --target table3_microbench \
+  table2_diplomat_breakdown >/dev/null
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+echo "==> running table3_microbench"
+CYCADA_BENCH_JSON="${tmpdir}/table3.json" \
+  "./${BUILD}/bench/table3_microbench" --benchmark_min_time=0.05s
+echo "==> running table2_diplomat_breakdown"
+CYCADA_BENCH_JSON="${tmpdir}/table2.json" \
+  "./${BUILD}/bench/table2_diplomat_breakdown" >/dev/null
+
+# Merge the two bench documents (shell-only; no python/jq dependency). Each
+# emits {"counters":{...},"histograms":{...}}; the counters object is flat
+# (no nested braces), so merging is concatenating the inner key/value lists.
+inner() {
+  tr -d '\n' < "$1" | sed -n 's/.*"counters":{\([^}]*\)}.*/\1/p'
+}
+{
+  printf '{"schema":"cycada-bench/v1","pr":%d,"build":"Release","counters":{' \
+    "${PR}"
+  printf '%s,%s' "$(inner "${tmpdir}/table3.json")" \
+    "$(inner "${tmpdir}/table2.json")"
+  printf '}}\n'
+} > "${OUT}"
+
+echo "==> wrote ${OUT}"
+grep -o '"table3.dispatch.[^,}]*' "${OUT}" | sed 's/"//g'

@@ -5,6 +5,7 @@
 #
 #   ./scripts/check.sh            # everything
 #   CYCADA_SKIP_SANITIZERS=1 ./scripts/check.sh   # tier-1 + cycada_check only
+#   CYCADA_RUN_BENCH=1 ./scripts/check.sh         # also refresh BENCH_pr3.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,5 +37,10 @@ sanitizer_pass() {
 sanitizer_pass asan CYCADA_ASAN
 sanitizer_pass ubsan CYCADA_UBSAN
 sanitizer_pass tsan CYCADA_TSAN
+
+# --- Optional: refresh the committed benchmark baseline ----------------------
+if [[ "${CYCADA_RUN_BENCH:-0}" == "1" ]]; then
+  run ./scripts/bench_baseline.sh
+fi
 
 echo "check.sh: OK"

@@ -1,18 +1,79 @@
 #include "core/diplomat.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace cycada::core {
+
+namespace {
+
+// Per-thread one-entry lookup cache for name-based callers (call sites that
+// pass the same name every time). A hit is validated against the cached
+// entry's own immortal name — never against a caller pointer remembered
+// from a previous call, which could be a freed buffer reallocated for a
+// different, same-length name. Keyed on the requested pattern too, so a
+// call site that disagrees with the registered classification keeps going
+// through the table path where the conflict is counted.
+struct LookupCache {
+  DiplomatPattern pattern = DiplomatPattern::kDirect;
+  DiplomatEntry* entry = nullptr;
+};
+thread_local LookupCache t_lookup_cache;
+
+// Word-at-a-time multiplicative hash: two multiplies for a typical GL name
+// instead of one per byte, and good enough for a half-full table of a few
+// hundred names (probes verify with a full compare anyway).
+std::uint64_t hash_name(std::string_view name) {
+  constexpr std::uint64_t kMul = 0x9ddfea08eb382d69ull;
+  std::uint64_t hash = 1469598103934665603ull ^ name.size();
+  while (name.size() >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, name.data(), 8);
+    hash = (hash ^ word) * kMul;
+    name.remove_prefix(8);
+  }
+  // Byte-assembled tail: a std::memcpy with a runtime size here compiles to
+  // a real libc call and dominates the whole hash.
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    tail |= static_cast<std::uint64_t>(static_cast<unsigned char>(name[i]))
+            << (8 * i);
+  }
+  hash = (hash ^ tail) * kMul;
+  return hash ^ (hash >> 32);
+}
+
+}  // namespace
+
+DiplomatId DispatchTable::find(std::string_view name) const {
+  if (buckets.empty()) return kInvalidDiplomatId;
+  for (std::uint32_t bucket =
+           static_cast<std::uint32_t>(hash_name(name)) & bucket_mask;
+       ; bucket = (bucket + 1) & bucket_mask) {
+    const DiplomatId id = buckets[bucket];
+    if (id == kInvalidDiplomatId) return kInvalidDiplomatId;
+    if (entries[id]->name == name) return id;
+  }
+}
 
 DiplomatRegistry& DiplomatRegistry::instance() {
   static DiplomatRegistry* registry = new DiplomatRegistry();
   return *registry;
 }
 
+DiplomatRegistry::DiplomatRegistry() {
+  // Publish an empty table so readers never see null.
+  auto empty = std::make_unique<const DispatchTable>();
+  table_.store(empty.get(), std::memory_order_release);
+  tables_.push_back(std::move(empty));
+}
+
 void DiplomatRegistry::reset() {
   // Entries are process-lifetime: call sites cache DiplomatEntry references
-  // in function-local statics (the paper's step-1 symbol cache), so entries
-  // must never be destroyed. Reset only clears statistics.
-  std::lock_guard lock(mutex_);
-  for (auto& [name, entry] : entries_) {
+  // and DiplomatIds (the paper's step-1 symbol cache), so entries must
+  // never be destroyed. Reset only clears statistics.
+  std::lock_guard lock(writer_mutex_);
+  for (DiplomatEntry* entry : table_.load(std::memory_order_relaxed)->entries) {
     entry->calls.store(0);
     entry->latency.reset();
     entry->contract.reset();
@@ -22,28 +83,89 @@ void DiplomatRegistry::reset() {
 
 DiplomatEntry& DiplomatRegistry::entry(std::string_view name,
                                        DiplomatPattern pattern) {
-  std::lock_guard lock(mutex_);
-  auto it = entries_.find(name);
-  if (it != entries_.end()) {
-    if (it->second->pattern != pattern) {
-      // Two call sites disagree on this function's classification; the
-      // first registration wins, the checker reports the conflict.
-      it->second->contract.pattern_conflicts.fetch_add(
-          1, std::memory_order_relaxed);
-    }
-    return *it->second;
+  LookupCache& cache = t_lookup_cache;
+  if (cache.entry != nullptr && cache.pattern == pattern &&
+      cache.entry->name == name) {
+    return *cache.entry;
   }
+  const DispatchTable* table = table_.load(std::memory_order_acquire);
+  DiplomatEntry* found = nullptr;
+  if (const DiplomatId id = table->find(name); id != kInvalidDiplomatId) {
+    found = table->entries[id];
+  } else {
+    found = &register_slow(name, pattern);
+  }
+  if (found->pattern != pattern) {
+    // Two call sites disagree on this function's classification; the first
+    // registration wins, the checker reports the conflict. Deliberately not
+    // cached so every mismatched lookup is counted, like the locked design.
+    found->contract.pattern_conflicts.fetch_add(1, std::memory_order_relaxed);
+    return *found;
+  }
+  cache = {pattern, found};
+  return *found;
+}
+
+DiplomatId DiplomatRegistry::resolve(std::string_view name,
+                                     DiplomatPattern pattern) {
+  return entry(name, pattern).id;
+}
+
+DiplomatEntry& DiplomatRegistry::register_slow(std::string_view name,
+                                               DiplomatPattern pattern) {
+  std::lock_guard lock(writer_mutex_);
+  const DispatchTable* live = table_.load(std::memory_order_relaxed);
+  // Re-check under the writer mutex: another thread may have registered
+  // `name` between our lock-free miss and acquiring the lock.
+  if (const DiplomatId id = live->find(name); id != kInvalidDiplomatId) {
+    return *live->entries[id];
+  }
+
   auto entry = std::make_unique<DiplomatEntry>();
   entry->name = std::string(name);
+  entry->id = static_cast<DiplomatId>(live->entries.size());
   entry->pattern = pattern;
-  DiplomatEntry& ref = *entry;
-  entries_.emplace(entry->name, std::move(entry));
-  return ref;
+  DiplomatEntry* raw = entry.get();
+  owned_.push_back(std::move(entry));
+
+  // Copy-and-publish: build the successor table (dense array, sorted name
+  // index whose views point into the immortal entry names, hash index), then
+  // swap it in with a release store. Readers that loaded the old table keep
+  // using it — it is never freed, only retired into tables_.
+  auto next = std::make_unique<DispatchTable>();
+  next->entries = live->entries;
+  next->entries.push_back(raw);
+  next->index = live->index;
+  const std::pair<std::string_view, DiplomatId> element{
+      std::string_view(raw->name), raw->id};
+  next->index.insert(
+      std::upper_bound(next->index.begin(), next->index.end(), element,
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       }),
+      element);
+  // Rebuild the hash index: power-of-two sized, at most half full, so
+  // linear probing stays short and lookups are O(1).
+  std::uint32_t bucket_count = 16;
+  while (bucket_count < 2 * next->entries.size()) bucket_count *= 2;
+  next->bucket_mask = bucket_count - 1;
+  next->buckets.assign(bucket_count, kInvalidDiplomatId);
+  for (const DiplomatEntry* item : next->entries) {
+    std::uint32_t bucket =
+        static_cast<std::uint32_t>(hash_name(item->name)) & next->bucket_mask;
+    while (next->buckets[bucket] != kInvalidDiplomatId) {
+      bucket = (bucket + 1) & next->bucket_mask;
+    }
+    next->buckets[bucket] = item->id;
+  }
+  table_.store(next.get(), std::memory_order_release);
+  tables_.push_back(std::move(next));
+  return *raw;
 }
 
 void DiplomatRegistry::clear_stats() {
-  std::lock_guard lock(mutex_);
-  for (auto& [name, entry] : entries_) {
+  std::lock_guard lock(writer_mutex_);
+  for (DiplomatEntry* entry : table_.load(std::memory_order_relaxed)->entries) {
     entry->calls.store(0);
     entry->latency.reset();
     entry->contract.reset();
@@ -51,12 +173,16 @@ void DiplomatRegistry::clear_stats() {
 }
 
 std::vector<DiplomatSnapshot> DiplomatRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  // Reads the immutable published table: safe against concurrent
+  // registration without the writer mutex. Iterates the name index so the
+  // output stays name-sorted like the std::map-based design.
+  const DispatchTable* table = table_.load(std::memory_order_acquire);
   std::vector<DiplomatSnapshot> out;
-  out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) {
+  out.reserve(table->entries.size());
+  for (const auto& [name, id] : table->index) {
+    const DiplomatEntry* entry = table->entries[id];
     const DiplomatContract& contract = entry->contract;
-    out.push_back({name, entry->pattern, entry->calls.load(),
+    out.push_back({entry->name, entry->pattern, entry->calls.load(),
                    entry->latency.sum(), entry->latency.percentile(50),
                    entry->latency.percentile(95), entry->latency.percentile(99),
                    contract.preludes.load(), contract.postludes.load(),

@@ -19,7 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -85,10 +85,17 @@ struct DiplomatContract {
   }
 };
 
+// Dense index of a registered diplomat in the published DispatchTable.
+// Resolved once per call site; indexing the snapshot array with it is
+// wait-free (docs/DISPATCH.md).
+using DiplomatId = std::uint32_t;
+inline constexpr DiplomatId kInvalidDiplomatId = 0xffffffffu;
+
 // One registered diplomat. Entries live for the registry's lifetime;
 // call-site statics hold pointers to them (step 1's cached symbol).
 struct DiplomatEntry {
   std::string name;
+  DiplomatId id = kInvalidDiplomatId;
   DiplomatPattern pattern = DiplomatPattern::kDirect;
   // Step-1 cache: the resolved domestic entry point (opaque).
   std::atomic<void*> cached_symbol{nullptr};
@@ -121,13 +128,49 @@ struct DiplomatSnapshot {
   std::uint64_t pattern_conflicts;
 };
 
+// The immutable dispatch snapshot the registry publishes (docs/DISPATCH.md).
+// `entries[id]` is the dense array hot callers index after resolving a
+// DiplomatId once; `index` maps interned names (string_views into the
+// entries' own immortal name strings) to ids, sorted for ordered iteration,
+// while `buckets` hashes the same names for O(1) lookup.
+// A published table is never modified or freed: writers copy-and-publish a
+// successor, readers hold a plain pointer for as long as they like.
+struct DispatchTable {
+  std::vector<DiplomatEntry*> entries;
+  // Name-sorted view for ordered iteration (snapshot output, docs).
+  std::vector<std::pair<std::string_view, DiplomatId>> index;
+  // Open-addressed hash index (linear probing, power-of-two sized, at most
+  // half full) for O(1) name lookup; slots hold ids, kInvalidDiplomatId
+  // marks empty.
+  std::vector<DiplomatId> buckets;
+  std::uint32_t bucket_mask = 0;
+
+  DiplomatId find(std::string_view name) const;
+};
+
 class DiplomatRegistry {
  public:
   static DiplomatRegistry& instance();
 
   void reset();
-  // Finds or creates the entry for `name`.
+  // Finds or creates the entry for `name`. The find path is lock-free: a
+  // per-thread one-entry cache, then a hash probe of the published table;
+  // only first-time registration takes the writer mutex.
   DiplomatEntry& entry(std::string_view name, DiplomatPattern pattern);
+
+  // Resolve-once half of the fast-path protocol: returns the dense id for
+  // `name` (registering it if needed); hot callers store the id and index
+  // the current snapshot per call via entry_by_id(), which is wait-free.
+  DiplomatId resolve(std::string_view name, DiplomatPattern pattern);
+  DiplomatEntry& entry_by_id(DiplomatId id) const {
+    return *table_.load(std::memory_order_acquire)->entries[id];
+  }
+
+  // The current published snapshot. Valid forever (tables are retired, not
+  // destroyed), but grows stale as soon as a writer publishes a successor.
+  const DispatchTable& table() const {
+    return *table_.load(std::memory_order_acquire);
+  }
 
   // Per-function timing for Figures 7-10; off by default (adds two clock
   // reads per diplomat call when on).
@@ -137,10 +180,21 @@ class DiplomatRegistry {
   std::vector<DiplomatSnapshot> snapshot() const;
 
  private:
-  DiplomatRegistry() = default;
-  mutable util::OrderedMutex mutex_{util::LockLevel::kDiplomatRegistry,
-                                    "core.diplomat_registry"};
-  std::map<std::string, std::unique_ptr<DiplomatEntry>, std::less<>> entries_;
+  DiplomatRegistry();
+  // Registration slow path: copy the live table, append, publish (RCU-style
+  // copy-and-publish; see docs/DISPATCH.md for the ordering contract).
+  DiplomatEntry& register_slow(std::string_view name, DiplomatPattern pattern);
+
+  // Writer-side only: serializes registration and stats resets. The read
+  // path never touches it — the Table 3 microbench asserts zero
+  // kDiplomatRegistry acquisitions during steady-state dispatch.
+  mutable util::OrderedMutex writer_mutex_{util::LockLevel::kDiplomatRegistry,
+                                           "core.diplomat_registry"};
+  std::atomic<const DispatchTable*> table_{nullptr};
+  // Entry storage and every table ever published. Both are append-only and
+  // immortal (call sites cache raw pointers/ids), guarded by writer_mutex_.
+  std::vector<std::unique_ptr<DiplomatEntry>> owned_;
+  std::vector<std::unique_ptr<const DispatchTable>> tables_;
   std::atomic<bool> profiling_{false};
 };
 

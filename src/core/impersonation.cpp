@@ -10,6 +10,16 @@ namespace {
 // Per-thread nesting depth of graphics-diplomat prelude/postlude windows.
 thread_local int t_graphics_depth = 0;
 
+// Per-thread cache of the tracked-key vector, revalidated against the
+// tracker's generation counter. Impersonation enter/exit calls
+// graphics_keys() on every acquire; with a stable key set this is a single
+// acquire load plus a vector copy, with no shared lock.
+struct KeyCache {
+  std::uint64_t generation = ~0ull;
+  std::vector<kernel::TlsKey> keys;
+};
+thread_local KeyCache t_key_cache;
+
 // Most recent completed migration. Leaf mutex: nothing is acquired under it.
 std::mutex g_migration_mutex;
 std::optional<MigrationRecord> g_last_migration;
@@ -49,9 +59,21 @@ void GraphicsTlsTracker::reset() {
     kernel.remove_key_delete_hook(delete_hook_);
     installed_ = false;
   }
-  keys_.clear();
+  for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
   t_graphics_depth = 0;
   clear_migration_record();
+}
+
+void GraphicsTlsTracker::set_slot(kernel::TlsKey key, bool tracked) {
+  if (key < 0 || key >= kernel::kMaxTlsSlots) return;
+  const std::uint8_t value = tracked ? 1 : 0;
+  // The generation bump's release pairs with the acquire in
+  // graphics_keys()/generation(): a reader that sees the new generation
+  // also sees the slot change when it rescans.
+  if (slots_[key].exchange(value, std::memory_order_acq_rel) != value) {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 void GraphicsTlsTracker::enter_graphics_diplomat() { ++t_graphics_depth; }
@@ -66,31 +88,39 @@ bool GraphicsTlsTracker::in_graphics_diplomat() const {
 
 void GraphicsTlsTracker::add_well_known_key(kernel::TlsKey key) {
   if (key == kernel::kInvalidTlsKey) return;
-  std::lock_guard lock(mutex_);
-  keys_.insert(key);
+  set_slot(key, true);
 }
 
 void GraphicsTlsTracker::on_key_created(kernel::TlsKey key) {
   // The gate: only keys reserved inside a graphics diplomat window are
   // graphics-related (paper §7.1).
   if (t_graphics_depth <= 0) return;
-  std::lock_guard lock(mutex_);
-  keys_.insert(key);
+  set_slot(key, true);
 }
 
 void GraphicsTlsTracker::on_key_deleted(kernel::TlsKey key) {
-  std::lock_guard lock(mutex_);
-  keys_.erase(key);
+  set_slot(key, false);
 }
 
 std::vector<kernel::TlsKey> GraphicsTlsTracker::graphics_keys() const {
-  std::lock_guard lock(mutex_);
-  return {keys_.begin(), keys_.end()};
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  KeyCache& cache = t_key_cache;
+  if (cache.generation != generation) {
+    cache.keys.clear();
+    for (kernel::TlsKey key = 0; key < kernel::kMaxTlsSlots; ++key) {
+      if (slots_[key].load(std::memory_order_relaxed) != 0) {
+        cache.keys.push_back(key);
+      }
+    }
+    cache.generation = generation;
+  }
+  return cache.keys;
 }
 
 bool GraphicsTlsTracker::is_graphics_key(kernel::TlsKey key) const {
-  std::lock_guard lock(mutex_);
-  return keys_.contains(key);
+  if (key < 0 || key >= kernel::kMaxTlsSlots) return false;
+  return slots_[key].load(std::memory_order_acquire) != 0;
 }
 
 ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {

@@ -9,9 +9,11 @@
 // slots can be added explicitly.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "kernel/kernel.h"
@@ -38,17 +40,34 @@ class GraphicsTlsTracker {
   // Explicit registration of well-known (e.g. Apple library) slots.
   void add_well_known_key(kernel::TlsKey key);
 
+  // Snapshot of the tracked keys, sorted. Served from a per-thread cache
+  // keyed on the slot-table generation, so concurrent impersonation
+  // enter/exit does not serialize (docs/DISPATCH.md).
   std::vector<kernel::TlsKey> graphics_keys() const;
+  // Wait-free: one acquire load of the key's slot.
   bool is_graphics_key(kernel::TlsKey key) const;
+
+  // Membership-change count; per-thread key caches revalidate against it.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
  private:
   GraphicsTlsTracker() = default;
   void on_key_created(kernel::TlsKey key);
   void on_key_deleted(kernel::TlsKey key);
+  void set_slot(kernel::TlsKey key, bool tracked);
 
+  // Guards only install/reset (hook bookkeeping). The membership set lives
+  // in the lock-free slot table below; the per-call paths — is_graphics_key,
+  // graphics_keys, the key hooks — never take this mutex.
   mutable util::OrderedMutex mutex_{util::LockLevel::kTlsTracker,
                                     "core.tls_tracker"};
-  std::set<kernel::TlsKey> keys_;
+  // One flag per kernel TLS slot. A slot store is released by the
+  // generation bump that follows it, so a reader that observes the new
+  // generation also observes the membership change.
+  std::array<std::atomic<std::uint8_t>, kernel::kMaxTlsSlots> slots_{};
+  std::atomic<std::uint64_t> generation_{0};
   int create_hook_ = 0;
   int delete_hook_ = 0;
   bool installed_ = false;

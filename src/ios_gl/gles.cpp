@@ -45,8 +45,8 @@ class MigrationScope {
   std::vector<void*> saved_;
 };
 
-core::DiplomatEntry& gl_entry(std::string_view name) {
-  return core::DiplomatRegistry::instance().entry(
+core::DiplomatId gl_diplomat_id(std::string_view name) {
+  return core::DiplomatRegistry::instance().resolve(
       name, core::classify_ios_gl_function(name));
 }
 
@@ -74,7 +74,15 @@ std::invoke_result_t<Fn, glcore::GlesEngine&> dispatch(
                              });
 }
 
-#define IOS_GL(name) static core::DiplomatEntry& entry = gl_entry(#name)
+// The fast-path dispatch protocol (docs/DISPATCH.md): resolve the dense
+// DiplomatId once per call site, then index the published snapshot array on
+// every call — a wait-free acquire load plus an array index, no registry
+// mutex and no name lookup.
+#define IOS_GL(name)                                           \
+  static const core::DiplomatId diplomat_id =                  \
+      gl_diplomat_id(#name);                                   \
+  core::DiplomatEntry& entry =                                 \
+      core::DiplomatRegistry::instance().entry_by_id(diplomat_id)
 
 }  // namespace
 

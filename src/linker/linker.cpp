@@ -21,6 +21,23 @@ Linker& Linker::instance() {
   return *linker;
 }
 
+Linker::Linker() {
+  view_.store(std::make_shared<const LinkerView>(), std::memory_order_release);
+}
+
+void Linker::publish_locked() {
+  auto next = std::make_shared<LinkerView>();
+  for (const auto& [name, image] : images_) {
+    next->images.emplace(name, image.replica_aware);
+  }
+  for (const auto& [key, copy] : loaded_) {
+    if (copy != nullptr) next->loaded.emplace(key, copy);
+  }
+  next->load_counts = load_counts_;
+  next->replica_bypasses = replica_bypasses_;
+  view_.store(std::move(next), std::memory_order_release);
+}
+
 void Linker::reset() {
   std::lock_guard lock(mutex_);
   loaded_.clear();
@@ -28,6 +45,7 @@ void Linker::reset() {
   load_counts_.clear();
   replica_bypasses_.clear();
   next_namespace_ = 1;
+  publish_locked();
 }
 
 Status Linker::register_image(LibraryImage image) {
@@ -38,16 +56,45 @@ Status Linker::register_image(LibraryImage image) {
   auto [it, inserted] = images_.emplace(image.name, std::move(image));
   (void)it;
   if (!inserted) return Status::already_exists("library already registered");
+  publish_locked();
   return Status::ok();
 }
 
 bool Linker::has_image(std::string_view name) const {
-  std::lock_guard lock(mutex_);
-  return images_.find(name) != images_.end();
+  auto snapshot = view();
+  return snapshot->images.find(name) != snapshot->images.end();
 }
 
 StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
   TRACE_SCOPE("linker", "dlopen");
+  // Lock-free fast path: the copy is already shared in `ns` and no bypass
+  // event needs recording. Re-opens of resident libraries on the GL call
+  // path (open_android_egl and friends) land here without the linker mutex.
+  // If the weak reference expired — the copy is being unloaded — fall
+  // through to the locked path, which sees the authoritative table.
+  {
+    auto snapshot = view();
+    auto it = snapshot->loaded.find(
+        std::pair<NamespaceId, std::string_view>(ns, name));
+    if (it != snapshot->loaded.end()) {
+      if (Handle copy = it->second.lock()) {
+        bool bypass = false;
+        if (ns == kGlobalNamespace) {
+          auto image_it = snapshot->images.find(name);
+          if (image_it != snapshot->images.end() && image_it->second) {
+            for (const auto& [key, weak] : snapshot->loaded) {
+              if (key.first != kGlobalNamespace && key.second == name &&
+                  !weak.expired()) {
+                bypass = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!bypass) return copy;
+      }
+    }
+  }
   std::lock_guard lock(mutex_);
   if (ns == kGlobalNamespace) {
     // Replica-path bypass audit: a global-namespace open of a replicated
@@ -63,7 +110,9 @@ StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
       }
     }
   }
-  return load_locked(name, ns);
+  auto result = load_locked(name, ns);
+  publish_locked();
+  return result;
 }
 
 StatusOr<Handle> Linker::dlforce(std::string_view name) {
@@ -78,6 +127,7 @@ StatusOr<Handle> Linker::dlforce(std::string_view name) {
   // dependency closure is re-instanced and every constructor runs again.
   const NamespaceId ns = next_namespace_++;
   auto result = load_locked(name, ns);
+  publish_locked();
   if (result.is_ok()) {
     replicas.add();
     load_ns.record(now_ns() - start_ns);
@@ -87,8 +137,7 @@ StatusOr<Handle> Linker::dlforce(std::string_view name) {
 
 StatusOr<std::shared_ptr<LoadedLibrary>> Linker::load_locked(
     std::string_view name, NamespaceId ns) {
-  const auto key = std::make_pair(ns, std::string(name));
-  auto it = loaded_.find(key);
+  auto it = loaded_.find(std::pair<NamespaceId, std::string_view>(ns, name));
   if (it != loaded_.end()) {
     // Normal dlopen semantics: hand back the copy already present in this
     // namespace.
@@ -112,6 +161,7 @@ StatusOr<std::shared_ptr<LoadedLibrary>> Linker::load_locked(
   auto copy = std::make_shared<LoadedLibrary>(&image, ns);
   // Publish before loading deps so dependency cycles terminate (the second
   // visit resolves to this entry instead of recursing).
+  const auto key = std::make_pair(ns, std::string(name));
   loaded_.emplace(key, copy);
 
   for (const std::string& dep_name : image.deps) {
@@ -159,6 +209,9 @@ void* Linker::dlsym(const Handle& handle, std::string_view symbol) {
 Status Linker::dlclose(Handle handle) {
   if (handle == nullptr) return Status::invalid_argument("null handle");
   std::lock_guard lock(mutex_);
+  // The published views reference copies weakly, so they never contribute
+  // to use_count(): the "only the registry still holds it" test below keeps
+  // its exact pre-snapshot meaning.
   const auto key = std::make_pair(handle->namespace_id(), handle->name());
   auto it = loaded_.find(key);
   // Drop the caller's reference; if only the registry still holds the copy,
@@ -182,36 +235,38 @@ Status Linker::dlclose(Handle handle) {
         loaded_.erase(cit);
       }
     }
+    publish_locked();
   }
   return Status::ok();
 }
 
 int Linker::load_count(std::string_view name) const {
-  std::lock_guard lock(mutex_);
-  auto it = load_counts_.find(std::string(name));
-  return it == load_counts_.end() ? 0 : it->second;
+  auto snapshot = view();
+  auto it = snapshot->load_counts.find(name);
+  return it == snapshot->load_counts.end() ? 0 : it->second;
 }
 
 std::vector<Linker::LoadedCopy> Linker::loaded_copies() const {
-  std::lock_guard lock(mutex_);
+  auto snapshot = view();
   std::vector<LoadedCopy> out;
-  out.reserve(loaded_.size());
-  for (const auto& [key, copy] : loaded_) {
-    if (copy != nullptr) out.push_back({key.second, key.first, copy});
+  out.reserve(snapshot->loaded.size());
+  for (const auto& [key, weak] : snapshot->loaded) {
+    if (auto copy = weak.lock()) {
+      out.push_back({key.second, key.first, std::move(copy)});
+    }
   }
   return out;
 }
 
 std::vector<std::string> Linker::replica_bypass_events() const {
-  std::lock_guard lock(mutex_);
-  return replica_bypasses_;
+  return view()->replica_bypasses;
 }
 
 int Linker::live_copy_count(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  auto snapshot = view();
   int count = 0;
-  for (const auto& [key, copy] : loaded_) {
-    if (key.second == name && copy != nullptr) ++count;
+  for (const auto& [key, weak] : snapshot->loaded) {
+    if (key.second == name && !weak.expired()) ++count;
   }
   return count;
 }

@@ -12,6 +12,7 @@
 // EAGLContext its own vendor EGL/GLES connection.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -110,6 +111,36 @@ class LoadedLibrary {
 
 using Handle = std::shared_ptr<LoadedLibrary>;
 
+// Transparent comparator for (namespace, name) keys: lets the loaded-copy
+// tables be probed with a string_view without materializing a std::string.
+struct NsNameLess {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return std::string_view(a.second) < std::string_view(b.second);
+  }
+};
+
+// Read-mostly snapshot of the linker's replica table, published RCU-style:
+// every mutation (register/load/unload/bypass) rebuilds a fresh immutable
+// view under the writer mutex and swaps it in atomically; read accessors
+// and the shared-copy dlopen fast path consume the snapshot without taking
+// `OrderedRecursiveMutex` (docs/DISPATCH.md). Loaded copies are referenced
+// weakly so the view never extends a library's lifetime — dlclose keeps its
+// use_count()-based unload test.
+struct LinkerView {
+  // name -> replica_aware, for has_image and the bypass-audit pre-check.
+  std::map<std::string, bool, std::less<>> images;
+  // (namespace, name) -> loaded copy (weak; expired entries fall back to
+  // the locked path).
+  std::map<std::pair<NamespaceId, std::string>, std::weak_ptr<LoadedLibrary>,
+           NsNameLess>
+      loaded;
+  std::map<std::string, int, std::less<>> load_counts;
+  std::vector<std::string> replica_bypasses;
+};
+
 class Linker {
  public:
   static Linker& instance();
@@ -157,18 +188,26 @@ class Linker {
   // load path. Cleared by reset().
   std::vector<std::string> replica_bypass_events() const;
 
+  // The current published snapshot (never null after construction).
+  std::shared_ptr<const LinkerView> view() const {
+    return view_.load(std::memory_order_acquire);
+  }
+
  private:
-  Linker() = default;
+  Linker();
 
   StatusOr<std::shared_ptr<LoadedLibrary>> load_locked(std::string_view name,
                                                        NamespaceId ns);
+  // Rebuilds and swaps in the snapshot; callers hold mutex_.
+  void publish_locked();
 
   mutable util::OrderedRecursiveMutex mutex_{util::LockLevel::kLinker,
                                              "linker"};
+  std::atomic<std::shared_ptr<const LinkerView>> view_;
   std::map<std::string, LibraryImage, std::less<>> images_;
   // (namespace, name) -> loaded copy shared within that namespace.
   std::map<std::pair<NamespaceId, std::string>,
-           std::shared_ptr<LoadedLibrary>, std::less<>>
+           std::shared_ptr<LoadedLibrary>, NsNameLess>
       loaded_;
   std::map<std::string, int, std::less<>> load_counts_;
   std::vector<std::string> replica_bypasses_;

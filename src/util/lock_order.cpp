@@ -33,6 +33,16 @@ std::map<EdgeKey, EdgeData>& graph_edges() {
   return *edges;
 }
 
+struct LevelData {
+  std::string name;
+  std::uint64_t count = 0;
+};
+
+std::map<int, LevelData>& level_counts() {
+  static auto* counts = new std::map<int, LevelData>();
+  return *counts;
+}
+
 // Per-thread stack of currently held annotated locks. Fixed capacity: the
 // deepest legitimate nest in the tree is 4 levels; overflow entries are
 // dropped (and their release ignored) rather than growing the hot path.
@@ -129,9 +139,27 @@ std::vector<std::vector<std::string>> LockOrderGraph::find_cycles() const {
   return cycles;
 }
 
+std::vector<LockOrderGraph::LevelCount> LockOrderGraph::acquisition_counts()
+    const {
+  std::lock_guard lock(g_graph_mutex);
+  std::vector<LevelCount> out;
+  out.reserve(level_counts().size());
+  for (const auto& [level, data] : level_counts()) {
+    out.push_back({level, data.name, data.count});
+  }
+  return out;
+}
+
+std::uint64_t LockOrderGraph::acquisitions(LockLevel level) const {
+  std::lock_guard lock(g_graph_mutex);
+  auto it = level_counts().find(static_cast<int>(level));
+  return it == level_counts().end() ? 0 : it->second.count;
+}
+
 void LockOrderGraph::reset() {
   std::lock_guard lock(g_graph_mutex);
   graph_edges().clear();
+  level_counts().clear();
 }
 
 namespace lock_detail {
@@ -149,6 +177,9 @@ void note_acquired(const void* mutex, int level, const char* name,
   }
   {
     std::lock_guard lock(g_graph_mutex);
+    LevelData& tally = level_counts()[level];
+    if (tally.count == 0) tally.name = name;
+    ++tally.count;
     for (int i = 0; i < t_held_count; ++i) {
       if (t_held[i].mutex == mutex) continue;
       EdgeData& data = graph_edges()[{t_held[i].level, level}];

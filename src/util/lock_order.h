@@ -49,12 +49,26 @@ class LockOrderGraph {
     std::uint64_t count;
   };
 
+  // Per-level acquisition tally (recorded alongside edges). Unlike edges —
+  // which need a lock already held — every acquisition counts, so a zero
+  // here proves a level was never locked during the recorded window. The
+  // dispatch benches use this to verify the diplomat read path is
+  // mutex-free (docs/DISPATCH.md).
+  struct LevelCount {
+    int level;
+    std::string name;
+    std::uint64_t count;
+  };
+
   static LockOrderGraph& instance();
 
   void set_recording(bool enabled);
   bool recording() const;
 
   std::vector<Edge> edges() const;
+  std::vector<LevelCount> acquisition_counts() const;
+  // Acquisitions recorded for one level (0 when never acquired).
+  std::uint64_t acquisitions(LockLevel level) const;
   // Edges acquired against the static order (from_level >= to_level).
   std::vector<Edge> inversions() const;
   // Cycles among levels in the observed graph, each reported as the level

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "core/classification.h"
 #include "core/diplomat.h"
@@ -83,6 +85,63 @@ TEST_F(AnalyzeTest, CleanWorkloadProducesNoFindings) {
 TEST_F(AnalyzeTest, LintRunsCleanOnTheRealTree) {
   Report report;
   ASSERT_TRUE(lint_source_tree(CYCADA_SOURCE_DIR "/src", report));
+  if (!report.clean()) report.print(std::cerr);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(AnalyzeTest, ContractCountersBalanceUnderConcurrentLockFreeDispatch) {
+  // The registry's lock-free read path must not cost contract accuracy:
+  // many threads resolving entries by name (per-thread cache + snapshot
+  // probe, no registry mutex) and dispatching with hooks and data-dependent
+  // skips must leave every counter exactly balanced, so the checker stays
+  // clean and the totals add up.
+  core::DiplomatEntry& direct =
+      make_entry("concurrent_direct", core::DiplomatPattern::kDirect);
+  core::DiplomatEntry& data_dep = make_entry(
+      "concurrent_data_dep", core::DiplomatPattern::kDataDependent);
+
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      kernel::Kernel::instance().register_current_thread(
+          kernel::Persona::kIos);
+      core::DiplomatHooks hooks;
+      hooks.prelude = [] {};
+      hooks.postlude = [] {};
+      core::DiplomatRegistry& registry = core::DiplomatRegistry::instance();
+      for (int i = 0; i < kCalls; ++i) {
+        core::diplomat_call(
+            registry.entry("concurrent_direct", core::DiplomatPattern::kDirect),
+            hooks, [] {});
+        core::DiplomatEntry& dd = registry.entry(
+            "concurrent_data_dep", core::DiplomatPattern::kDataDependent);
+        // Data-dependent: odd iterations answer on the iOS side.
+        if ((i + t) % 2 == 0) {
+          core::diplomat_call(dd, {}, [] {});
+        } else {
+          core::diplomat_skip(dd);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kCalls;
+  EXPECT_EQ(direct.calls.load(), kTotal);
+  EXPECT_EQ(direct.contract.preludes.load(), kTotal);
+  EXPECT_EQ(direct.contract.postludes.load(), kTotal);
+  EXPECT_EQ(direct.contract.domestic_calls.load(), kTotal);
+  EXPECT_EQ(data_dep.calls.load(), kTotal);
+  EXPECT_EQ(data_dep.contract.domestic_calls.load() +
+                data_dep.contract.skipped_calls.load(),
+            kTotal);
+  EXPECT_EQ(data_dep.contract.skipped_calls.load(), kTotal / 2);
+
+  Report report;
+  check_diplomat_contracts(report);
   if (!report.clean()) report.print(std::cerr);
   EXPECT_TRUE(report.clean());
 }
