@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Produces the committed benchmark baseline for this PR (BENCH_pr3.json):
+# Produces the committed benchmark baseline for this PR (BENCH_pr4.json):
 # a Release build of the two bench targets, each run with CYCADA_BENCH_JSON
 # pointed at a temp file, merged into one document whose schema is described
-# in docs/BENCHMARKING.md. From the repo root:
+# in docs/BENCHMARKING.md. Counters are merged flat; histograms keep their
+# per-run p50/p95/p99 so bench_compare.sh can gate on tail latency too.
+# From the repo root:
 #
-#   ./scripts/bench_baseline.sh                # writes BENCH_pr3.json
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr4.json
 #   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
+#   BENCH_PR=5 ./scripts/bench_baseline.sh     # writes BENCH_pr5.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR=3
+PR="${BENCH_PR:-4}"
 OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
 BUILD=build-bench
 
@@ -32,14 +35,33 @@ CYCADA_BENCH_JSON="${tmpdir}/table2.json" \
 # Merge the two bench documents (shell-only; no python/jq dependency). Each
 # emits {"counters":{...},"histograms":{...}}; the counters object is flat
 # (no nested braces), so merging is concatenating the inner key/value lists.
-inner() {
+# The histograms object is one level deep ("name":{...} entries) and is the
+# last thing in the document, so its inner list is everything between
+# '"histograms":{' and the closing '}}'.
+counters() {
   tr -d '\n' < "$1" | sed -n 's/.*"counters":{\([^}]*\)}.*/\1/p'
+}
+histograms() {
+  tr -d '\n' < "$1" | sed -n 's/.*"histograms":{\(.*\)}}$/\1/p'
+}
+join_nonempty() {
+  # join_nonempty A B -> "A,B", dropping empty parts.
+  local joined=""
+  for part in "$@"; do
+    [[ -z "${part}" ]] && continue
+    [[ -n "${joined}" ]] && joined+=","
+    joined+="${part}"
+  done
+  printf '%s' "${joined}"
 }
 {
   printf '{"schema":"cycada-bench/v1","pr":%d,"build":"Release","counters":{' \
     "${PR}"
-  printf '%s,%s' "$(inner "${tmpdir}/table3.json")" \
-    "$(inner "${tmpdir}/table2.json")"
+  printf '%s' "$(join_nonempty "$(counters "${tmpdir}/table3.json")" \
+    "$(counters "${tmpdir}/table2.json")")"
+  printf '},"histograms":{'
+  printf '%s' "$(join_nonempty "$(histograms "${tmpdir}/table3.json")" \
+    "$(histograms "${tmpdir}/table2.json")")"
   printf '}}\n'
 } > "${OUT}"
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Compares two cycada-bench/v1 documents (docs/BENCHMARKING.md) and fails on
+# performance regressions:
+#
+#   ./scripts/bench_compare.sh BENCH_prA.json BENCH_prB.json
+#
+# The first file is the baseline, the second the candidate. Gated metrics:
+#   - timing counters (names containing "_ns"): lower is better; a candidate
+#     more than the threshold above the baseline is a regression
+#   - speedup counters (names containing "speedup"): higher is better
+#   - histogram tails (p50_ns / p95_ns / p99_ns per histogram): lower is
+#     better
+# Everything else is printed for information only. The relative threshold is
+# CYCADA_BENCH_THRESHOLD (default 0.10 = 10%).
+#
+# Exits 0 when no gated metric regressed, 1 on regression, 2 on usage error.
+set -euo pipefail
+
+if [[ $# -ne 2 || ! -f "$1" || ! -f "$2" ]]; then
+  echo "usage: bench_compare.sh <baseline.json> <candidate.json>" >&2
+  exit 2
+fi
+THRESHOLD="${CYCADA_BENCH_THRESHOLD:-0.10}"
+
+# Flattens one bench document to "key value" lines: counters as-is,
+# histogram entries as <histogram>.<field>. Shell + awk only (no jq).
+flatten() {
+  tr -d ' \n' < "$1" | awk '
+  {
+    if (match($0, /"counters":\{[^}]*\}/)) {
+      inner = substr($0, RSTART + 12, RLENGTH - 13)
+      n = split(inner, kv, ",")
+      for (i = 1; i <= n; i++) {
+        if (split(kv[i], pair, ":") < 2) continue
+        gsub(/"/, "", pair[1])
+        print pair[1], pair[2]
+      }
+    }
+    rest = $0
+    if (match(rest, /"histograms":\{/)) {
+      rest = substr(rest, RSTART + RLENGTH)
+      while (match(rest, /"[^"]+":\{[^}]*\}/)) {
+        entry = substr(rest, RSTART, RLENGTH)
+        rest = substr(rest, RSTART + RLENGTH)
+        match(entry, /^"[^"]+"/)
+        name = substr(entry, 2, RLENGTH - 2)
+        body = entry
+        sub(/^"[^"]+":\{/, "", body)
+        sub(/\}$/, "", body)
+        m = split(body, kv, ",")
+        for (j = 1; j <= m; j++) {
+          if (split(kv[j], pair, ":") < 2) continue
+          gsub(/"/, "", pair[1])
+          print name "." pair[1], pair[2]
+        }
+      }
+    }
+  }'
+}
+
+baseline_flat="$(flatten "$1")"
+candidate_flat="$(flatten "$2")"
+
+awk -v threshold="${THRESHOLD}" \
+    -v baseline_name="$1" -v candidate_name="$2" '
+  NR == FNR { baseline[$1] = $2; next }
+  { candidate[$1] = $2 }
+  END {
+    regressions = 0
+    printf "bench_compare: %s -> %s (threshold %.0f%%)\n", \
+      baseline_name, candidate_name, threshold * 100
+    for (key in candidate) {
+      if (!(key in baseline)) { only_candidate++; continue }
+      old = baseline[key] + 0
+      new = candidate[key] + 0
+      delta = old != 0 ? (new - old) / old : 0
+      # Gate direction: timing and tail-latency keys regress upward,
+      # speedups regress downward; everything else is informational.
+      gated = ""
+      if (key ~ /_ns/ && key !~ /speedup/) {
+        if (old > 0 && delta > threshold) gated = "REGRESSION"
+      } else if (key ~ /speedup/) {
+        if (old > 0 && delta < -threshold) gated = "REGRESSION"
+      }
+      if (gated != "") {
+        printf "  %-48s %12d -> %12d  %+7.1f%%  %s\n", \
+          key, old, new, delta * 100, gated
+        regressions++
+      } else if (old != 0 && (delta > threshold || delta < -threshold)) {
+        printf "  %-48s %12d -> %12d  %+7.1f%%\n", key, old, new, delta * 100
+      }
+    }
+    for (key in baseline) if (!(key in candidate)) only_baseline++
+    if (only_baseline > 0)
+      printf "  (%d metric(s) only in the baseline)\n", only_baseline
+    if (only_candidate > 0)
+      printf "  (%d metric(s) only in the candidate)\n", only_candidate
+    if (regressions > 0) {
+      printf "bench_compare: %d regression(s) beyond %.0f%%\n", \
+        regressions, threshold * 100
+      exit 1
+    }
+    print "bench_compare: no regressions"
+  }
+' <(printf '%s\n' "${baseline_flat}") <(printf '%s\n' "${candidate_flat}")

@@ -131,6 +131,16 @@ class TlsAudit {
 //                           record
 void check_tls_migration(Report& report);
 
+// Fault-safety checker (run at a quiescent point, after a fault-injected
+// workload). Rules:
+//   fault.persona-leak  a registered thread's current persona differs from
+//                       the persona it registered with (a failure path
+//                       leaked a crossing)
+//   fault.lock-leak     the lock-order graph records more acquisitions
+//                       than releases (a failure path leaked a held mutex;
+//                       requires recording to have been on)
+void check_fault_safety(Report& report);
+
 // --- Source lint ------------------------------------------------------------
 
 // Purely static pass over one file's contents. Rules:

@@ -1,0 +1,45 @@
+// Fault-safety checker: asserts that injected faults (util/faultpoint.h)
+// never leak process state, whatever path the failure took. Run at a
+// quiescent point (no in-flight diplomats, no live impersonations) after a
+// fault-injected workload.
+#include <string>
+
+#include "analyze/analyze.h"
+#include "kernel/kernel.h"
+#include "kernel/persona.h"
+#include "util/lock_order.h"
+
+namespace cycada::analyze {
+
+void check_fault_safety(Report& report) {
+  // Every registered thread must be back in the persona it registered
+  // with: an injected fault that unwound a diplomat or a ScopedPersona
+  // mid-crossing without restoring would strand the thread in the wrong
+  // ABI personality (the resilient persona paths exist to prevent this).
+  kernel::Kernel& kernel = kernel::Kernel::instance();
+  for (const kernel::Tid tid : kernel.registered_tids()) {
+    const kernel::ThreadState* thread = kernel.find_thread(tid);
+    if (thread == nullptr) continue;
+    if (thread->persona() != thread->initial_persona()) {
+      report.add("fault", "fault.persona-leak", "tid " + std::to_string(tid),
+                 std::string("thread is in persona ") +
+                     kernel::persona_name(thread->persona()) +
+                     " but registered in " +
+                     kernel::persona_name(thread->initial_persona()) +
+                     " (a failure path leaked a crossing)");
+    }
+  }
+  // Balanced lock accounting: recorded acquisitions minus releases must be
+  // zero when nothing is running — a nonzero residue means some failure
+  // path returned while still holding an annotated mutex. Only meaningful
+  // while LockOrderGraph recording was on for the workload.
+  const std::int64_t held = util::LockOrderGraph::instance().held_count();
+  if (held != 0) {
+    report.add("fault", "fault.lock-leak", "lock-order graph",
+               std::to_string(held) +
+                   " annotated lock acquisition(s) never released "
+                   "(a failure path leaked a held mutex)");
+  }
+}
+
+}  // namespace cycada::analyze

@@ -40,6 +40,7 @@ void check_all_runtime(Report& report) {
   check_diplomat_contracts(report);
   check_lock_order(report);
   check_replica_isolation(report);
+  check_fault_safety(report);
 }
 
 }  // namespace cycada::analyze

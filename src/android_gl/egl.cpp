@@ -8,6 +8,7 @@
 #include "kernel/libc.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
+#include "util/faultpoint.h"
 #include "util/log.h"
 
 namespace cycada::android_gl {
@@ -85,6 +86,17 @@ EGLBoolean AndroidEgl::eglTerminate() {
   surfaces_.clear();
   images_.clear();
   mc_connections_.clear();
+  while (!warm_pool_.empty()) {
+    auto connection = std::move(warm_pool_.back());
+    warm_pool_.pop_back();
+    (void)linker::Linker::instance().dlclose(std::move(connection->library));
+  }
+  shared_refs_ = 0;
+  if (shared_connection_ != nullptr) {
+    (void)linker::Linker::instance().dlclose(
+        std::move(shared_connection_->library));
+    shared_connection_.reset();
+  }
   if (process_connection_ != nullptr) {
     (void)linker::Linker::instance().dlclose(
         std::move(process_connection_->library));
@@ -105,6 +117,9 @@ EglConnection* AndroidEgl::connection_by_id(int id) {
   for (const auto& connection : mc_connections_) {
     if (connection->id == id) return connection.get();
   }
+  if (shared_connection_ != nullptr && shared_connection_->id == id) {
+    return shared_connection_.get();
+  }
   return nullptr;
 }
 
@@ -116,6 +131,12 @@ glcore::GlesEngine* AndroidEgl::gles() {
 EglSurface* AndroidEgl::create_surface(int width, int height, bool window) {
   if (width <= 0 || height <= 0) {
     set_error(EGL_BAD_PARAMETER);
+    return nullptr;
+  }
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("egl.create_surface");
+  if (fault.should_fail()) {
+    set_error(EGL_BAD_ALLOC);
     return nullptr;
   }
   auto surface = std::make_unique<EglSurface>();
@@ -194,6 +215,12 @@ EglContext* AndroidEgl::eglCreateContext(int gles_version) {
   if (connection->locked_version != 0 &&
       connection->locked_version != gles_version) {
     set_error(EGL_BAD_MATCH);
+    return nullptr;
+  }
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("egl.create_context");
+  if (fault.should_fail()) {
+    set_error(EGL_BAD_ALLOC);
     return nullptr;
   }
   const glcore::ContextId engine_context =
@@ -324,6 +351,35 @@ EGLBoolean AndroidEgl::eglDestroyImageKHR(glcore::EglImage* image) {
 
 int AndroidEgl::eglReInitializeMC() {
   TRACE_SCOPE("gl", "eglReInitializeMC");
+  static trace::Counter& warm_hits =
+      trace::MetricsRegistry::instance().counter("replica.pool.warm_hits");
+  static trace::Counter& warm_misses =
+      trace::MetricsRegistry::instance().counter("replica.pool.warm_misses");
+  static trace::Counter& exhausted =
+      trace::MetricsRegistry::instance().counter("replica.pool.exhausted");
+  {
+    std::lock_guard lock(mutex_);
+    // Live-replica cap: a graceful refusal here is what sends the bridge
+    // down its degradation ladder instead of unbounded vendor-stack growth.
+    if (max_live_replicas_ > 0 &&
+        static_cast<int>(mc_connections_.size()) >= max_live_replicas_) {
+      exhausted.add();
+      set_error(EGL_BAD_ALLOC);
+      return 0;
+    }
+    if (!warm_pool_.empty()) {
+      auto connection = std::move(warm_pool_.back());
+      warm_pool_.pop_back();
+      warm_hits.add();
+      connection->locked_version = 0;
+      connection->id = next_connection_id_++;
+      EglConnection* raw = connection.get();
+      mc_connections_.push_back(std::move(connection));
+      kernel::libc::pthread_setspecific(tls_connection_key_, raw);
+      return raw->id;
+    }
+  }
+  warm_misses.add();
   // DLR: replicate libui_wrapper and, through its dependency closure, the
   // whole vendor GLES stack (paper §8.1.1). The replica becomes the calling
   // thread's connection.
@@ -342,11 +398,144 @@ int AndroidEgl::eglReInitializeMC() {
     return 0;
   }
   std::lock_guard lock(mutex_);
+  // Re-check the cap: another thread may have minted a replica while we
+  // were outside the lock. Refuse rather than exceed the bound.
+  if (max_live_replicas_ > 0 &&
+      static_cast<int>(mc_connections_.size()) >= max_live_replicas_) {
+    exhausted.add();
+    (void)linker::Linker::instance().dlclose(std::move(connection->library));
+    set_error(EGL_BAD_ALLOC);
+    return 0;
+  }
   connection->id = next_connection_id_++;
   EglConnection* raw = connection.get();
   mc_connections_.push_back(std::move(connection));
   kernel::libc::pthread_setspecific(tls_connection_key_, raw);
   return raw->id;
+}
+
+EGLBoolean AndroidEgl::eglReleaseMC(int connection_id) {
+  TRACE_SCOPE("gl", "eglReleaseMC");
+  static trace::Counter& released =
+      trace::MetricsRegistry::instance().counter("replica.pool.released");
+  static trace::Counter& evictions =
+      trace::MetricsRegistry::instance().counter("replica.pool.evictions");
+  std::unique_ptr<EglConnection> evicted;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = std::find_if(mc_connections_.begin(), mc_connections_.end(),
+                           [connection_id](const auto& owned) {
+                             return owned->id == connection_id;
+                           });
+    if (it == mc_connections_.end()) {
+      set_error(EGL_BAD_PARAMETER);
+      return EGL_FALSE;
+    }
+    std::unique_ptr<EglConnection> connection = std::move(*it);
+    mc_connections_.erase(it);
+    if (kernel::libc::pthread_getspecific(tls_connection_key_) ==
+        connection.get()) {
+      kernel::libc::pthread_setspecific(tls_connection_key_, nullptr);
+    }
+    released.add();
+    connection->locked_version = 0;
+    if (static_cast<int>(warm_pool_.size()) < max_warm_replicas_) {
+      warm_pool_.push_back(std::move(connection));
+    } else if (max_warm_replicas_ > 0) {
+      // Pool full: park the fresh release, evict the oldest replica (LRU).
+      evicted = std::move(warm_pool_.front());
+      warm_pool_.erase(warm_pool_.begin());
+      warm_pool_.push_back(std::move(connection));
+      evictions.add();
+    } else {
+      evicted = std::move(connection);
+      evictions.add();
+    }
+  }
+  if (evicted != nullptr) {
+    (void)linker::Linker::instance().dlclose(std::move(evicted->library));
+  }
+  return EGL_TRUE;
+}
+
+EglConnection* AndroidEgl::eglAcquireSharedMC() {
+  TRACE_SCOPE("gl", "eglAcquireSharedMC");
+  std::lock_guard lock(mutex_);
+  if (shared_connection_ == nullptr) {
+    // Degraded mode: one global-namespace copy of libui_wrapper shared by
+    // every acquirer. Loaded through the linker's fallback path, which is
+    // deliberately outside fault injection — the last rung of the ladder
+    // must not itself be injectable.
+    auto handle =
+        linker::Linker::instance().dlopen_shared_fallback(kUiWrapperLib);
+    if (!handle.is_ok()) {
+      set_error(EGL_NOT_INITIALIZED);
+      return nullptr;
+    }
+    auto connection = std::make_unique<EglConnection>();
+    connection->library = std::move(handle.value());
+    connection->engine = engine_from_handle(connection->library);
+    connection->ui_wrapper = static_cast<UiWrapper*>(
+        linker::Linker::instance().dlsym(connection->library, "ui_wrapper"));
+    if (connection->engine == nullptr || connection->ui_wrapper == nullptr) {
+      (void)linker::Linker::instance().dlclose(
+          std::move(connection->library));
+      set_error(EGL_NOT_INITIALIZED);
+      return nullptr;
+    }
+    connection->id = next_connection_id_++;
+    shared_connection_ = std::move(connection);
+  }
+  ++shared_refs_;
+  kernel::libc::pthread_setspecific(tls_connection_key_,
+                                    shared_connection_.get());
+  return shared_connection_.get();
+}
+
+EGLBoolean AndroidEgl::eglReleaseSharedMC() {
+  std::unique_ptr<EglConnection> dying;
+  {
+    std::lock_guard lock(mutex_);
+    if (shared_connection_ == nullptr || shared_refs_ == 0) {
+      set_error(EGL_BAD_ACCESS);
+      return EGL_FALSE;
+    }
+    if (kernel::libc::pthread_getspecific(tls_connection_key_) ==
+        shared_connection_.get()) {
+      kernel::libc::pthread_setspecific(tls_connection_key_, nullptr);
+    }
+    if (--shared_refs_ == 0) dying = std::move(shared_connection_);
+  }
+  if (dying != nullptr) {
+    (void)linker::Linker::instance().dlclose(std::move(dying->library));
+  }
+  return EGL_TRUE;
+}
+
+void AndroidEgl::set_replica_pool_limits(int max_live, int max_warm) {
+  std::vector<std::unique_ptr<EglConnection>> overflow;
+  {
+    std::lock_guard lock(mutex_);
+    max_live_replicas_ = max_live < 0 ? 0 : max_live;
+    max_warm_replicas_ = max_warm < 0 ? 0 : max_warm;
+    while (static_cast<int>(warm_pool_.size()) > max_warm_replicas_) {
+      overflow.push_back(std::move(warm_pool_.front()));
+      warm_pool_.erase(warm_pool_.begin());
+    }
+  }
+  for (auto& connection : overflow) {
+    (void)linker::Linker::instance().dlclose(std::move(connection->library));
+  }
+}
+
+int AndroidEgl::live_replica_count() {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(mc_connections_.size());
+}
+
+int AndroidEgl::warm_pool_size() {
+  std::lock_guard lock(mutex_);
+  return static_cast<int>(warm_pool_.size());
 }
 
 EGLBoolean AndroidEgl::eglSwitchMC(int connection_id) {

@@ -35,6 +35,7 @@ inline constexpr EGLBoolean EGL_FALSE = 0;
 inline constexpr EGLint EGL_SUCCESS = 0x3000;
 inline constexpr EGLint EGL_NOT_INITIALIZED = 0x3001;
 inline constexpr EGLint EGL_BAD_ACCESS = 0x3002;
+inline constexpr EGLint EGL_BAD_ALLOC = 0x3003;
 inline constexpr EGLint EGL_BAD_CONTEXT = 0x3006;
 inline constexpr EGLint EGL_BAD_MATCH = 0x3009;
 inline constexpr EGLint EGL_BAD_PARAMETER = 0x300C;
@@ -118,9 +119,28 @@ class AndroidEgl : public linker::LibraryInstance {
   EGLBoolean eglDestroyImageKHR(glcore::EglImage* image);
 
   // --- EGL_multi_context (Figure 4) ---------------------------------------
-  // Creates a fresh vendor-stack replica via dlforce and makes it the
-  // calling thread's connection. Returns its id (>0), or 0 on failure.
+  // Creates a fresh vendor-stack replica via dlforce — or reuses a parked
+  // replica from the warm pool — and makes it the calling thread's
+  // connection. Returns its id (>0), or 0 on failure (including when the
+  // live-replica cap is reached: EGL_BAD_ALLOC, the caller should degrade).
   int eglReInitializeMC();
+  // Releases a replica connection minted by eglReInitializeMC: the replica
+  // is parked in the warm pool for reuse, or dlclosed when the pool is full
+  // (the oldest parked replica is evicted first). The caller must have torn
+  // down all contexts/surfaces built on the connection, and no other
+  // thread's TLS may still reference it.
+  EGLBoolean eglReleaseMC(int connection_id);
+  // Degraded-mode shared connection (refcounted): every acquirer shares one
+  // global-namespace libui_wrapper copy, loaded via the linker's shared
+  // fallback (no DLR, no fault injection). Makes it the calling thread's
+  // connection. Returns nullptr on failure.
+  EglConnection* eglAcquireSharedMC();
+  EGLBoolean eglReleaseSharedMC();
+  // Replica-pool policy: `max_live` caps concurrently live MC replicas
+  // (0 = unlimited); `max_warm` caps the parked warm pool.
+  void set_replica_pool_limits(int max_live, int max_warm);
+  int live_replica_count();
+  int warm_pool_size();
   // Switches the calling thread to `connection_id`'s connection.
   EGLBoolean eglSwitchMC(int connection_id);
   // Reads/writes the wrapper's per-thread slots {connection, context} so
@@ -144,6 +164,12 @@ class AndroidEgl : public linker::LibraryInstance {
   std::mutex mutex_;
   std::unique_ptr<EglConnection> process_connection_;
   std::vector<std::unique_ptr<EglConnection>> mc_connections_;
+  // Released replicas parked for reuse; front is the oldest (LRU victim).
+  std::vector<std::unique_ptr<EglConnection>> warm_pool_;
+  std::unique_ptr<EglConnection> shared_connection_;
+  int shared_refs_ = 0;
+  int max_live_replicas_ = 0;  // 0 = unlimited
+  int max_warm_replicas_ = 2;
   std::vector<std::unique_ptr<EglSurface>> surfaces_;
   std::vector<std::unique_ptr<EglContext>> contexts_;
   std::vector<std::unique_ptr<glcore::EglImage>> images_;

@@ -6,6 +6,7 @@
 #include "gpu/device.h"
 #include "kernel/kernel.h"
 #include "kernel/libc.h"
+#include "util/faultpoint.h"
 #include "util/log.h"
 
 namespace cycada::android_gl {
@@ -66,6 +67,13 @@ Status UiWrapper::initialize(int gles_version, int width, int height) {
   if (width <= 0 || height <= 0) {
     return Status::invalid_argument("bad layer dimensions");
   }
+  // Same fault point as the stock wrapper's eglCreateContext, so injected
+  // vendor-context failures exercise the bridge's retry/degradation ladder.
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("egl.create_context");
+  if (fault.should_fail()) {
+    return Status::resource_exhausted("injected fault: egl.create_context");
+  }
   gles_version_ = gles_version;
   width_ = width;
   height_ = height;
@@ -87,6 +95,40 @@ Status UiWrapper::initialize(int gles_version, int width, int height) {
   CYCADA_RETURN_IF_ERROR(engine_->make_current(context_, targets_[back_]));
   engine_->glViewport(0, 0, width, height);
   return Status::ok();
+}
+
+void UiWrapper::teardown() {
+  if (engine_ != nullptr && context_ != glcore::kNoContext) {
+    if (engine_->current_context_id() == context_) {
+      (void)engine_->make_current(glcore::kNoContext, gpu::kNoHandle);
+    }
+    (void)engine_->destroy_context(context_);
+  }
+  context_ = glcore::kNoContext;
+  for (gpu::RenderTargetHandle& target : targets_) {
+    if (target != gpu::kNoHandle) {
+      (void)device().destroy_target(target);
+      target = gpu::kNoHandle;
+    }
+  }
+  buffers_ = {};
+  drawable_buffers_.clear();
+  // Present-path objects died with the context; forget the stale names.
+  present_program_ = 0;
+  present_texture_ = 0;
+  present_image_.reset();
+  present_image_buffer_ = 0;
+  scanout_.clear();
+  back_ = 0;
+  creator_ = kernel::kInvalidTid;
+  gles_version_ = 0;
+  width_ = 0;
+  height_ = 0;
+}
+
+Status UiWrapper::reinitialize(int gles_version, int width, int height) {
+  teardown();
+  return initialize(gles_version, width, height);
 }
 
 Status UiWrapper::make_current() {

@@ -39,6 +39,12 @@ class UiWrapper : public linker::LibraryInstance {
   // version, and makes it current on the calling thread.
   Status initialize(int gles_version, int width, int height);
 
+  // Warm-pool reuse path: tears down any previous layer/context state and
+  // initializes afresh (new dimensions, new creator thread). A no-op
+  // teardown on a never-initialized wrapper, so the bridge may call this
+  // unconditionally for both fresh and pooled replicas.
+  Status reinitialize(int gles_version, int width, int height);
+
   // Binds this replica's context (and back buffer) to the calling thread.
   // Enforces the Android affinity rule — iOS threads must impersonate.
   Status make_current();
@@ -75,6 +81,7 @@ class UiWrapper : public linker::LibraryInstance {
 
  private:
   Status ensure_present_program();
+  void teardown();
 
   glcore::GlesEngine* engine_ = nullptr;
   glcore::ContextId context_ = glcore::kNoContext;

@@ -1,6 +1,7 @@
 #include "core/diplomat.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace cycada::core {
@@ -63,9 +64,7 @@ DiplomatRegistry& DiplomatRegistry::instance() {
 
 DiplomatRegistry::DiplomatRegistry() {
   // Publish an empty table so readers never see null.
-  auto empty = std::make_unique<const DispatchTable>();
-  table_.store(empty.get(), std::memory_order_release);
-  tables_.push_back(std::move(empty));
+  table_.store(new DispatchTable(), std::memory_order_release);
 }
 
 void DiplomatRegistry::reset() {
@@ -88,13 +87,17 @@ DiplomatEntry& DiplomatRegistry::entry(std::string_view name,
       cache.entry->name == name) {
     return *cache.entry;
   }
-  const DispatchTable* table = table_.load(std::memory_order_acquire);
   DiplomatEntry* found = nullptr;
-  if (const DiplomatId id = table->find(name); id != kInvalidDiplomatId) {
-    found = table->entries[id];
-  } else {
-    found = &register_slow(name, pattern);
+  {
+    // Pin while probing the table: a concurrent registration may retire it.
+    // Entries themselves are immortal, so `found` stays valid past the pin.
+    util::EpochReclaimer::Guard guard;
+    const DispatchTable* table = table_.load(std::memory_order_acquire);
+    if (const DiplomatId id = table->find(name); id != kInvalidDiplomatId) {
+      found = table->entries[id];
+    }
   }
+  if (found == nullptr) found = &register_slow(name, pattern);
   if (found->pattern != pattern) {
     // Two call sites disagree on this function's classification; the first
     // registration wins, the checker reports the conflict. Deliberately not
@@ -128,10 +131,24 @@ DiplomatEntry& DiplomatRegistry::register_slow(std::string_view name,
   DiplomatEntry* raw = entry.get();
   owned_.push_back(std::move(entry));
 
+  // Slot the entry into the immortal by-id segment array before anything
+  // can observe its id; entry_by_id() is then valid for this id forever,
+  // with no epoch pin. Segments are never replaced or freed.
+  const std::size_t segment_index = raw->id >> kSegmentShift;
+  assert(segment_index < kMaxSegments && "diplomat id space exhausted");
+  IdSegment* segment = segments_[segment_index].load(std::memory_order_relaxed);
+  if (segment == nullptr) {
+    segment = new IdSegment();
+    segments_[segment_index].store(segment, std::memory_order_release);
+  }
+  segment->slots[raw->id & (kSegmentSize - 1)].store(
+      raw, std::memory_order_release);
+
   // Copy-and-publish: build the successor table (dense array, sorted name
   // index whose views point into the immortal entry names, hash index), then
-  // swap it in with a release store. Readers that loaded the old table keep
-  // using it — it is never freed, only retired into tables_.
+  // swap it in with a release store. Readers that loaded the old table under
+  // an epoch pin keep using it; the superseded table is retired to the
+  // EpochReclaimer and freed once those pins drain.
   auto next = std::make_unique<DispatchTable>();
   next->entries = live->entries;
   next->entries.push_back(raw);
@@ -158,8 +175,8 @@ DiplomatEntry& DiplomatRegistry::register_slow(std::string_view name,
     }
     next->buckets[bucket] = item->id;
   }
-  table_.store(next.get(), std::memory_order_release);
-  tables_.push_back(std::move(next));
+  table_.store(next.release(), std::memory_order_release);
+  util::EpochReclaimer::instance().retire(live);
   return *raw;
 }
 
@@ -174,8 +191,10 @@ void DiplomatRegistry::clear_stats() {
 
 std::vector<DiplomatSnapshot> DiplomatRegistry::snapshot() const {
   // Reads the immutable published table: safe against concurrent
-  // registration without the writer mutex. Iterates the name index so the
-  // output stays name-sorted like the std::map-based design.
+  // registration without the writer mutex, pinned against concurrent
+  // retirement. Iterates the name index so the output stays name-sorted
+  // like the std::map-based design.
+  util::EpochReclaimer::Guard guard;
   const DispatchTable* table = table_.load(std::memory_order_acquire);
   std::vector<DiplomatSnapshot> out;
   out.reserve(table->entries.size());

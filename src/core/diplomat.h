@@ -16,6 +16,7 @@
 // statistics (the data behind Tables 2 and Figures 7-10).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -30,6 +31,7 @@
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/clock.h"
+#include "util/epoch.h"
 #include "util/lock_order.h"
 
 namespace cycada::core {
@@ -133,8 +135,10 @@ struct DiplomatSnapshot {
 // DiplomatId once; `index` maps interned names (string_views into the
 // entries' own immortal name strings) to ids, sorted for ordered iteration,
 // while `buckets` hashes the same names for O(1) lookup.
-// A published table is never modified or freed: writers copy-and-publish a
-// successor, readers hold a plain pointer for as long as they like.
+// A published table is never modified; a superseded table is epoch-retired
+// (util/epoch.h), so readers must pin an EpochReclaimer::Guard while they
+// dereference one. The wait-free by-id dispatch path does not read tables
+// at all — it indexes the registry's immortal segment array.
 struct DispatchTable {
   std::vector<DiplomatEntry*> entries;
   // Name-sorted view for ordered iteration (snapshot output, docs).
@@ -160,14 +164,21 @@ class DiplomatRegistry {
 
   // Resolve-once half of the fast-path protocol: returns the dense id for
   // `name` (registering it if needed); hot callers store the id and index
-  // the current snapshot per call via entry_by_id(), which is wait-free.
+  // the immortal segment array per call via entry_by_id(), which stays
+  // wait-free and needs no epoch pin (only *tables* are reclaimed; entries
+  // and segments live forever, like the step-1 symbol cache they back).
   DiplomatId resolve(std::string_view name, DiplomatPattern pattern);
   DiplomatEntry& entry_by_id(DiplomatId id) const {
-    return *table_.load(std::memory_order_acquire)->entries[id];
+    const IdSegment* segment =
+        segments_[id >> kSegmentShift].load(std::memory_order_acquire);
+    return *segment->slots[id & (kSegmentSize - 1)].load(
+        std::memory_order_acquire);
   }
 
-  // The current published snapshot. Valid forever (tables are retired, not
-  // destroyed), but grows stale as soon as a writer publishes a successor.
+  // The current published snapshot. The caller must hold a
+  // util::EpochReclaimer::Guard for as long as it uses the reference:
+  // superseded tables are retired to the reclaimer and freed once every
+  // pinned epoch drains past them.
   const DispatchTable& table() const {
     return *table_.load(std::memory_order_acquire);
   }
@@ -185,16 +196,27 @@ class DiplomatRegistry {
   // copy-and-publish; see docs/DISPATCH.md for the ordering contract).
   DiplomatEntry& register_slow(std::string_view name, DiplomatPattern pattern);
 
+  // By-id dispatch storage: a two-level array of immortal segments, grown
+  // (never moved) under the writer mutex. Two dependent acquire loads per
+  // dispatch keep entry_by_id wait-free without pinning an epoch.
+  static constexpr std::size_t kSegmentShift = 8;
+  static constexpr std::size_t kSegmentSize = std::size_t{1} << kSegmentShift;
+  static constexpr std::size_t kMaxSegments = 64;  // 16384 diplomats
+  struct IdSegment {
+    std::array<std::atomic<DiplomatEntry*>, kSegmentSize> slots{};
+  };
+
   // Writer-side only: serializes registration and stats resets. The read
   // path never touches it — the Table 3 microbench asserts zero
   // kDiplomatRegistry acquisitions during steady-state dispatch.
   mutable util::OrderedMutex writer_mutex_{util::LockLevel::kDiplomatRegistry,
                                            "core.diplomat_registry"};
   std::atomic<const DispatchTable*> table_{nullptr};
-  // Entry storage and every table ever published. Both are append-only and
-  // immortal (call sites cache raw pointers/ids), guarded by writer_mutex_.
+  std::array<std::atomic<IdSegment*>, kMaxSegments> segments_{};
+  // Entry storage: append-only and immortal (call sites cache raw
+  // pointers/ids), guarded by writer_mutex_. Superseded DispatchTables, by
+  // contrast, go to the EpochReclaimer in register_slow().
   std::vector<std::unique_ptr<DiplomatEntry>> owned_;
-  std::vector<std::unique_ptr<const DispatchTable>> tables_;
   std::atomic<bool> profiling_{false};
 };
 
@@ -229,9 +251,14 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
 
   // Steps 3-5: arguments live in `domestic`'s closure (the stack); switch
   // the kernel ABI personality and TLS pointer to the domestic persona.
+  // Resilient variant: a transiently failing set_persona (the
+  // kernel.set_persona fault point) is retried and finally forced, so the
+  // domestic function always runs under the Android ABI and the contract
+  // counters below stay balanced even under injection.
   kernel::Kernel& kernel = kernel::Kernel::instance();
   const kernel::Persona caller_persona = kernel.current_thread().persona();
-  kernel::sys_set_persona(kernel::Persona::kAndroid);
+  kernel::sys_set_persona_resilient(kernel::Persona::kAndroid,
+                                    "degrade.diplomat_enter_forced");
 
   long domestic_errno = 0;
   const auto finish = [&] {
@@ -241,9 +268,12 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
       entry.contract.unbalanced_persona.fetch_add(1,
                                                   std::memory_order_relaxed);
     }
-    // Capture domestic TLS state, then switch back (steps 7-9).
+    // Capture domestic TLS state, then switch back (steps 7-9). The
+    // restore must never fail outright — a leaked Android persona on an
+    // iOS thread corrupts every later syscall — so it, too, is resilient.
     domestic_errno = kernel::libc::get_errno();
-    kernel::sys_set_persona(caller_persona);
+    kernel::sys_set_persona_resilient(caller_persona,
+                                      "degrade.diplomat_restore_forced");
     if (caller_persona == kernel::Persona::kIos) {
       kernel::libc::set_errno(detail::errno_linux_to_darwin(domestic_errno));
     }

@@ -1,5 +1,7 @@
 #include "gmem/graphic_buffer.h"
 
+#include "util/faultpoint.h"
+
 namespace cycada::gmem {
 
 namespace {
@@ -81,6 +83,13 @@ StatusOr<std::shared_ptr<GraphicBuffer>> GrallocAllocator::allocate(
   }
   if (usage == 0) {
     return Status::invalid_argument("buffer needs at least one usage flag");
+  }
+  // Probed after argument validation: an injected fault models gralloc
+  // running out of graphic memory for a well-formed request.
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("gmem.allocate");
+  if (fault.should_fail()) {
+    return Status::resource_exhausted("injected fault: gmem.allocate");
   }
   std::lock_guard lock(mutex_);
   const BufferId id = next_id_++;

@@ -96,6 +96,7 @@ bool EAGLContext::set_current_context(Ref context) {
   // Creator threads bind eagerly; other threads receive the context's TLS
   // binding via aegl_bridge_set_tls (the TLS migration of paper §8.1.1 —
   // per-GLES-call impersonation still re-migrates around each call).
+  auto serial = eglbridge::degraded_serial_lock(context->degraded());
   if (kernel::sys_gettid() == context->creator_tid_) {
     return eglbridge::aegl_bridge_make_current(context->connection_.wrapper)
         .is_ok();
@@ -146,6 +147,7 @@ Status EAGLContext::renderbuffer_storage_from_drawable(
     CYCADA_RETURN_IF_ERROR(apple_engine()->renderbuffer_storage_from_buffer(
         renderbuffer, drawable.owned));
   } else {
+    auto serial = eglbridge::degraded_serial_lock(degraded());
     auto buffer = eglbridge::aegl_bridge_create_drawable(
         connection_.wrapper, layer.width, layer.height);
     CYCADA_RETURN_IF_ERROR(buffer.status());
@@ -186,6 +188,7 @@ Status EAGLContext::present_renderbuffer(glcore::GLuint renderbuffer) {
     }
     return Status::ok();
   }
+  auto serial = eglbridge::degraded_serial_lock(degraded());
   CYCADA_RETURN_IF_ERROR(eglbridge::aegl_bridge_draw_fbo_tex(
       connection_.wrapper, it->second.buffer));
   return eglbridge::egl_swap_buffers(connection_.wrapper);
@@ -213,6 +216,7 @@ Status EAGLContext::tex_image_io_surface(
       eagl_entry("aegl_bridge_tex_image_iosurface",
                  core::DiplomatPattern::kMulti);
   android_gl::UiWrapper* wrapper = connection_.wrapper;
+  auto serial = eglbridge::degraded_serial_lock(degraded());
   return core::diplomat_call(entry, eglbridge::graphics_hooks(), [&] {
     return iosurface::LinuxCoreSurface::instance().bind_gles_texture(
         surface, wrapper, texture);

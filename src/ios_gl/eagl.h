@@ -86,6 +86,10 @@ class EAGLContext {
 
   // --- Cycada internals (not part of the Apple API) -----------------------
   android_gl::UiWrapper* wrapper() const { return connection_.wrapper; }
+  // True when replica creation failed past all retries and this context
+  // runs on the shared fallback connection (GL work serialized, see
+  // eglbridge::degraded_serial_lock).
+  bool degraded() const { return connection_.degraded; }
   kernel::Tid creator_tid() const { return creator_tid_; }
   // The engine GL calls land in (replica engine on Cycada, Apple engine on
   // native iOS).

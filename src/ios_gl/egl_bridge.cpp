@@ -2,6 +2,10 @@
 
 #include "core/diplomat.h"
 #include "core/impersonation.h"
+#include "glcore/context.h"
+#include "trace/metrics.h"
+#include "util/faultpoint.h"
+#include "util/retry.h"
 
 namespace cycada::ios_gl::eglbridge {
 
@@ -11,6 +15,17 @@ core::DiplomatEntry& bridge_entry(std::string_view name) {
                                                   core::DiplomatPattern::kMulti);
 }
 }  // namespace
+
+std::unique_lock<util::OrderedMutex> degraded_serial_lock(bool degraded) {
+  // kDegradedEgl is the lowest lock level: it is taken before any bridge
+  // work, so everything the serialized section acquires nests above it.
+  static util::OrderedMutex* mutex = new util::OrderedMutex(
+      util::LockLevel::kDegradedEgl, "ios_gl.degraded-egl");
+  if (!degraded) {
+    return std::unique_lock<util::OrderedMutex>(*mutex, std::defer_lock);
+  }
+  return std::unique_lock<util::OrderedMutex>(*mutex);
+}
 
 core::DiplomatHooks graphics_hooks() {
   core::DiplomatHooks hooks;
@@ -32,15 +47,52 @@ StatusOr<BridgeConnection> aegl_bridge_init(int gles_version, int width,
         if (egl == nullptr || egl->eglInitialize() != android_gl::EGL_TRUE) {
           return Status::internal("EGL initialization failed");
         }
-        const int connection_id = egl->eglReInitializeMC();
-        if (connection_id <= 0) {
-          return Status::internal("eglReInitializeMC failed");
+        // Rungs 1-2 of the degradation ladder: a fresh (or warm-pooled)
+        // replica, retried with backoff since injected and transient
+        // failures are expected to clear.
+        StatusOr<BridgeConnection> attempt = util::retry_with_backoff(
+            3, [&]() -> StatusOr<BridgeConnection> {
+              const int connection_id = egl->eglReInitializeMC();
+              if (connection_id <= 0) {
+                return Status::resource_exhausted("eglReInitializeMC failed");
+              }
+              android_gl::UiWrapper* wrapper =
+                  egl->connection_by_id(connection_id)->ui_wrapper;
+              const Status init =
+                  wrapper->reinitialize(gles_version, width, height);
+              if (!init.is_ok()) {
+                // Park the half-built replica back in the pool machinery
+                // before the next attempt (reuse tears it down again).
+                (void)egl->eglReleaseMC(connection_id);
+                return init;
+              }
+              return BridgeConnection{connection_id, wrapper, false};
+            });
+        if (attempt.is_ok()) return attempt;
+        // Rung 3: the refcounted shared connection. Degraded but alive —
+        // and deliberately outside fault injection: the last rung of the
+        // ladder must not itself be injectable.
+        util::FaultSuppressionScope no_faults;
+        android_gl::EglConnection* shared = egl->eglAcquireSharedMC();
+        if (shared == nullptr) return attempt.status();
+        android_gl::UiWrapper* wrapper = shared->ui_wrapper;
+        std::unique_lock<util::OrderedMutex> serial = degraded_serial_lock(true);
+        // The first degraded context initializes the shared layer; later
+        // ones reuse it (their GL work is serialized through the same lock).
+        const Status init =
+            wrapper->context_id() == glcore::kNoContext
+                ? wrapper->initialize(gles_version, width, height)
+                : wrapper->make_current();
+        if (!init.is_ok()) {
+          serial.unlock();
+          (void)egl->eglReleaseSharedMC();
+          return init;
         }
-        android_gl::UiWrapper* wrapper =
-            egl->connection_by_id(connection_id)->ui_wrapper;
-        CYCADA_RETURN_IF_ERROR(
-            wrapper->initialize(gles_version, width, height));
-        return BridgeConnection{connection_id, wrapper};
+        static trace::Counter& fallbacks =
+            trace::MetricsRegistry::instance().counter(
+                "degrade.shared_fallback");
+        fallbacks.add();
+        return BridgeConnection{shared->id, wrapper, true};
       });
 }
 
@@ -49,15 +101,30 @@ Status aegl_bridge_destroy(const BridgeConnection& connection) {
   return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
     android_gl::AndroidEgl* egl = android_gl::open_android_egl();
     if (egl == nullptr) return Status::internal("no EGL wrapper");
-    // Clear this thread's binding if it points into the replica; the
-    // replica itself stays resident until its connection is dropped (the
-    // wrapper pins its library handle).
+    // Clear this thread's binding if it points into the connection.
     if (egl->current_connection() != nullptr &&
         egl->current_connection()->id == connection.connection_id) {
       (void)egl->eglSwitchMC(0);
     }
-    return connection.wrapper != nullptr ? connection.wrapper->clear_current()
-                                         : Status::ok();
+    if (connection.degraded) {
+      // Shared connection: the context was only ever a reference on it.
+      std::unique_lock<util::OrderedMutex> serial = degraded_serial_lock(true);
+      if (connection.wrapper != nullptr) {
+        (void)connection.wrapper->clear_current();
+      }
+      serial.unlock();
+      return egl->eglReleaseSharedMC() == android_gl::EGL_TRUE
+                 ? Status::ok()
+                 : Status::internal("eglReleaseSharedMC failed");
+    }
+    if (connection.wrapper != nullptr) {
+      (void)connection.wrapper->clear_current();
+    }
+    // The replica returns to the warm pool (or is evicted, LRU) instead of
+    // staying resident forever — the bounded-memory half of this ladder.
+    return egl->eglReleaseMC(connection.connection_id) == android_gl::EGL_TRUE
+               ? Status::ok()
+               : Status::internal("eglReleaseMC failed");
   });
 }
 

@@ -5,9 +5,12 @@
 // names that appear in the paper's Figure 7-10 profiles.
 #pragma once
 
+#include <mutex>
+
 #include "android_gl/egl.h"
 #include "android_gl/ui_wrapper.h"
 #include "core/diplomat.h"
+#include "util/lock_order.h"
 #include "util/status.h"
 
 namespace cycada::ios_gl::eglbridge {
@@ -15,14 +18,29 @@ namespace cycada::ios_gl::eglbridge {
 struct BridgeConnection {
   int connection_id = 0;
   android_gl::UiWrapper* wrapper = nullptr;
+  // True when this context lost the replica lottery and runs on the shared
+  // fallback connection: still correct, but its GL work is serialized
+  // through degraded_serial_lock().
+  bool degraded = false;
 };
 
-// Creates a fresh vendor-stack replica (dlforce via eglReInitializeMC) and
-// initializes its layer + GLES context. The EAGLContext constructor's
-// diplomat.
+// Serializes every degraded context's GL work: they all share one vendor
+// context, so only one may touch it at a time. Returns a locked lock when
+// `degraded`, an unlocked (defer_lock) one otherwise — callers hold the
+// result for the duration of the bridge call either way.
+std::unique_lock<util::OrderedMutex> degraded_serial_lock(bool degraded);
+
+// Creates a fresh vendor-stack replica (dlforce via eglReInitializeMC,
+// warm-pool reuse when available) and initializes its layer + GLES context.
+// Replica creation is retried with backoff; when every attempt fails —
+// injected dlforce faults, replica-pool exhaustion — the call degrades to
+// the refcounted shared connection instead of failing, marking the result
+// `degraded`. The EAGLContext constructor's diplomat.
 StatusOr<BridgeConnection> aegl_bridge_init(int gles_version, int width,
                                             int height);
-// Tears the replica down (EAGLContext dealloc).
+// Tears the connection down (EAGLContext dealloc): replicas return to the
+// EGL warm pool (or are evicted, LRU), degraded connections drop their
+// shared-connection reference.
 Status aegl_bridge_destroy(const BridgeConnection& connection);
 
 // Binds the replica's context to the calling thread (creator-affinity

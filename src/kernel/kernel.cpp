@@ -5,6 +5,7 @@
 
 #include "trace/metrics.h"
 #include "trace/trace.h"
+#include "util/faultpoint.h"
 #include "util/log.h"
 
 namespace cycada::kernel {
@@ -102,6 +103,18 @@ ThreadState* Kernel::find_thread(Tid tid) {
   return it == threads_.end() ? nullptr : it->second.get();
 }
 
+std::vector<Tid> Kernel::registered_tids() const {
+  std::lock_guard lock(registry_mutex_);
+  std::vector<Tid> tids;
+  tids.reserve(threads_.size());
+  for (const auto& [tid, state] : threads_) tids.push_back(tid);
+  return tids;
+}
+
+void Kernel::set_persona_direct(Persona persona) {
+  current_thread().persona_ = persona;
+}
+
 std::int32_t Kernel::translate_foreign_sysno(std::int32_t foreign) const {
   auto it = std::lower_bound(
       foreign_sysno_table_.begin(), foreign_sysno_table_.end(),
@@ -194,6 +207,11 @@ long Kernel::dispatch(ThreadState& thread, std::int32_t native_sysno,
     case Sys::kSetPersona: {
       const auto persona = args.reg[0];
       if (persona >= kNumPersonas) return kErrInval;
+      // Probed after validation so an injected fault models a transient
+      // kernel-side failure of a well-formed crossing, not a bad argument.
+      static util::FaultPoint& fault =
+          util::FaultRegistry::instance().point("kernel.set_persona");
+      if (fault.should_fail()) return kErrAgain;
       thread.persona_ = static_cast<Persona>(persona);
       return 0;
     }
@@ -402,14 +420,31 @@ long sys_propagate_tls(Tid tid, Persona persona, const TlsKey* keys,
   return Kernel::instance().syscall(Sys::kPropagateTls, args);
 }
 
+// Bounded retry for persona crossings; on exhaustion the switch is forced
+// through the non-injectable direct path so a fault can never strand a
+// thread in the wrong persona (or leak a crossing on the restore side).
+bool sys_set_persona_resilient(Persona target, const char* degrade_counter) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) std::this_thread::yield();
+    if (sys_set_persona(target) == 0) return true;
+  }
+  Kernel::instance().set_persona_direct(target);
+  trace::MetricsRegistry::instance().counter(degrade_counter).add();
+  return false;
+}
+
 ScopedPersona::ScopedPersona(Persona target)
     : previous_(Kernel::instance().current_thread().persona()),
       switched_(previous_ != target) {
-  if (switched_) sys_set_persona(target);
+  if (switched_) {
+    sys_set_persona_resilient(target, "degrade.persona_forced_enter");
+  }
 }
 
 ScopedPersona::~ScopedPersona() {
-  if (switched_) sys_set_persona(previous_);
+  if (switched_) {
+    sys_set_persona_resilient(previous_, "degrade.persona_forced_restore");
+  }
 }
 
 }  // namespace cycada::kernel

@@ -65,6 +65,10 @@ class ThreadState {
   Tid tid() const { return tid_; }
   Tid tgid() const { return tgid_; }
   Persona persona() const { return persona_; }
+  // The persona the thread registered with. A quiescent thread whose
+  // current persona differs has leaked a crossing somewhere (the
+  // fault-safety analyzer checks exactly this).
+  Persona initial_persona() const { return initial_persona_; }
   // The identity the thread presents to libraries; differs from tid() while
   // the thread impersonates another thread.
   Tid effective_tid() const { return effective_tid_; }
@@ -83,6 +87,7 @@ class ThreadState {
   const Tid tid_;
   const Tid tgid_;
   Persona persona_;
+  const Persona initial_persona_ = persona_;
   Tid effective_tid_;
   std::array<long, kNumPersonas> errno_{};
   std::array<TlsArea, kNumPersonas> tls_;
@@ -111,6 +116,8 @@ class Kernel {
   ThreadState& register_current_thread(Persona initial);
   // Looks up a thread by kernel tid; nullptr when unknown.
   ThreadState* find_thread(Tid tid);
+  // Tids of every registered thread (for quiescent-point audits).
+  std::vector<Tid> registered_tids() const;
   // The process "main" thread (thread-group leader) tid.
   Tid main_tid() const { return main_tid_.load(); }
 
@@ -124,6 +131,12 @@ class Kernel {
   // persona (so callers pay the authentic foreign-translation cost when in
   // the iOS persona).
   long syscall(Sys sys, const SyscallArgs& args = {});
+
+  // Last-resort persona restore that bypasses the trap path (and therefore
+  // the kernel.set_persona fault point). Recovery code uses this after
+  // bounded retries so an injected fault can never leave a thread stuck in
+  // the wrong persona; normal crossings must go through sys_set_persona.
+  void set_persona_direct(Persona persona);
 
   // --- TLS keys (shared by both personas' libc, as in Cycada) -----------
   StatusOr<TlsKey> tls_key_create();
@@ -181,6 +194,11 @@ class Kernel {
 long sys_null();
 Tid sys_gettid();
 long sys_set_persona(Persona persona);
+// Bounded-retry persona switch for recovery paths: retries the syscall a
+// few times (yield between attempts), then forces the crossing through
+// Kernel::set_persona_direct and bumps `degrade_counter`. Returns true when
+// the plain syscall path succeeded without forcing.
+bool sys_set_persona_resilient(Persona persona, const char* degrade_counter);
 // Sets (or clears, with kInvalidTid) the caller's effective tid.
 long sys_impersonate(Tid target);
 // Reads `count` TLS values of (`tid`, `persona`) into `values`.

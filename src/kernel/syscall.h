@@ -49,5 +49,6 @@ inline constexpr long kErrInval = -22;   // EINVAL
 inline constexpr long kErrSrch = -3;     // ESRCH
 inline constexpr long kErrNoSys = -38;   // ENOSYS
 inline constexpr long kErrPerm = -1;     // EPERM
+inline constexpr long kErrAgain = -11;   // EAGAIN (injected transient failure)
 
 }  // namespace cycada::kernel

@@ -5,6 +5,7 @@
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/clock.h"
+#include "util/faultpoint.h"
 #include "util/log.h"
 
 namespace cycada::linker {
@@ -22,11 +23,11 @@ Linker& Linker::instance() {
 }
 
 Linker::Linker() {
-  view_.store(std::make_shared<const LinkerView>(), std::memory_order_release);
+  view_.store(new LinkerView(), std::memory_order_release);
 }
 
 void Linker::publish_locked() {
-  auto next = std::make_shared<LinkerView>();
+  auto next = std::make_unique<LinkerView>();
   for (const auto& [name, image] : images_) {
     next->images.emplace(name, image.replica_aware);
   }
@@ -35,7 +36,12 @@ void Linker::publish_locked() {
   }
   next->load_counts = load_counts_;
   next->replica_bypasses = replica_bypasses_;
-  view_.store(std::move(next), std::memory_order_release);
+  // Publish first, retire second: a reader that pinned its epoch before
+  // this store may still be walking the old view, and the reclaimer will
+  // not free it until that pin drains (util/epoch.h).
+  const LinkerView* old = view_.load(std::memory_order_relaxed);
+  view_.store(next.release(), std::memory_order_release);
+  if (old != nullptr) util::EpochReclaimer::instance().retire(old);
 }
 
 void Linker::reset() {
@@ -61,19 +67,26 @@ Status Linker::register_image(LibraryImage image) {
 }
 
 bool Linker::has_image(std::string_view name) const {
-  auto snapshot = view();
+  util::EpochReclaimer::Guard guard;
+  const LinkerView* snapshot = view();
   return snapshot->images.find(name) != snapshot->images.end();
 }
 
 StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
   TRACE_SCOPE("linker", "dlopen");
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("linker.dlopen");
+  if (fault.should_fail()) {
+    return Status::resource_exhausted("injected fault: linker.dlopen");
+  }
   // Lock-free fast path: the copy is already shared in `ns` and no bypass
   // event needs recording. Re-opens of resident libraries on the GL call
   // path (open_android_egl and friends) land here without the linker mutex.
   // If the weak reference expired — the copy is being unloaded — fall
   // through to the locked path, which sees the authoritative table.
   {
-    auto snapshot = view();
+    util::EpochReclaimer::Guard guard;
+    const LinkerView* snapshot = view();
     auto it = snapshot->loaded.find(
         std::pair<NamespaceId, std::string_view>(ns, name));
     if (it != snapshot->loaded.end()) {
@@ -115,8 +128,24 @@ StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
   return result;
 }
 
+StatusOr<Handle> Linker::dlopen_shared_fallback(std::string_view name) {
+  TRACE_SCOPE("linker", "dlopen_shared_fallback");
+  static trace::Counter& shared_opens =
+      trace::MetricsRegistry::instance().counter("degrade.linker_shared_open");
+  std::lock_guard lock(mutex_);
+  auto result = load_locked(name, kGlobalNamespace);
+  publish_locked();
+  if (result.is_ok()) shared_opens.add();
+  return result;
+}
+
 StatusOr<Handle> Linker::dlforce(std::string_view name) {
   TRACE_SCOPE("linker", "dlforce");
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("linker.dlforce");
+  if (fault.should_fail()) {
+    return Status::resource_exhausted("injected fault: linker.dlforce");
+  }
   static trace::Counter& replicas =
       trace::MetricsRegistry::instance().counter("linker.replica_loads");
   static trace::Histogram& load_ns =
@@ -214,10 +243,16 @@ Status Linker::dlclose(Handle handle) {
   // its exact pre-snapshot meaning.
   const auto key = std::make_pair(handle->namespace_id(), handle->name());
   auto it = loaded_.find(key);
+  if (it == loaded_.end() || it->second.get() != handle.get()) {
+    // Unknown or stale handle: its (namespace, name) slot is gone or has
+    // been reloaded with a different copy. Silently accepting it would
+    // let a double dlclose unload the new copy out from under its users.
+    return Status::not_found("dlclose: stale handle for " + handle->name());
+  }
   // Drop the caller's reference; if only the registry still holds the copy,
   // unload it (and transitively, any dependencies nothing else references).
   handle.reset();
-  if (it != loaded_.end() && it->second.use_count() == 1) {
+  if (it->second.use_count() == 1) {
     // Collect the tree before erasing the root so dependency registry
     // entries can be dropped too once orphaned.
     std::vector<std::pair<NamespaceId, std::string>> candidates;
@@ -241,13 +276,15 @@ Status Linker::dlclose(Handle handle) {
 }
 
 int Linker::load_count(std::string_view name) const {
-  auto snapshot = view();
+  util::EpochReclaimer::Guard guard;
+  const LinkerView* snapshot = view();
   auto it = snapshot->load_counts.find(name);
   return it == snapshot->load_counts.end() ? 0 : it->second;
 }
 
 std::vector<Linker::LoadedCopy> Linker::loaded_copies() const {
-  auto snapshot = view();
+  util::EpochReclaimer::Guard guard;
+  const LinkerView* snapshot = view();
   std::vector<LoadedCopy> out;
   out.reserve(snapshot->loaded.size());
   for (const auto& [key, weak] : snapshot->loaded) {
@@ -259,11 +296,13 @@ std::vector<Linker::LoadedCopy> Linker::loaded_copies() const {
 }
 
 std::vector<std::string> Linker::replica_bypass_events() const {
+  util::EpochReclaimer::Guard guard;
   return view()->replica_bypasses;
 }
 
 int Linker::live_copy_count(std::string_view name) const {
-  auto snapshot = view();
+  util::EpochReclaimer::Guard guard;
+  const LinkerView* snapshot = view();
   int count = 0;
   for (const auto& [key, weak] : snapshot->loaded) {
     if (key.second == name && !weak.expired()) ++count;

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/epoch.h"
 #include "util/lock_order.h"
 #include "util/status.h"
 
@@ -88,10 +89,14 @@ struct LibraryImage {
 // tests; user code normally holds only Handle.
 class LoadedLibrary {
  public:
+  // The name is copied out of the image: a Handle can outlive the image
+  // registry entry it was loaded from (Linker::reset unregisters images
+  // while stale handles may still be held), and dlclose must be able to
+  // name a stale handle without touching freed registry memory.
   LoadedLibrary(const LibraryImage* image, NamespaceId ns)
-      : image_(image), ns_(ns) {}
+      : name_(image->name), ns_(ns) {}
 
-  const std::string& name() const { return image_->name; }
+  const std::string& name() const { return name_; }
   NamespaceId namespace_id() const { return ns_; }
   LibraryInstance* instance() { return instance_.get(); }
   const std::vector<std::shared_ptr<LoadedLibrary>>& deps() const {
@@ -102,7 +107,7 @@ class LoadedLibrary {
   friend class Linker;
   friend class LoadContext;
 
-  const LibraryImage* image_;
+  std::string name_;
   NamespaceId ns_;
   std::unique_ptr<LibraryInstance> instance_;
   std::vector<std::shared_ptr<LoadedLibrary>> deps_;
@@ -157,6 +162,15 @@ class Linker {
   StatusOr<Handle> dlopen(std::string_view name,
                           NamespaceId ns = kGlobalNamespace);
 
+  // Degraded-mode load into the global namespace (docs/ROBUSTNESS.md):
+  // used when replica creation has exhausted its retries and the EGL layer
+  // deliberately falls back to one shared vendor stack. Skips both the
+  // linker.dlopen fault point (the fallback must not itself be injectable
+  // — it is the floor of the degradation ladder) and the replica-bypass
+  // audit (the sharing is intentional and separately serialized), and
+  // counts degrade.linker_shared_open instead.
+  StatusOr<Handle> dlopen_shared_fallback(std::string_view name);
+
   // DLR load (paper §8.1): loads `name` and its whole dependency closure
   // into a brand-new namespace as if nothing had ever been loaded. Returns
   // the replica root; dlsym/dlopen against it stay inside the replica tree.
@@ -167,7 +181,11 @@ class Linker {
   void* dlsym(const Handle& handle, std::string_view symbol);
 
   // Drops one reference; the copy (and, for replica roots, the whole tree)
-  // is destroyed when the last reference goes away.
+  // is destroyed when the last reference goes away. A handle that is not
+  // the currently loaded copy of its (namespace, name) — already fully
+  // closed, or stale after the slot was reloaded — returns NOT_FOUND and
+  // touches nothing, so a double dlclose can never unload a copy that
+  // other callers still share.
   Status dlclose(Handle handle);
 
   // Introspection for tests and the DESIGN.md invariants.
@@ -188,13 +206,16 @@ class Linker {
   // load path. Cleared by reset().
   std::vector<std::string> replica_bypass_events() const;
 
-  // The current published snapshot (never null after construction).
-  std::shared_ptr<const LinkerView> view() const {
-    return view_.load(std::memory_order_acquire);
-  }
-
  private:
   Linker();
+
+  // The current published snapshot (never null after construction). The
+  // caller must hold a util::EpochReclaimer::Guard for as long as it
+  // dereferences the view: superseded views are epoch-retired, not
+  // immortal, so an unguarded pointer can be freed under the reader.
+  const LinkerView* view() const {
+    return view_.load(std::memory_order_acquire);
+  }
 
   StatusOr<std::shared_ptr<LoadedLibrary>> load_locked(std::string_view name,
                                                        NamespaceId ns);
@@ -203,7 +224,9 @@ class Linker {
 
   mutable util::OrderedRecursiveMutex mutex_{util::LockLevel::kLinker,
                                              "linker"};
-  std::atomic<std::shared_ptr<const LinkerView>> view_;
+  // Raw atomic pointer (genuinely lock-free, unlike atomic<shared_ptr>);
+  // old snapshots are handed to the EpochReclaimer by publish_locked().
+  std::atomic<const LinkerView*> view_{nullptr};
   std::map<std::string, LibraryImage, std::less<>> images_;
   // (namespace, name) -> loaded copy shared within that namespace.
   std::map<std::pair<NamespaceId, std::string>,

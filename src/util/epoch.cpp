@@ -1,0 +1,147 @@
+#include "util/epoch.h"
+
+#include "trace/metrics.h"
+
+namespace cycada::util {
+
+namespace {
+
+// Per-thread pin state. The slot pointer survives for the thread's
+// lifetime; the destructor hands the slot back so thread churn does not
+// exhaust the fixed array (the slot's epoch is 0 whenever no Guard is
+// live, so a handed-back slot is immediately reusable).
+struct ThreadPin {
+  void* slot = nullptr;
+  std::atomic<const void*>* owner = nullptr;
+  bool overflow = false;
+  int depth = 0;
+  ~ThreadPin() {
+    if (owner != nullptr) owner->store(nullptr, std::memory_order_release);
+  }
+};
+thread_local ThreadPin t_pin;
+
+}  // namespace
+
+EpochReclaimer& EpochReclaimer::instance() {
+  static EpochReclaimer* reclaimer = new EpochReclaimer();
+  return *reclaimer;
+}
+
+EpochReclaimer::PinSlot* EpochReclaimer::acquire_slot() {
+  if (t_pin.slot != nullptr) return static_cast<PinSlot*>(t_pin.slot);
+  if (t_pin.overflow) return nullptr;
+  for (PinSlot& slot : slots_) {
+    const void* expected = nullptr;
+    if (slot.owner.compare_exchange_strong(expected, &t_pin,
+                                           std::memory_order_acq_rel)) {
+      t_pin.slot = &slot;
+      t_pin.owner = &slot.owner;
+      return &slot;
+    }
+  }
+  t_pin.overflow = true;
+  return nullptr;
+}
+
+void EpochReclaimer::pin() {
+  PinSlot* slot = acquire_slot();
+  if (slot == nullptr) {
+    // Slot table full: count the pin globally. try_reclaim() refuses to
+    // free anything while any overflow pin is live — safe, just slower.
+    overflow_pins_.fetch_add(1, std::memory_order_seq_cst);
+    return;
+  }
+  // Publish-then-confirm: store the observed epoch, fence, and re-read. If
+  // the global epoch moved we re-publish, so by the time pin() returns the
+  // slot holds an epoch no older than any retirement stamp a concurrent
+  // writer could have taken without seeing our pin.
+  std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    slot->epoch.store(epoch, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == epoch) break;
+    epoch = now;
+  }
+}
+
+void EpochReclaimer::unpin() {
+  if (t_pin.slot != nullptr) {
+    static_cast<PinSlot*>(t_pin.slot)
+        ->epoch.store(0, std::memory_order_release);
+    return;
+  }
+  overflow_pins_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+EpochReclaimer::Guard::Guard() {
+  if (t_pin.depth++ == 0) EpochReclaimer::instance().pin();
+}
+
+EpochReclaimer::Guard::~Guard() {
+  if (--t_pin.depth == 0) EpochReclaimer::instance().unpin();
+}
+
+void EpochReclaimer::retire(void* ptr, void (*deleter)(void*)) {
+  const std::uint64_t stamp =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::size_t pending;
+  {
+    std::lock_guard lock(mutex_);
+    retired_.push_back({ptr, deleter, stamp});
+    pending = retired_.size();
+    retired_count_.store(pending, std::memory_order_relaxed);
+  }
+  trace::MetricsRegistry::instance()
+      .counter("epoch.retired")
+      .add();
+  if (pending >= kReclaimThreshold) (void)try_reclaim();
+}
+
+std::size_t EpochReclaimer::try_reclaim() {
+  if (overflow_pins_.load(std::memory_order_seq_cst) != 0) return 0;
+  // Any reader that pins after this load observes an epoch >= `floor`, so
+  // items stamped strictly below the minimum pinned epoch are unreachable.
+  std::uint64_t floor = global_epoch_.load(std::memory_order_seq_cst);
+  for (const PinSlot& slot : slots_) {
+    const std::uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < floor) floor = pinned;
+  }
+
+  std::vector<RetiredItem> ready;
+  {
+    std::lock_guard lock(mutex_);
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->stamp < floor) {
+        ready.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+  for (const RetiredItem& item : ready) item.deleter(item.ptr);
+  if (!ready.empty()) {
+    reclaimed_total_.fetch_add(ready.size(), std::memory_order_relaxed);
+    trace::MetricsRegistry::instance()
+        .counter("epoch.reclaimed")
+        .add(ready.size());
+  }
+  return ready.size();
+}
+
+std::size_t EpochReclaimer::retired_count() const {
+  return retired_count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EpochReclaimer::reclaimed_total() const {
+  return reclaimed_total_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EpochReclaimer::epoch() const {
+  return global_epoch_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cycada::util

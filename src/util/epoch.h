@@ -1,0 +1,94 @@
+// Epoch-based reclamation for the copy-and-publish snapshots the lock-free
+// dispatch rework (docs/DISPATCH.md) used to keep immortal: retired
+// DispatchTables and old LinkerViews.
+//
+// Readers wrap snapshot access in an EpochReclaimer::Guard, which pins the
+// global epoch in a per-thread slot. Writers retire an old snapshot with the
+// epoch current at retirement; a retired object is freed only once every
+// pinned epoch has advanced past its retirement stamp, so a reader that
+// loaded the old pointer under its guard can never see it freed. With no
+// guard held the read path is unchanged — pinning costs two fenced stores
+// and is only required around snapshot *traversal*, not the wait-free
+// entry_by_id dispatch path (which reads immortal entries, not tables).
+//
+// Slots are a fixed array; threads past the capacity fall back to a shared
+// overflow count that blocks reclamation entirely while nonzero —
+// conservative, never unsafe.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/lock_order.h"
+
+namespace cycada::util {
+
+class EpochReclaimer {
+ public:
+  static EpochReclaimer& instance();
+
+  // RAII epoch pin. Reentrant per thread (inner guards are free); cheap
+  // enough for per-snapshot-read use but not meant for the dispatch path.
+  class Guard {
+   public:
+    Guard();
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  // Hands `ptr` to the reclaimer, stamped with the current epoch (which is
+  // advanced by the call). The deleter runs once no reader pins an epoch at
+  // or before the stamp. Publish the replacement snapshot *before* retiring
+  // the old one.
+  void retire(void* ptr, void (*deleter)(void*));
+  template <typename T>
+  void retire(const T* ptr) {
+    retire(const_cast<T*>(ptr), [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  // Frees every retired object whose stamp has drained; returns how many.
+  // Also called automatically when the retired list crosses a threshold.
+  std::size_t try_reclaim();
+
+  std::size_t retired_count() const;        // currently awaiting reclamation
+  std::uint64_t reclaimed_total() const;    // freed since process start
+  std::uint64_t epoch() const;
+
+ private:
+  EpochReclaimer() = default;
+
+  struct RetiredItem {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t stamp;
+  };
+
+  static constexpr std::size_t kSlots = 128;
+  static constexpr std::size_t kReclaimThreshold = 64;
+
+  struct alignas(64) PinSlot {
+    std::atomic<std::uint64_t> epoch{0};   // 0 = not pinned
+    std::atomic<const void*> owner{nullptr};
+  };
+
+  friend class Guard;
+  PinSlot* acquire_slot();
+  void pin();
+  void unpin();
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  PinSlot slots_[kSlots];
+  std::atomic<std::uint64_t> overflow_pins_{0};
+  std::atomic<std::uint64_t> reclaimed_total_{0};
+  std::atomic<std::size_t> retired_count_{0};
+
+  mutable OrderedMutex mutex_{LockLevel::kEpoch, "util.epoch-retired"};
+  // Guarded by mutex_; a plain grow/compact vector is fine at the retire
+  // rate (one per snapshot republication).
+  std::vector<RetiredItem> retired_;
+};
+
+}  // namespace cycada::util

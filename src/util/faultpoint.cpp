@@ -1,0 +1,240 @@
+#include "util/faultpoint.h"
+
+#include <cstdlib>
+
+#include "trace/metrics.h"
+#include "util/log.h"
+
+namespace cycada::util {
+
+namespace {
+
+// SplitMix64 step on shared atomic state: fetch_add hands every concurrent
+// evaluator a distinct stream position, so the fire sequence is a
+// deterministic function of (seed, traversal order) with no lock.
+std::uint64_t splitmix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+const char* fault_trigger_name(FaultTrigger trigger) {
+  switch (trigger) {
+    case FaultTrigger::kDisarmed: return "disarmed";
+    case FaultTrigger::kOnce: return "once";
+    case FaultTrigger::kEveryNth: return "every-nth";
+    case FaultTrigger::kProbability: return "probability";
+  }
+  return "?";
+}
+
+FaultPoint::FaultPoint(std::string name)
+    : name_(std::move(name)),
+      hits_metric_(&trace::MetricsRegistry::instance().counter(
+          "fault." + name_ + ".hits")),
+      fires_metric_(&trace::MetricsRegistry::instance().counter(
+          "fault." + name_ + ".fires")) {}
+
+void FaultPoint::arm_once(std::uint64_t nth) {
+  param_.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
+  trigger_.store(static_cast<int>(FaultTrigger::kOnce),
+                 std::memory_order_release);
+}
+
+void FaultPoint::arm_every(std::uint64_t n) {
+  param_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  trigger_.store(static_cast<int>(FaultTrigger::kEveryNth),
+                 std::memory_order_release);
+}
+
+void FaultPoint::arm_probability(std::uint32_t ppm, std::uint64_t seed) {
+  param_.store(ppm > 1000000 ? 1000000 : ppm, std::memory_order_relaxed);
+  rng_state_.store(seed, std::memory_order_relaxed);
+  trigger_.store(static_cast<int>(FaultTrigger::kProbability),
+                 std::memory_order_release);
+}
+
+void FaultPoint::disarm() {
+  trigger_.store(static_cast<int>(FaultTrigger::kDisarmed),
+                 std::memory_order_release);
+}
+
+void FaultPoint::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+}
+
+thread_local int FaultSuppressionScope::t_depth = 0;
+
+bool FaultPoint::evaluate() {
+  // Degraded-mode recovery rungs run fault-free (and untallied): a
+  // suppressed traversal never happened as far as triggers are concerned.
+  if (FaultSuppressionScope::active()) return false;
+  // Arming between the fast-path check and here just means this traversal
+  // counts against the new trigger; rearm races are benign by design.
+  const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  hits_metric_->add();
+  const std::uint64_t param = param_.load(std::memory_order_relaxed);
+  bool fire = false;
+  switch (static_cast<FaultTrigger>(trigger_.load(std::memory_order_relaxed))) {
+    case FaultTrigger::kDisarmed:
+      break;
+    case FaultTrigger::kOnce:
+      fire = (hit == param);
+      break;
+    case FaultTrigger::kEveryNth:
+      fire = (hit % param == 0);
+      break;
+    case FaultTrigger::kProbability: {
+      const std::uint64_t z = rng_state_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                                   std::memory_order_relaxed) +
+                              0x9e3779b97f4a7c15ULL;
+      fire = (splitmix64(z) % 1000000 < param);
+      break;
+    }
+  }
+  if (fire) {
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    fires_metric_->add();
+  }
+  return fire;
+}
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+const std::vector<std::string>& FaultRegistry::catalog() {
+  static const auto* names = new std::vector<std::string>{
+      "linker.dlopen",     "linker.dlforce",     "kernel.set_persona",
+      "egl.create_context", "egl.create_surface", "gmem.allocate",
+  };
+  return *names;
+}
+
+FaultRegistry::FaultRegistry() {
+  for (const std::string& name : catalog()) (void)point(name);
+  if (const char* spec = std::getenv("CYCADA_FAULT");
+      spec != nullptr && *spec != '\0') {
+    (void)configure(spec);
+  }
+}
+
+FaultPoint& FaultRegistry::point(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  for (const auto& existing : points_) {
+    if (existing->name() == name) return *existing;
+  }
+  points_.push_back(std::make_unique<FaultPoint>(std::string(name)));
+  return *points_.back();
+}
+
+bool FaultRegistry::configure(std::string_view spec) {
+  bool ok = true;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      CYCADA_LOG(kWarn) << "CYCADA_FAULT: malformed entry '" << item
+                        << "' (want name=trigger)";
+      ok = false;
+      continue;
+    }
+    const std::string_view name = item.substr(0, eq);
+    std::string_view trigger = item.substr(eq + 1);
+    std::string_view arg1, arg2;
+    if (const std::size_t colon = trigger.find(':');
+        colon != std::string_view::npos) {
+      arg1 = trigger.substr(colon + 1);
+      trigger = trigger.substr(0, colon);
+      if (const std::size_t colon2 = arg1.find(':');
+          colon2 != std::string_view::npos) {
+        arg2 = arg1.substr(colon2 + 1);
+        arg1 = arg1.substr(0, colon2);
+      }
+    }
+
+    FaultPoint& target = point(name);
+    std::uint64_t value = 0;
+    if (trigger == "off") {
+      target.disarm();
+    } else if (trigger == "once") {
+      if (arg1.empty()) {
+        target.arm_once();
+      } else if (parse_u64(arg1, value)) {
+        target.arm_once(value);
+      } else {
+        CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad once count in '" << item
+                          << "'";
+        ok = false;
+      }
+    } else if (trigger == "every") {
+      if (parse_u64(arg1, value) && value > 0) {
+        target.arm_every(value);
+      } else {
+        CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad every-N in '" << item << "'";
+        ok = false;
+      }
+    } else if (trigger == "prob") {
+      std::uint64_t seed = 1;
+      if (parse_u64(arg1, value) && value <= 1000000 &&
+          (arg2.empty() || parse_u64(arg2, seed))) {
+        target.arm_probability(static_cast<std::uint32_t>(value), seed);
+      } else {
+        CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad prob ppm/seed in '" << item
+                          << "'";
+        ok = false;
+      }
+    } else {
+      CYCADA_LOG(kWarn) << "CYCADA_FAULT: unknown trigger in '" << item
+                        << "' (want once|every|prob|off)";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void FaultRegistry::disarm_all() {
+  std::lock_guard lock(mutex_);
+  for (const auto& point : points_) point->disarm();
+}
+
+void FaultRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (const auto& point : points_) {
+    point->disarm();
+    point->reset_stats();
+  }
+}
+
+std::vector<FaultPointInfo> FaultRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<FaultPointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& point : points_) {
+    out.push_back(
+        {point->name(), point->trigger(), point->hits(), point->fires()});
+  }
+  return out;
+}
+
+}  // namespace cycada::util

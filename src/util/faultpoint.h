@@ -1,0 +1,155 @@
+// Named fault-injection points for the failure paths the paper's design
+// must survive: dlforce/dlopen exhaustion, persona-syscall failure, vendor
+// EGL context/surface creation, gralloc allocation.
+//
+// A fault point is a process-lifetime object looked up once per call site
+// (cache the reference in a function-local static, like trace::Counter).
+// Disarmed, `should_fail()` is one relaxed load and a branch, so probes stay
+// compiled in permanently. Armed, the trigger is deterministic: one-shot
+// (fires on the K-th armed traversal), every-Nth, or seeded-RNG probability
+// in parts-per-million — the same seed always fires on the same traversal
+// sequence, so failing runs replay exactly.
+//
+// Configuration comes from the CYCADA_FAULT environment variable at first
+// use and from the programmatic API at any time:
+//
+//   CYCADA_FAULT="linker.dlforce=once,egl.create_context=every:3"
+//   CYCADA_FAULT="gmem.allocate=prob:250000:42"   # 25% with seed 42
+//
+// Spec grammar (comma-separated): name=once | once:K | every:N |
+// prob:PPM[:SEED] | off. Unknown names register a new point (tests use
+// ad-hoc points); malformed entries are logged and skipped.
+//
+// Every evaluation and every fire is exported through the PR 1 metrics
+// layer as fault.<name>.hits / fault.<name>.fires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/lock_order.h"
+
+namespace cycada::trace {
+class Counter;
+}  // namespace cycada::trace
+
+namespace cycada::util {
+
+enum class FaultTrigger : int {
+  kDisarmed = 0,
+  kOnce,         // fire exactly once, on the param_-th armed traversal
+  kEveryNth,     // fire on every traversal where hits % N == 0
+  kProbability,  // fire with param_ parts-per-million, seeded SplitMix64
+};
+
+const char* fault_trigger_name(FaultTrigger trigger);
+
+// While alive on a thread, every fault point on that thread reports
+// "no failure" without counting a hit or a fire. Recovery code holds one
+// across its fallback rung — the last rung of a degradation ladder must not
+// itself be injectable, or a persistent fault could never be survived.
+class FaultSuppressionScope {
+ public:
+  FaultSuppressionScope() { ++t_depth; }
+  ~FaultSuppressionScope() { --t_depth; }
+  FaultSuppressionScope(const FaultSuppressionScope&) = delete;
+  FaultSuppressionScope& operator=(const FaultSuppressionScope&) = delete;
+
+  static bool active() { return t_depth > 0; }
+
+ private:
+  static thread_local int t_depth;
+};
+
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name);
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // The probe. Disarmed cost: one relaxed load + branch.
+  bool should_fail() {
+    if (trigger_.load(std::memory_order_relaxed) ==
+        static_cast<int>(FaultTrigger::kDisarmed)) {
+      return false;
+    }
+    return evaluate();
+  }
+
+  // Arm to fire exactly once, on the nth armed traversal (1 = next).
+  void arm_once(std::uint64_t nth = 1);
+  void arm_every(std::uint64_t n);
+  // ppm in [0, 1000000]; the seed makes the fire sequence reproducible.
+  void arm_probability(std::uint32_t ppm, std::uint64_t seed = 1);
+  void disarm();
+
+  FaultTrigger trigger() const {
+    return static_cast<FaultTrigger>(
+        trigger_.load(std::memory_order_relaxed));
+  }
+  // Armed traversals / injected failures since the last reset.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t fires() const {
+    return fires_.load(std::memory_order_relaxed);
+  }
+  void reset_stats();
+
+ private:
+  bool evaluate();
+
+  const std::string name_;
+  std::atomic<int> trigger_{static_cast<int>(FaultTrigger::kDisarmed)};
+  std::atomic<std::uint64_t> param_{0};
+  std::atomic<std::uint64_t> rng_state_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+  trace::Counter* hits_metric_;
+  trace::Counter* fires_metric_;
+};
+
+struct FaultPointInfo {
+  std::string name;
+  FaultTrigger trigger;
+  std::uint64_t hits;
+  std::uint64_t fires;
+};
+
+// Process-wide fault-point directory. The constructor eagerly registers the
+// catalog of built-in points (so `snapshot()` and the fault-matrix test see
+// every probe even before its code path runs) and applies CYCADA_FAULT.
+class FaultRegistry {
+ public:
+  static FaultRegistry& instance();
+
+  // Finds or creates; the returned reference is valid forever.
+  FaultPoint& point(std::string_view name);
+
+  // Applies a CYCADA_FAULT-syntax spec. Returns false (after logging) if
+  // any entry was malformed; well-formed entries still apply.
+  bool configure(std::string_view spec);
+
+  void disarm_all();
+  // Disarm everything and zero hit/fire tallies (metrics counters are owned
+  // by the metrics registry and reset with it).
+  void reset();
+
+  std::vector<FaultPointInfo> snapshot() const;
+
+  // The built-in probe names, in registration order.
+  static const std::vector<std::string>& catalog();
+
+ private:
+  FaultRegistry();
+
+  mutable OrderedMutex mutex_{LockLevel::kFaultRegistry,
+                              "util.fault-registry"};
+  std::vector<std::unique_ptr<FaultPoint>> points_;
+};
+
+}  // namespace cycada::util

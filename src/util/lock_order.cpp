@@ -56,16 +56,26 @@ constexpr int kMaxHeld = 16;
 thread_local HeldLock t_held[kMaxHeld];
 thread_local int t_held_count = 0;
 
+// Process-wide tally of entries currently on any thread's held stack.
+// Pushes and pops pair exactly (note_released only decrements when it finds
+// the entry a push counted), so this is zero whenever no recorded lock is
+// held — the invariant check_fault_safety() relies on. Deliberately not
+// cleared by reset(): locks held across a reset are still held.
+std::atomic<std::int64_t> g_held_total{0};
+
 }  // namespace
 
 const char* lock_level_name(int level) {
   switch (static_cast<LockLevel>(level)) {
+    case LockLevel::kDegradedEgl: return "degraded-egl";
     case LockLevel::kLinker: return "linker";
     case LockLevel::kDiplomatRegistry: return "diplomat-registry";
     case LockLevel::kTlsTracker: return "tls-tracker";
     case LockLevel::kKernelThreads: return "kernel-threads";
     case LockLevel::kKernelKeys: return "kernel-keys";
     case LockLevel::kThreadTls: return "thread-tls";
+    case LockLevel::kEpoch: return "epoch";
+    case LockLevel::kFaultRegistry: return "fault-registry";
     case LockLevel::kMetrics: return "metrics";
     case LockLevel::kTracer: return "tracer";
     case LockLevel::kLogEmit: return "log-emit";
@@ -156,6 +166,10 @@ std::uint64_t LockOrderGraph::acquisitions(LockLevel level) const {
   return it == level_counts().end() ? 0 : it->second.count;
 }
 
+std::int64_t LockOrderGraph::held_count() const {
+  return g_held_total.load(std::memory_order_relaxed);
+}
+
 void LockOrderGraph::reset() {
   std::lock_guard lock(g_graph_mutex);
   graph_edges().clear();
@@ -192,6 +206,7 @@ void note_acquired(const void* mutex, int level, const char* name,
   }
   if (t_held_count < kMaxHeld) {
     t_held[t_held_count++] = {mutex, level, name, 1};
+    g_held_total.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -201,6 +216,7 @@ void note_released(const void* mutex) {
     if (--t_held[i].depth > 0) return;
     for (int j = i; j < t_held_count - 1; ++j) t_held[j] = t_held[j + 1];
     --t_held_count;
+    g_held_total.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
 }

@@ -24,12 +24,15 @@ namespace cycada::util {
 // subsystems. Levels, not mutex instances, are the unit of ordering: two
 // distinct mutexes on the same level must never be held together.
 enum class LockLevel : int {
+  kDegradedEgl = 5,        // ios_gl degraded-mode serialization (outermost)
   kLinker = 10,            // linker::Linker::mutex_ (recursive: dep closure)
   kDiplomatRegistry = 20,  // core::DiplomatRegistry::mutex_
   kTlsTracker = 30,        // core::GraphicsTlsTracker::mutex_
   kKernelThreads = 40,     // kernel::Kernel::registry_mutex_
   kKernelKeys = 50,        // kernel::Kernel::keys_mutex_
   kThreadTls = 60,         // kernel::ThreadState::tls_mutex_
+  kEpoch = 62,             // util::EpochReclaimer::mutex_ (retired list)
+  kFaultRegistry = 64,     // util::FaultRegistry::mutex_
   kMetrics = 70,           // trace::MetricsRegistry::mutex_
   kTracer = 80,            // trace::Tracer::mutex_
   kLogEmit = 90,           // util/log.cpp emission mutex
@@ -69,6 +72,11 @@ class LockOrderGraph {
   std::vector<LevelCount> acquisition_counts() const;
   // Acquisitions recorded for one level (0 when never acquired).
   std::uint64_t acquisitions(LockLevel level) const;
+  // Annotated locks currently held across all threads (recorded
+  // acquisitions minus releases). Nonzero at a quiescent point means some
+  // path — e.g. an injected-fault early return — leaked a lock;
+  // analyze::check_fault_safety() asserts this is zero.
+  std::int64_t held_count() const;
   // Edges acquired against the static order (from_level >= to_level).
   std::vector<Edge> inversions() const;
   // Cycles among levels in the observed graph, each reported as the level

@@ -1,0 +1,26 @@
+// Bounded retry with cooperative backoff for the replica-lifecycle
+// recovery paths (docs/ROBUSTNESS.md). The failures these loops absorb are
+// logical (injected faults, transient pool exhaustion), not timing, so the
+// backoff is a growing run of yields rather than wall-clock sleeps — tests
+// stay fast and deterministic.
+#pragma once
+
+#include <thread>
+#include <utility>
+
+namespace cycada::util {
+
+// Calls `fn` up to `attempts` times until it returns an is_ok() result
+// (Status or StatusOr). Returns the first success, or the last failure.
+template <typename F>
+auto retry_with_backoff(int attempts, F&& fn) -> decltype(fn()) {
+  auto result = fn();
+  for (int attempt = 1; attempt < attempts && !result.is_ok(); ++attempt) {
+    const int yields = 1 << (attempt < 10 ? attempt : 10);
+    for (int i = 0; i < yields; ++i) std::this_thread::yield();
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace cycada::util

@@ -15,6 +15,7 @@
 #include "core/impersonation.h"
 #include "kernel/kernel.h"
 #include "linker/linker.h"
+#include "util/epoch.h"
 #include "util/lock_order.h"
 
 namespace cycada {
@@ -53,7 +54,9 @@ TEST(DispatchTest, EntriesAndIdsSurviveRepublication) {
     EXPECT_EQ(&registry.entry_by_id(ids[i]), before[i]);
     EXPECT_EQ(registry.resolve(kNames[i], DiplomatPattern::kDirect), ids[i]);
   }
-  // Ids are dense indices into the published table.
+  // Ids are dense indices into the published table. Direct table() access
+  // requires an epoch guard: tables retire on every publish now.
+  util::EpochReclaimer::Guard guard;
   const core::DispatchTable& table = registry.table();
   for (DiplomatId id = 0; id < table.entries.size(); ++id) {
     EXPECT_EQ(table.entries[id]->id, id);

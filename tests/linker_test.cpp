@@ -218,6 +218,57 @@ TEST_F(LinkerTest, MissingDependencyFailsTheWholeLoad) {
   EXPECT_EQ(linker.live_copy_count("libbroken.so"), 0);
 }
 
+TEST_F(LinkerTest, DoubleDlcloseViaDuplicateHandlesKeepsAccounting) {
+  Linker& linker = Linker::instance();
+  auto handle = linker.dlopen("libnvos.so");
+  ASSERT_TRUE(handle.is_ok());
+  Handle duplicate = *handle;
+  // First close drops one reference; the duplicate still pins the copy.
+  EXPECT_TRUE(linker.dlclose(std::move(*handle)).is_ok());
+  EXPECT_EQ(linker.live_copy_count("libnvos.so"), 1);
+  EXPECT_EQ(g_destroyed.load(), 0);
+  // Second close releases the last reference and unloads exactly once.
+  EXPECT_TRUE(linker.dlclose(std::move(duplicate)).is_ok());
+  EXPECT_EQ(linker.live_copy_count("libnvos.so"), 0);
+  EXPECT_EQ(g_destroyed.load(), 1);
+}
+
+TEST_F(LinkerTest, DlcloseStaleHandleReturnsNotFoundAndProtectsNewCopy) {
+  Linker& linker = Linker::instance();
+  auto original = linker.dlopen("libnvos.so");
+  ASSERT_TRUE(original.is_ok());
+  Handle stale = *original;
+  // Drop the registry's knowledge of the copy while the caller still holds
+  // a handle (the double-close shape: the slot is reloaded underneath it).
+  linker.reset();
+  ASSERT_TRUE(linker.register_image(make_image("libnvos.so", {})).is_ok());
+  auto fresh = linker.dlopen("libnvos.so");
+  ASSERT_TRUE(fresh.is_ok());
+  ASSERT_NE(fresh->get(), stale.get());
+
+  // Closing the stale handle must be an explicit error — silently accepting
+  // it would decrement the fresh copy's use count out from under its users.
+  const Status result = linker.dlclose(std::move(stale));
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+  EXPECT_EQ(linker.live_copy_count("libnvos.so"), 1);
+  auto* counter = static_cast<int*>(linker.dlsym(*fresh, "global_counter"));
+  ASSERT_NE(counter, nullptr);
+  *counter = 7;  // the fresh copy is still live and usable
+  EXPECT_TRUE(linker.dlclose(std::move(*fresh)).is_ok());
+}
+
+TEST_F(LinkerTest, DlopenSharedFallbackLoadsGlobalCopyAndCounts) {
+  Linker& linker = Linker::instance();
+  auto fallback = linker.dlopen_shared_fallback("libGLESv2_tegra.so");
+  ASSERT_TRUE(fallback.is_ok());
+  EXPECT_EQ((*fallback)->namespace_id(), kGlobalNamespace);
+  // A second fallback shares the same global copy.
+  auto again = linker.dlopen_shared_fallback("libGLESv2_tegra.so");
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(fallback->get(), again->get());
+  EXPECT_EQ(linker.load_count("libGLESv2_tegra.so"), 1);
+}
+
 TEST_F(LinkerTest, DlsymUnknownSymbolReturnsNull) {
   auto lib = Linker::instance().dlopen("libnvos.so");
   ASSERT_TRUE(lib.is_ok());

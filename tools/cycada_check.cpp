@@ -12,6 +12,7 @@
 // Exits 0 when every check is clean, 1 when there are findings (each
 // printed one per line), 2 on usage/workload errors.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "ios_gl/eagl.h"
 #include "ios_gl/gles.h"
 #include "trace/metrics.h"
+#include "util/faultpoint.h"
 #include "util/lock_order.h"
 
 namespace {
@@ -127,6 +129,7 @@ int main(int argc, char** argv) {
   analyze::check_lock_order(report);
   analyze::check_replica_isolation(report);
   analyze::check_tls_migration(report);
+  analyze::check_fault_safety(report);
   if (!root.empty()) analyze::lint_source_tree(root, report);
 
   EAGLContext::clear_current_context();
@@ -136,5 +139,32 @@ int main(int argc, char** argv) {
   std::printf("cycada_check: %d finding(s), %zu lock edge(s) observed%s\n",
               findings, lock_graph.edges().size(),
               root.empty() ? "" : ", source lint on");
+
+  // Under fault injection, show what fired and how the pipeline degraded —
+  // the evidence that the workload survived rather than dodged the faults.
+  if (std::getenv("CYCADA_FAULT") != nullptr) {
+    std::printf("cycada_check: fault injection on (CYCADA_FAULT=%s)\n",
+                std::getenv("CYCADA_FAULT"));
+    std::printf("  context degraded: first=%s second=%s\n",
+                first.value()->degraded() ? "yes" : "no",
+                second.value()->degraded() ? "yes" : "no");
+    for (const util::FaultPointInfo& info :
+         util::FaultRegistry::instance().snapshot()) {
+      if (info.hits == 0) continue;
+      std::printf("  fault %s: %llu hit(s), %llu fire(s)\n", info.name.c_str(),
+                  static_cast<unsigned long long>(info.hits),
+                  static_cast<unsigned long long>(info.fires));
+    }
+    for (const trace::CounterSnapshot& counter :
+         trace::MetricsRegistry::instance().snapshot().counters) {
+      const bool interesting =
+          counter.name.rfind("degrade.", 0) == 0 ||
+          counter.name.rfind("replica.pool.", 0) == 0;
+      if (interesting && counter.value > 0) {
+        std::printf("  %s: %llu\n", counter.name.c_str(),
+                    static_cast<unsigned long long>(counter.value));
+      }
+    }
+  }
   return findings == 0 ? 0 : 1;
 }
