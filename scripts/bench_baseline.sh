@@ -1,18 +1,18 @@
 #!/usr/bin/env bash
-# Produces the committed benchmark baseline for this PR (BENCH_pr4.json):
+# Produces the committed benchmark baseline for this PR (BENCH_pr5.json):
 # a Release build of the two bench targets, each run with CYCADA_BENCH_JSON
 # pointed at a temp file, merged into one document whose schema is described
 # in docs/BENCHMARKING.md. Counters are merged flat; histograms keep their
 # per-run p50/p95/p99 so bench_compare.sh can gate on tail latency too.
 # From the repo root:
 #
-#   ./scripts/bench_baseline.sh                # writes BENCH_pr4.json
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr5.json
 #   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
 #   BENCH_PR=5 ./scripts/bench_baseline.sh     # writes BENCH_pr5.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${BENCH_PR:-4}"
+PR="${BENCH_PR:-5}"
 OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
 BUILD=build-bench
 

@@ -30,6 +30,14 @@ echo "==> cycada_check under CYCADA_FAULT (degraded-mode acceptance)"
 run env CYCADA_FAULT='linker.dlforce=every:1,egl.create_context=every:1' \
   ./build/tools/cycada_check
 
+# --- Chaos passmark (docs/ROBUSTNESS.md §fault grammar) -----------------------
+# Every probe in the fault catalog fires with probability 0.1% (seeded, so
+# the run is reproducible). The graphics pipeline must absorb the faults —
+# degraded serial mode, replica remint, batch abort-and-replay — and the
+# passmark workload must still finish with exit 0.
+echo "==> fig6_passmark under CYCADA_FAULT=all=prob:1000:42 (chaos mode)"
+run env CYCADA_FAULT='all=prob:1000:42' ./build/bench/fig6_passmark
+
 # --- TSan leg over the lock-free and fault-injection suites ------------------
 if [[ "${CYCADA_SKIP_TSAN:-0}" == "1" ]]; then
   echo "ci.sh: OK (TSan skipped)"
@@ -38,6 +46,6 @@ fi
 run cmake -B build-tsan -S . -DCYCADA_TSAN=ON
 run cmake --build build-tsan -j
 (cd build-tsan && run ctest --output-on-failure -j "$(nproc)" \
-  -R 'DispatchTest|Robustness|LinkerTest')
+  -R 'DispatchTest|Robustness|LinkerTest|BatchTest')
 
 echo "ci.sh: OK"

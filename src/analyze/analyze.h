@@ -72,8 +72,15 @@ class Report {
 //   diplomat.classification-mismatch   entry pattern != Table 2 universe
 //   diplomat.open-graphics-window      a prelude's graphics-TLS window was
 //                                      never closed by a postlude
+//   batch.illegal-batched-call         batched evidence on an entry that is
+//                                      neither classifier-batchable nor a
+//                                      kMulti coalescer
+//   batch.unflushed-at-exit            calls still queued in a command
+//                                      buffer at the quiescent point
 // Entries with no runtime activity are skipped (the registry is
 // process-lifetime; only evidence since the last stats reset counts).
+// Batchable entries may legitimately report preludes < domestic_calls (one
+// library prelude per batch, charged to the opening entry).
 void check_diplomat_contracts(Report& report);
 
 // Lock-order checker (over util::LockOrderGraph; enable recording before

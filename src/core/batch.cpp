@@ -1,0 +1,250 @@
+#include "core/batch.h"
+
+#include <utility>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace cycada::core {
+
+namespace {
+
+struct BatchItem {
+  DiplomatEntry* entry;
+  std::function<void()> replay;
+};
+
+// Per-thread recorder. `scope_depth` counts nested BatchScopes; recording
+// is live while it is nonzero. The opener's hooks bracket the batch (all
+// batchable diplomats today come from the iOS GL library and share its
+// graphics hooks; a batch never mixes hook sets because the first record
+// wins and the GL dispatch layer is the only recorder).
+struct ThreadBatch {
+  std::vector<BatchItem> items;
+  DiplomatEntry* opener = nullptr;
+  DiplomatHooks hooks;
+  kernel::Persona caller = kernel::Persona::kIos;
+  int scope_depth = 0;
+  std::size_t size_cap = BatchScope::kDefaultSizeCap;
+};
+thread_local ThreadBatch t_batch;
+
+// Calls queued across every thread; nonzero at a quiescent point means a
+// batch was never flushed (the analyzer's batch.unflushed-at-exit rule).
+std::atomic<std::uint64_t> g_pending{0};
+
+constexpr int kCrossingRetries = 3;
+
+trace::Counter& flush_reason_counter(BatchFlushReason reason) {
+  static trace::Counter* counters[] = {
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.explicit"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.size_cap"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.non_batchable"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.direction_change"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.context_switch"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.impersonation"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.degraded"),
+      &trace::MetricsRegistry::instance().counter(
+          "dispatch.batch.flush.scope_exit"),
+  };
+  return *counters[static_cast<int>(reason)];
+}
+
+// Replays and clears the batch under one token-bracketed crossing, or —
+// when the crossing cannot open — through N plain diplomat calls so every
+// queued call still runs exactly once, in order.
+void replay_batch(ThreadBatch& batch, BatchFlushReason reason) {
+  TRACE_SCOPE("diplomat", "batch.flush");
+  std::vector<BatchItem> items = std::move(batch.items);
+  batch.items.clear();
+  DiplomatEntry& opener = *batch.opener;
+  const DiplomatHooks hooks = std::move(batch.hooks);
+  batch.opener = nullptr;
+  batch.hooks = {};
+  g_pending.fetch_sub(items.size(), std::memory_order_relaxed);
+
+  trace::MetricsRegistry& metrics = trace::MetricsRegistry::instance();
+  flush_reason_counter(reason).add();
+  metrics.histogram("dispatch.batch.size")
+      .record(static_cast<std::int64_t>(items.size()));
+
+  // Library prelude once per batch, charged to the opening entry.
+  if (hooks.prelude) {
+    hooks.prelude();
+    opener.contract.preludes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  kernel::Kernel& kernel = kernel::Kernel::instance();
+  const kernel::Persona caller_persona = batch.caller;
+  const std::uint64_t token = detail::batched_crossing_begin();
+  if (token == 0) {
+    // Persistent open failure (kernel.set_persona injection): balance the
+    // batch prelude, then fall back to the plain single-call procedure for
+    // every item — the batch aborts atomically, no call is lost or run in
+    // the wrong persona.
+    if (hooks.postlude) {
+      hooks.postlude();
+      opener.contract.postludes.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics.counter("dispatch.batch.aborted").add();
+    for (BatchItem& item : items) {
+      diplomat_call(*item.entry, hooks, item.replay);
+    }
+    return;
+  }
+
+  for (BatchItem& item : items) {
+    item.replay();
+    // Same contract as the single-call procedure: domestic code must hand
+    // control back in the persona the crossing set. Repair directly — the
+    // crossing token is still open, so the trap path is off the table.
+    if (kernel.current_thread().persona() != kernel::Persona::kAndroid) {
+      item.entry->contract.unbalanced_persona.fetch_add(
+          1, std::memory_order_relaxed);
+      kernel.set_persona_direct(kernel::Persona::kAndroid);
+    }
+    item.entry->calls.fetch_add(1, std::memory_order_relaxed);
+    item.entry->contract.domestic_calls.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    item.entry->contract.batched_calls.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  }
+
+  // Step 9 once per batch: the last replayed call's errno is what the
+  // foreign caller observes (deferred calls defer their errno too).
+  const long domestic_errno = kernel::libc::get_errno();
+  (void)detail::batched_crossing_end(token, caller_persona,
+                                     static_cast<int>(items.size()));
+  if (caller_persona == kernel::Persona::kIos) {
+    kernel::libc::set_errno(detail::errno_linux_to_darwin(domestic_errno));
+  }
+
+  if (hooks.postlude) {
+    hooks.postlude();
+    opener.contract.postludes.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics.counter("dispatch.batch.flushes").add();
+  metrics.counter("dispatch.batch.calls").add(items.size());
+}
+
+}  // namespace
+
+const char* batch_flush_reason_name(BatchFlushReason reason) {
+  switch (reason) {
+    case BatchFlushReason::kExplicit: return "explicit";
+    case BatchFlushReason::kSizeCap: return "size_cap";
+    case BatchFlushReason::kNonBatchable: return "non_batchable";
+    case BatchFlushReason::kDirectionChange: return "direction_change";
+    case BatchFlushReason::kContextSwitch: return "context_switch";
+    case BatchFlushReason::kImpersonation: return "impersonation";
+    case BatchFlushReason::kDegraded: return "degraded";
+    case BatchFlushReason::kScopeExit: return "scope_exit";
+  }
+  return "?";
+}
+
+bool batching_active() { return t_batch.scope_depth > 0; }
+
+std::size_t pending_batched_calls() { return t_batch.items.size(); }
+
+std::uint64_t global_pending_batched_calls() {
+  return g_pending.load(std::memory_order_relaxed);
+}
+
+bool batch_record(DiplomatEntry& entry, const DiplomatHooks& hooks,
+                  std::function<void()> replay) {
+  ThreadBatch& batch = t_batch;
+  if (batch.scope_depth == 0 || !entry.batchable) return false;
+  const kernel::Persona caller =
+      kernel::Kernel::instance().current_thread().persona();
+  if (!batch.items.empty() && caller != batch.caller) {
+    // Direction changed since the batch opened (an interleaved crossing
+    // left the thread in the other persona): the queued run no longer
+    // shares a direction with this call, so it goes first.
+    flush_current_batch(BatchFlushReason::kDirectionChange);
+  }
+  if (batch.items.empty()) {
+    batch.opener = &entry;
+    batch.hooks = hooks;
+    batch.caller = caller;
+  }
+  batch.items.push_back({&entry, std::move(replay)});
+  g_pending.fetch_add(1, std::memory_order_relaxed);
+  if (batch.items.size() >= batch.size_cap) {
+    flush_current_batch(BatchFlushReason::kSizeCap);
+  }
+  return true;
+}
+
+void flush_current_batch(BatchFlushReason reason) {
+  ThreadBatch& batch = t_batch;
+  if (batch.items.empty()) {
+    // An empty explicit flush is the no-op crossing: no syscalls at all.
+    if (reason == BatchFlushReason::kExplicit ||
+        reason == BatchFlushReason::kScopeExit) {
+      trace::MetricsRegistry::instance()
+          .counter("dispatch.batch.empty_flushes")
+          .add();
+    }
+    return;
+  }
+  replay_batch(batch, reason);
+}
+
+BatchScope::BatchScope(std::size_t size_cap)
+    : previous_cap_(t_batch.size_cap) {
+  ++t_batch.scope_depth;
+  t_batch.size_cap = size_cap == 0 ? 1 : size_cap;
+}
+
+BatchScope::~BatchScope() {
+  if (--t_batch.scope_depth == 0) {
+    flush_current_batch(BatchFlushReason::kScopeExit);
+  }
+  t_batch.size_cap = previous_cap_;
+}
+
+namespace detail {
+
+std::uint64_t batched_crossing_begin() {
+  for (int attempt = 0; attempt < kCrossingRetries; ++attempt) {
+    const long token =
+        kernel::sys_persona_batch_begin(kernel::Persona::kAndroid);
+    if (token > 0) {
+      trace::MetricsRegistry::instance()
+          .counter("dispatch.batch.crossings")
+          .add();
+      return static_cast<std::uint64_t>(token);
+    }
+    kernel::Kernel::instance().syscall(kernel::Sys::kYield);
+  }
+  return 0;
+}
+
+bool batched_crossing_end(std::uint64_t token, kernel::Persona restore,
+                          int replayed_calls) {
+  for (int attempt = 0; attempt < kCrossingRetries; ++attempt) {
+    if (kernel::sys_persona_batch_end(token, restore, replayed_calls) == 0) {
+      return true;
+    }
+    kernel::Kernel::instance().syscall(kernel::Sys::kYield);
+  }
+  // The crossing must close no matter what — a leaked Android persona (and
+  // a stuck token) would corrupt every later syscall on this thread.
+  kernel::Kernel::instance().abort_persona_batch(restore);
+  trace::MetricsRegistry::instance()
+      .counter("dispatch.batch.close_forced")
+      .add();
+  return false;
+}
+
+}  // namespace detail
+
+}  // namespace cycada::core

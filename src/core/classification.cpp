@@ -44,6 +44,37 @@ constexpr std::string_view kUnimplemented[] = {
     "glPointParameterxv", "glMultiTexCoord4x", "glSampleCoveragex",
 };
 
+// Batchable direct diplomats: void return, scalar-only arguments, no
+// synchronization semantics. Pointer-taking calls (glShaderSource,
+// gl*Pointer, glGen*/glDelete* arrays, matrix uploads) must not defer —
+// the caller's memory may be a stack temporary that dies before replay —
+// and draws consume client-array pointers installed earlier, so they flush.
+constexpr std::string_view kBatchable[] = {
+    // Common scalar state.
+    "glClear", "glClearColor", "glClearDepthf", "glEnable", "glDisable",
+    "glBlendFunc", "glDepthFunc", "glDepthMask", "glCullFace", "glViewport",
+    "glScissor", "glPointSize", "glColorMask", "glFrontFace", "glLineWidth",
+    "glDepthRangef", "glBlendEquation", "glHint", "glStencilFunc",
+    "glStencilMask", "glStencilOp", "glPolygonOffset",
+    // Texture state (scalar forms only).
+    "glBindTexture", "glActiveTexture", "glTexParameteri", "glGenerateMipmap",
+    "glCopyTexImage2D", "glCopyTexSubImage2D",
+    // Buffer / framebuffer binding.
+    "glBindBuffer", "glBindFramebuffer", "glBindRenderbuffer",
+    "glFramebufferRenderbuffer", "glFramebufferTexture2D",
+    // Shader / program lifecycle with handle-only arguments.
+    "glDeleteShader", "glCompileShader", "glDeleteProgram", "glAttachShader",
+    "glLinkProgram", "glUseProgram", "glUniform4f", "glUniform1i",
+    "glUniform1f",
+    // Vertex attribute scalar state.
+    "glEnableVertexAttribArray", "glDisableVertexAttribArray",
+    "glVertexAttrib4f",
+    // GLES1 fixed-function scalar state.
+    "glMatrixMode", "glLoadIdentity", "glPushMatrix", "glPopMatrix",
+    "glTranslatef", "glRotatef", "glScalef", "glOrthof", "glFrustumf",
+    "glColor4f", "glEnableClientState", "glDisableClientState", "glTexEnvi",
+};
+
 template <std::size_t N>
 bool contains(const std::string_view (&list)[N], std::string_view name) {
   for (std::string_view candidate : list) {
@@ -60,6 +91,13 @@ DiplomatPattern classify_ios_gl_function(std::string_view name) {
   if (contains(kMulti, name)) return DiplomatPattern::kMulti;
   if (contains(kUnimplemented, name)) return DiplomatPattern::kUnimplemented;
   return DiplomatPattern::kDirect;
+}
+
+bool classify_ios_gl_batchable(std::string_view name) {
+  // Only direct diplomats ever batch; the other patterns carry semantics
+  // (input rewriting, readbacks, side tables) the replay phase cannot defer.
+  return classify_ios_gl_function(name) == DiplomatPattern::kDirect &&
+         contains(kBatchable, name);
 }
 
 Table2Counts count_table2() {

@@ -13,6 +13,15 @@ namespace cycada::core {
 // function universe; unknown names classify as direct).
 DiplomatPattern classify_ios_gl_function(std::string_view name);
 
+// Whether the function may be recorded into the multi-diplomat command
+// buffer (src/core/batch.h) instead of crossing personas immediately. Only
+// direct diplomats that return void, take scalar-only arguments (no caller
+// pointers to defer) and carry no synchronization semantics qualify;
+// everything else — readbacks, pointer-taking uploads, draws consuming
+// client arrays, fences, and the data-dependent/multi patterns — forces a
+// flush and dispatches on its own.
+bool classify_ios_gl_batchable(std::string_view name);
+
 struct Table2Counts {
   int direct = 0;
   int indirect = 0;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "core/classification.h"
+
 namespace cycada::core {
 
 namespace {
@@ -128,6 +130,8 @@ DiplomatEntry& DiplomatRegistry::register_slow(std::string_view name,
   entry->name = std::string(name);
   entry->id = static_cast<DiplomatId>(live->entries.size());
   entry->pattern = pattern;
+  entry->batchable = pattern == DiplomatPattern::kDirect &&
+                     classify_ios_gl_batchable(name);
   DiplomatEntry* raw = entry.get();
   owned_.push_back(std::move(entry));
 
@@ -208,7 +212,8 @@ std::vector<DiplomatSnapshot> DiplomatRegistry::snapshot() const {
                    contract.domestic_calls.load(),
                    contract.skipped_calls.load(),
                    contract.unbalanced_persona.load(),
-                   contract.pattern_conflicts.load()});
+                   contract.pattern_conflicts.load(),
+                   contract.batched_calls.load(), entry->batchable});
   }
   return out;
 }

@@ -76,6 +76,12 @@ struct DiplomatContract {
   // Times the entry was re-requested under a different pattern than it was
   // registered with (two call sites disagreeing on classification).
   std::atomic<std::uint64_t> pattern_conflicts{0};
+  // Calls that reached the domestic function through the multi-diplomat
+  // command buffer (src/core/batch.h) instead of a private crossing. Legal
+  // only for entries the classifier marks batchable; a batch replays its
+  // calls under one shared crossing, so for these entries preludes may be
+  // fewer than domestic_calls (one prelude per batch, not per call).
+  std::atomic<std::uint64_t> batched_calls{0};
 
   void reset() {
     preludes.store(0);
@@ -84,6 +90,7 @@ struct DiplomatContract {
     skipped_calls.store(0);
     unbalanced_persona.store(0);
     pattern_conflicts.store(0);
+    batched_calls.store(0);
   }
 };
 
@@ -99,6 +106,10 @@ struct DiplomatEntry {
   std::string name;
   DiplomatId id = kInvalidDiplomatId;
   DiplomatPattern pattern = DiplomatPattern::kDirect;
+  // Whether the classifier allows this diplomat into the multi-diplomat
+  // command buffer (classify_ios_gl_batchable; set at registration, never
+  // changes). Non-batchable entries force a flush of any pending batch.
+  bool batchable = false;
   // Step-1 cache: the resolved domestic entry point (opaque).
   std::atomic<void*> cached_symbol{nullptr};
   // Incremented on every call, whether or not profiling is on, so counts
@@ -128,6 +139,8 @@ struct DiplomatSnapshot {
   std::uint64_t skipped_calls;
   std::uint64_t unbalanced_persona;
   std::uint64_t pattern_conflicts;
+  std::uint64_t batched_calls;
+  bool batchable;
 };
 
 // The immutable dispatch snapshot the registry publishes (docs/DISPATCH.md).

@@ -1,7 +1,9 @@
 #include "core/impersonation.h"
 
+#include "core/batch.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
+#include "util/faultpoint.h"
 #include "util/log.h"
 
 namespace cycada::core {
@@ -125,9 +127,19 @@ bool GraphicsTlsTracker::is_graphics_key(kernel::TlsKey key) const {
 
 ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {
   TRACE_SCOPE("impersonation", "acquire");
+  // TLS-migration boundary: calls recorded under this thread's own identity
+  // must replay before the target's TLS is installed.
+  flush_current_batch(BatchFlushReason::kImpersonation);
   kernel::Kernel& kernel = kernel::Kernel::instance();
   self_ = kernel.current_thread().tid();
   if (target_ == kernel::kInvalidTid || target_ == self_) return;
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("dispatch.impersonate");
+  if (fault.should_fail()) {
+    CYCADA_LOG(kWarn) << "injected dispatch.impersonate fault for target "
+                      << target_;
+    return;
+  }
   if (kernel.find_thread(target_) == nullptr) {
     CYCADA_LOG(kWarn) << "impersonation target " << target_ << " not found";
     return;
@@ -167,6 +179,9 @@ ThreadImpersonation::ThreadImpersonation(kernel::Tid target) : target_(target) {
 }
 
 ThreadImpersonation::~ThreadImpersonation() {
+  // Mirror of the constructor's boundary: nothing recorded while
+  // impersonating may replay after the identity and TLS are handed back.
+  flush_current_batch(BatchFlushReason::kImpersonation);
   if (!active_) return;
   TRACE_SCOPE("impersonation", "release");
   const int count = static_cast<int>(keys_.size());

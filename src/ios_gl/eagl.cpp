@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/batch.h"
 #include "core/diplomat.h"
 #include "gpu/device.h"
 #include "kernel/kernel.h"
@@ -84,6 +85,9 @@ StatusOr<EAGLContext::Ref> EAGLContext::init_with_api_sharegroup(
 
 bool EAGLContext::set_current_context(Ref context) {
   TRACE_SCOPE("gl", "EAGLContext.setCurrentContext");
+  // Pending batched calls were recorded against the outgoing context; they
+  // must land before another context owns this thread's GL stream.
+  core::flush_current_batch(core::BatchFlushReason::kContextSwitch);
   t_current_context = context;
   if (context == nullptr) return true;
   if (platform() == Platform::kNativeIos) {
@@ -217,10 +221,13 @@ Status EAGLContext::tex_image_io_surface(
                  core::DiplomatPattern::kMulti);
   android_gl::UiWrapper* wrapper = connection_.wrapper;
   auto serial = eglbridge::degraded_serial_lock(degraded());
-  return core::diplomat_call(entry, eglbridge::graphics_hooks(), [&] {
-    return iosurface::LinuxCoreSurface::instance().bind_gles_texture(
-        surface, wrapper, texture);
-  });
+  // Coalesces save-binding + bind + EGLImage target + restore-binding under
+  // one token-bracketed crossing.
+  return core::multi_diplomat_call(
+      entry, eglbridge::graphics_hooks(), /*coalesced_calls=*/4, [&] {
+        return iosurface::LinuxCoreSurface::instance().bind_gles_texture(
+            surface, wrapper, texture);
+      });
 }
 
 StatusOr<std::pair<int, int>> EAGLContext::drawable_size(

@@ -1,5 +1,6 @@
 #include "ios_gl/egl_bridge.h"
 
+#include "core/batch.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
 #include "glcore/context.h"
@@ -24,6 +25,10 @@ std::unique_lock<util::OrderedMutex> degraded_serial_lock(bool degraded) {
   if (!degraded) {
     return std::unique_lock<util::OrderedMutex>(*mutex, std::defer_lock);
   }
+  // Entering the degraded (serialized) path: recorded calls must not stay
+  // queued across the fallback boundary — their context may be unrelated to
+  // the shared connection this lock guards.
+  core::flush_current_batch(core::BatchFlushReason::kDegraded);
   return std::unique_lock<util::OrderedMutex>(*mutex);
 }
 
@@ -41,8 +46,11 @@ core::DiplomatHooks graphics_hooks() {
 StatusOr<BridgeConnection> aegl_bridge_init(int gles_version, int width,
                                             int height) {
   static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_init");
-  return core::diplomat_call(
-      entry, graphics_hooks(), [&]() -> StatusOr<BridgeConnection> {
+  // Coalesces EGL initialize + replica acquisition + context/surface setup
+  // under one token-bracketed crossing.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/3,
+      [&]() -> StatusOr<BridgeConnection> {
         android_gl::AndroidEgl* egl = android_gl::open_android_egl();
         if (egl == nullptr || egl->eglInitialize() != android_gl::EGL_TRUE) {
           return Status::internal("EGL initialization failed");
@@ -98,7 +106,9 @@ StatusOr<BridgeConnection> aegl_bridge_init(int gles_version, int width,
 
 Status aegl_bridge_destroy(const BridgeConnection& connection) {
   static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_destroy");
-  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+  // Coalesces unbind-if-current + connection release.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/2, [&]() -> Status {
     android_gl::AndroidEgl* egl = android_gl::open_android_egl();
     if (egl == nullptr) return Status::internal("no EGL wrapper");
     // Clear this thread's binding if it points into the connection.
@@ -130,7 +140,9 @@ Status aegl_bridge_destroy(const BridgeConnection& connection) {
 
 Status aegl_bridge_make_current(android_gl::UiWrapper* wrapper) {
   static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_make_current");
-  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+  // Coalesces context bind + surface bind.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/2, [&]() -> Status {
     if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
     return wrapper->make_current();
   });
@@ -140,8 +152,10 @@ StatusOr<gmem::BufferId> aegl_bridge_create_drawable(
     android_gl::UiWrapper* wrapper, int width, int height) {
   static core::DiplomatEntry& entry =
       bridge_entry("aegl_bridge_create_drawable");
-  return core::diplomat_call(entry, graphics_hooks(),
-                             [&]() -> StatusOr<gmem::BufferId> {
+  // Coalesces gralloc allocation + drawable registration.
+  return core::multi_diplomat_call(entry, graphics_hooks(),
+                                   /*coalesced_calls=*/2,
+                                   [&]() -> StatusOr<gmem::BufferId> {
                                if (wrapper == nullptr) {
                                  return Status::invalid_argument("null wrapper");
                                }
@@ -155,7 +169,9 @@ Status aegl_bridge_bind_renderbuffer(android_gl::UiWrapper* wrapper,
                                      gmem::BufferId buffer) {
   static core::DiplomatEntry& entry =
       bridge_entry("aegl_bridge_bind_renderbuffer");
-  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+  // Coalesces renderbuffer bind + storage attach.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/2, [&]() -> Status {
     if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
     return wrapper->bind_renderbuffer(rb, buffer);
   });
@@ -164,7 +180,10 @@ Status aegl_bridge_bind_renderbuffer(android_gl::UiWrapper* wrapper,
 Status aegl_bridge_draw_fbo_tex(android_gl::UiWrapper* wrapper,
                                 gmem::BufferId content) {
   static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_draw_fbo_tex");
-  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+  // Coalesces FBO bind + texture bind + quad setup + draw under one
+  // crossing — the bridge's original ad-hoc batch, now token-bracketed.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/4, [&]() -> Status {
     if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
     return wrapper->draw_fbo_tex(content);
   });
@@ -173,7 +192,9 @@ Status aegl_bridge_draw_fbo_tex(android_gl::UiWrapper* wrapper,
 Status egl_swap_buffers(android_gl::UiWrapper* wrapper) {
   static core::DiplomatEntry& entry = core::DiplomatRegistry::instance().entry(
       "eglSwapBuffers", core::DiplomatPattern::kMulti);
-  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+  // Coalesces back-buffer flip + composition handoff.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/2, [&]() -> Status {
     if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
     return wrapper->swap_buffers();
   });
@@ -182,7 +203,9 @@ Status egl_swap_buffers(android_gl::UiWrapper* wrapper) {
 Status aegl_bridge_copy_tex_buf(android_gl::UiWrapper* wrapper,
                                 glcore::GLuint texture, gmem::BufferId dst) {
   static core::DiplomatEntry& entry = bridge_entry("aegl_bridge_copy_tex_buf");
-  return core::diplomat_call(entry, graphics_hooks(), [&]() -> Status {
+  // Coalesces texture source bind + readback + buffer write.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/3, [&]() -> Status {
     if (wrapper == nullptr) return Status::invalid_argument("null wrapper");
     return wrapper->copy_tex_buf(texture, dst);
   });

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/classification.h"
 #include "glcore/api_registry.h"
 #include "core/diplomat.h"
@@ -51,7 +52,10 @@ core::DiplomatId gl_diplomat_id(std::string_view name) {
 }
 
 // Dispatches one iOS GLES call: direct on native iOS, a diplomat into the
-// current EAGLContext's replica engine on Cycada.
+// current EAGLContext's replica engine on Cycada. While a core::BatchScope
+// is open, batchable calls queue in the multi-diplomat command buffer and
+// cross personas together at the next flush; everything else flushes the
+// pending batch and crosses on its own.
 template <typename Fn>
 std::invoke_result_t<Fn, glcore::GlesEngine&> dispatch(
     core::DiplomatEntry& entry, Fn&& fn) {
@@ -66,6 +70,22 @@ std::invoke_result_t<Fn, glcore::GlesEngine&> dispatch(
   }
   const bool migrate = kernel::sys_gettid() != eagl->creator_tid();
   android_gl::UiWrapper* wrapper = eagl->wrapper();
+  if constexpr (std::is_void_v<Result>) {
+    // Batchable calls (void return, scalar args) defer: the closure owns
+    // copies of its arguments — call sites capture by value — plus a
+    // context Ref so the replica engine outlives the deferred replay.
+    // Migrating threads never batch (replay would need the creator's TLS),
+    // and degraded contexts serialize through the fallback connection.
+    if (entry.batchable && !migrate && core::batching_active() &&
+        !eagl->degraded() &&
+        core::batch_record(entry, eglbridge::graphics_hooks(),
+                           [fn, eagl]() { fn(*eagl->wrapper()->engine()); })) {
+      return;
+    }
+  }
+  // Any other dispatch needs the bus in program order: replay whatever the
+  // recorder still holds before crossing for this call.
+  core::flush_current_batch(core::BatchFlushReason::kNonBatchable);
   return core::diplomat_call(entry, eglbridge::graphics_hooks(),
                              [&]() -> Result {
                                MigrationScope scope(migrate ? eagl.get()
@@ -90,60 +110,60 @@ std::invoke_result_t<Fn, glcore::GlesEngine&> dispatch(
 
 void glClear(GLbitfield mask) {
   IOS_GL(glClear);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glClear(mask); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClear(mask); });
 }
 
 void glClearColor(GLclampf r, GLclampf g, GLclampf b, GLclampf a) {
   IOS_GL(glClearColor);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glClearColor(r, g, b, a); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClearColor(r, g, b, a); });
 }
 
 void glClearDepthf(GLclampf depth) {
   IOS_GL(glClearDepthf);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glClearDepthf(depth); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClearDepthf(depth); });
 }
 
 void glEnable(GLenum cap) {
   IOS_GL(glEnable);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glEnable(cap); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glEnable(cap); });
 }
 
 void glDisable(GLenum cap) {
   IOS_GL(glDisable);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glDisable(cap); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDisable(cap); });
 }
 
 void glBlendFunc(GLenum sfactor, GLenum dfactor) {
   IOS_GL(glBlendFunc);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glBlendFunc(sfactor, dfactor); });
+           [=](glcore::GlesEngine& gl) { gl.glBlendFunc(sfactor, dfactor); });
 }
 
 void glDepthFunc(GLenum func) {
   IOS_GL(glDepthFunc);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glDepthFunc(func); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDepthFunc(func); });
 }
 
 void glDepthMask(GLboolean flag) {
   IOS_GL(glDepthMask);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glDepthMask(flag); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDepthMask(flag); });
 }
 
 void glCullFace(GLenum mode) {
   IOS_GL(glCullFace);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glCullFace(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glCullFace(mode); });
 }
 
 void glViewport(GLint x, GLint y, GLsizei width, GLsizei height) {
   IOS_GL(glViewport);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glViewport(x, y, width, height); });
+           [=](glcore::GlesEngine& gl) { gl.glViewport(x, y, width, height); });
 }
 
 void glScissor(GLint x, GLint y, GLsizei width, GLsizei height) {
   IOS_GL(glScissor);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glScissor(x, y, width, height); });
+           [=](glcore::GlesEngine& gl) { gl.glScissor(x, y, width, height); });
 }
 
 void glFlush() {
@@ -240,7 +260,7 @@ void glReadPixels(GLint x, GLint y, GLsizei width, GLsizei height,
 
 void glPointSize(GLfloat size) {
   IOS_GL(glPointSize);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glPointSize(size); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glPointSize(size); });
 }
 
 void glGetFloatv(GLenum pname, GLfloat* params) {
@@ -251,50 +271,50 @@ void glGetFloatv(GLenum pname, GLfloat* params) {
 
 void glColorMask(GLboolean r, GLboolean g, GLboolean b, GLboolean a) {
   IOS_GL(glColorMask);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glColorMask(r, g, b, a); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glColorMask(r, g, b, a); });
 }
 
 void glFrontFace(GLenum mode) {
   IOS_GL(glFrontFace);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glFrontFace(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glFrontFace(mode); });
 }
 
 void glLineWidth(GLfloat width) {
   IOS_GL(glLineWidth);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glLineWidth(width); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLineWidth(width); });
 }
 
 void glDepthRangef(GLclampf near_val, GLclampf far_val) {
   IOS_GL(glDepthRangef);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glDepthRangef(near_val, far_val);
   });
 }
 
 void glBlendEquation(GLenum mode) {
   IOS_GL(glBlendEquation);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glBlendEquation(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glBlendEquation(mode); });
 }
 
 void glHint(GLenum target, GLenum mode) {
   IOS_GL(glHint);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glHint(target, mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glHint(target, mode); });
 }
 
 void glStencilFunc(GLenum func, GLint ref, GLuint mask) {
   IOS_GL(glStencilFunc);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glStencilFunc(func, ref, mask); });
+           [=](glcore::GlesEngine& gl) { gl.glStencilFunc(func, ref, mask); });
 }
 
 void glStencilMask(GLuint mask) {
   IOS_GL(glStencilMask);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glStencilMask(mask); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glStencilMask(mask); });
 }
 
 void glStencilOp(GLenum sfail, GLenum dpfail, GLenum dppass) {
   IOS_GL(glStencilOp);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glStencilOp(sfail, dpfail, dppass);
   });
 }
@@ -302,7 +322,7 @@ void glStencilOp(GLenum sfail, GLenum dpfail, GLenum dppass) {
 void glPolygonOffset(GLfloat factor, GLfloat units) {
   IOS_GL(glPolygonOffset);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glPolygonOffset(factor, units); });
+           [=](glcore::GlesEngine& gl) { gl.glPolygonOffset(factor, units); });
 }
 
 // --- Textures ---------------------------------------------------------------
@@ -334,17 +354,17 @@ void glDeleteTextures(GLsizei n, const GLuint* names) {
 void glBindTexture(GLenum target, GLuint name) {
   IOS_GL(glBindTexture);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glBindTexture(target, name); });
+           [=](glcore::GlesEngine& gl) { gl.glBindTexture(target, name); });
 }
 
 void glActiveTexture(GLenum unit) {
   IOS_GL(glActiveTexture);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glActiveTexture(unit); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glActiveTexture(unit); });
 }
 
 void glTexParameteri(GLenum target, GLenum pname, GLint param) {
   IOS_GL(glTexParameteri);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glTexParameteri(target, pname, param);
   });
 }
@@ -400,7 +420,7 @@ void glCopyTexImage2D(GLenum target, GLint level, GLenum internal_format,
                       GLint x, GLint y, GLsizei width, GLsizei height,
                       GLint border) {
   IOS_GL(glCopyTexImage2D);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glCopyTexImage2D(target, level, internal_format, x, y, width, height,
                         border);
   });
@@ -410,7 +430,7 @@ void glCopyTexSubImage2D(GLenum target, GLint level, GLint xoffset,
                          GLint yoffset, GLint x, GLint y, GLsizei width,
                          GLsizei height) {
   IOS_GL(glCopyTexSubImage2D);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glCopyTexSubImage2D(target, level, xoffset, yoffset, x, y, width,
                            height);
   });
@@ -418,7 +438,7 @@ void glCopyTexSubImage2D(GLenum target, GLint level, GLint xoffset,
 
 void glGenerateMipmap(GLenum target) {
   IOS_GL(glGenerateMipmap);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glGenerateMipmap(target); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glGenerateMipmap(target); });
 }
 
 GLboolean glIsBuffer(GLuint name) {
@@ -450,7 +470,7 @@ void glDeleteBuffers(GLsizei n, const GLuint* names) {
 void glBindBuffer(GLenum target, GLuint name) {
   IOS_GL(glBindBuffer);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glBindBuffer(target, name); });
+           [=](glcore::GlesEngine& gl) { gl.glBindBuffer(target, name); });
 }
 
 void glBufferData(GLenum target, GLsizeiptr size, const void* data,
@@ -486,7 +506,7 @@ void glDeleteFramebuffers(GLsizei n, const GLuint* names) {
 void glBindFramebuffer(GLenum target, GLuint name) {
   IOS_GL(glBindFramebuffer);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glBindFramebuffer(target, name); });
+           [=](glcore::GlesEngine& gl) { gl.glBindFramebuffer(target, name); });
 }
 
 void glGenRenderbuffers(GLsizei n, GLuint* out) {
@@ -504,7 +524,7 @@ void glDeleteRenderbuffers(GLsizei n, const GLuint* names) {
 
 void glBindRenderbuffer(GLenum target, GLuint name) {
   IOS_GL(glBindRenderbuffer);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glBindRenderbuffer(target, name);
   });
 }
@@ -520,7 +540,7 @@ void glRenderbufferStorage(GLenum target, GLenum internal_format,
 void glFramebufferRenderbuffer(GLenum target, GLenum attachment,
                                GLenum rb_target, GLuint renderbuffer) {
   IOS_GL(glFramebufferRenderbuffer);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glFramebufferRenderbuffer(target, attachment, rb_target, renderbuffer);
   });
 }
@@ -528,7 +548,7 @@ void glFramebufferRenderbuffer(GLenum target, GLenum attachment,
 void glFramebufferTexture2D(GLenum target, GLenum attachment,
                             GLenum tex_target, GLuint texture, GLint level) {
   IOS_GL(glFramebufferTexture2D);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glFramebufferTexture2D(target, attachment, tex_target, texture, level);
   });
 }
@@ -557,7 +577,7 @@ GLuint glCreateShader(GLenum type) {
 
 void glDeleteShader(GLuint shader) {
   IOS_GL(glDeleteShader);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glDeleteShader(shader); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDeleteShader(shader); });
 }
 
 void glShaderSource(GLuint shader, GLsizei count, const char* const* strings,
@@ -570,7 +590,7 @@ void glShaderSource(GLuint shader, GLsizei count, const char* const* strings,
 
 void glCompileShader(GLuint shader) {
   IOS_GL(glCompileShader);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glCompileShader(shader); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glCompileShader(shader); });
 }
 
 void glGetShaderiv(GLuint shader, GLenum pname, GLint* params) {
@@ -588,19 +608,19 @@ GLuint glCreateProgram() {
 
 void glDeleteProgram(GLuint program) {
   IOS_GL(glDeleteProgram);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glDeleteProgram(program); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDeleteProgram(program); });
 }
 
 void glAttachShader(GLuint program, GLuint shader) {
   IOS_GL(glAttachShader);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glAttachShader(program, shader);
   });
 }
 
 void glLinkProgram(GLuint program) {
   IOS_GL(glLinkProgram);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glLinkProgram(program); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLinkProgram(program); });
 }
 
 void glGetProgramiv(GLuint program, GLenum pname, GLint* params) {
@@ -612,7 +632,7 @@ void glGetProgramiv(GLuint program, GLenum pname, GLint* params) {
 
 void glUseProgram(GLuint program) {
   IOS_GL(glUseProgram);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glUseProgram(program); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glUseProgram(program); });
 }
 
 GLint glGetAttribLocation(GLuint program, const char* name) {
@@ -639,7 +659,7 @@ void glUniformMatrix4fv(GLint location, GLsizei count, GLboolean transpose,
 
 void glUniform4f(GLint location, GLfloat x, GLfloat y, GLfloat z, GLfloat w) {
   IOS_GL(glUniform4f);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glUniform4f(location, x, y, z, w);
   });
 }
@@ -654,27 +674,27 @@ void glUniform4fv(GLint location, GLsizei count, const GLfloat* value) {
 void glUniform1i(GLint location, GLint value) {
   IOS_GL(glUniform1i);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glUniform1i(location, value); });
+           [=](glcore::GlesEngine& gl) { gl.glUniform1i(location, value); });
 }
 
 void glUniform1f(GLint location, GLfloat value) {
   IOS_GL(glUniform1f);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glUniform1f(location, value); });
+           [=](glcore::GlesEngine& gl) { gl.glUniform1f(location, value); });
 }
 
 // --- Vertex attributes / draws -----------------------------------------------
 
 void glEnableVertexAttribArray(GLuint index) {
   IOS_GL(glEnableVertexAttribArray);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glEnableVertexAttribArray(index);
   });
 }
 
 void glDisableVertexAttribArray(GLuint index) {
   IOS_GL(glDisableVertexAttribArray);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glDisableVertexAttribArray(index);
   });
 }
@@ -691,7 +711,7 @@ void glVertexAttribPointer(GLuint index, GLint size, GLenum type,
 void glVertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
                       GLfloat w) {
   IOS_GL(glVertexAttrib4f);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glVertexAttrib4f(index, x, y, z, w);
   });
 }
@@ -715,12 +735,12 @@ void glDrawElements(GLenum mode, GLsizei count, GLenum type,
 
 void glMatrixMode(GLenum mode) {
   IOS_GL(glMatrixMode);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glMatrixMode(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glMatrixMode(mode); });
 }
 
 void glLoadIdentity() {
   IOS_GL(glLoadIdentity);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glLoadIdentity(); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLoadIdentity(); });
 }
 
 void glLoadMatrixf(const GLfloat* m) {
@@ -735,59 +755,59 @@ void glMultMatrixf(const GLfloat* m) {
 
 void glPushMatrix() {
   IOS_GL(glPushMatrix);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glPushMatrix(); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glPushMatrix(); });
 }
 
 void glPopMatrix() {
   IOS_GL(glPopMatrix);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glPopMatrix(); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glPopMatrix(); });
 }
 
 void glTranslatef(GLfloat x, GLfloat y, GLfloat z) {
   IOS_GL(glTranslatef);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glTranslatef(x, y, z); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glTranslatef(x, y, z); });
 }
 
 void glRotatef(GLfloat angle, GLfloat x, GLfloat y, GLfloat z) {
   IOS_GL(glRotatef);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glRotatef(angle, x, y, z); });
+           [=](glcore::GlesEngine& gl) { gl.glRotatef(angle, x, y, z); });
 }
 
 void glScalef(GLfloat x, GLfloat y, GLfloat z) {
   IOS_GL(glScalef);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glScalef(x, y, z); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glScalef(x, y, z); });
 }
 
 void glOrthof(GLfloat l, GLfloat r, GLfloat b, GLfloat t, GLfloat n,
               GLfloat f) {
   IOS_GL(glOrthof);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glOrthof(l, r, b, t, n, f); });
+           [=](glcore::GlesEngine& gl) { gl.glOrthof(l, r, b, t, n, f); });
 }
 
 void glFrustumf(GLfloat l, GLfloat r, GLfloat b, GLfloat t, GLfloat n,
                 GLfloat f) {
   IOS_GL(glFrustumf);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glFrustumf(l, r, b, t, n, f); });
+           [=](glcore::GlesEngine& gl) { gl.glFrustumf(l, r, b, t, n, f); });
 }
 
 void glColor4f(GLfloat r, GLfloat g, GLfloat b, GLfloat a) {
   IOS_GL(glColor4f);
-  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glColor4f(r, g, b, a); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glColor4f(r, g, b, a); });
 }
 
 void glEnableClientState(GLenum array) {
   IOS_GL(glEnableClientState);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glEnableClientState(array); });
+           [=](glcore::GlesEngine& gl) { gl.glEnableClientState(array); });
 }
 
 void glDisableClientState(GLenum array) {
   IOS_GL(glDisableClientState);
   dispatch(entry,
-           [&](glcore::GlesEngine& gl) { gl.glDisableClientState(array); });
+           [=](glcore::GlesEngine& gl) { gl.glDisableClientState(array); });
 }
 
 void glVertexPointer(GLint size, GLenum type, GLsizei stride,
@@ -823,7 +843,7 @@ void glNormalPointer(GLenum type, GLsizei stride, const void* pointer) {
 
 void glTexEnvi(GLenum target, GLenum pname, GLint param) {
   IOS_GL(glTexEnvi);
-  dispatch(entry, [&](glcore::GlesEngine& gl) {
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glTexEnvi(target, pname, param);
   });
 }

@@ -1,8 +1,10 @@
 #include "iosurface/iosurface.h"
 
+#include "core/batch.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
 #include "glcore/gl_types.h"
+#include "util/faultpoint.h"
 
 namespace cycada::iosurface {
 
@@ -65,6 +67,13 @@ IOSurfaceRef LinuxCoreSurface::lookup(IOSurfaceId id) {
 
 Status LinuxCoreSurface::lock(const IOSurfaceRef& surface, bool read_only) {
   if (surface == nullptr) return Status::invalid_argument("null surface");
+  // The §6.2 disassociation dance below is a transactional GL sequence; an
+  // injected failure here models the GraphicBuffer refusing the CPU lock.
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("iosurface.lock");
+  if (fault.should_fail()) {
+    return Status::resource_exhausted("injected iosurface.lock fault");
+  }
   std::lock_guard lock(mutex_);
   if (surface->locked_) {
     return Status::failed_precondition("surface already locked");
@@ -108,6 +117,13 @@ Status LinuxCoreSurface::lock(const IOSurfaceRef& surface, bool read_only) {
 
 Status LinuxCoreSurface::unlock(const IOSurfaceRef& surface) {
   if (surface == nullptr) return Status::invalid_argument("null surface");
+  // Unlock failure leaves the surface CPU-locked (still consistent): the
+  // caller can retry, which is what the Robustness suite exercises.
+  static util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("iosurface.unlock");
+  if (fault.should_fail()) {
+    return Status::resource_exhausted("injected iosurface.unlock fault");
+  }
   std::lock_guard lock(mutex_);
   if (!surface->locked_) {
     return Status::failed_precondition("surface is not locked");
@@ -239,18 +255,23 @@ int IOSurfaceGetHeight(const IOSurfaceRef& surface) {
 Status IOSurfaceLock(const IOSurfaceRef& surface, std::uint32_t options) {
   static core::DiplomatEntry& entry = core::DiplomatRegistry::instance().entry(
       "IOSurfaceLock", core::DiplomatPattern::kMulti);
-  return core::diplomat_call(entry, graphics_hooks(), [&] {
-    return LinuxCoreSurface::instance().lock(
-        surface, (options & kIOSurfaceLockReadOnly) != 0);
-  });
+  // Coalesces the §6.2 disassociation dance (save binding + rebind to the
+  // single-pixel buffer + restore + EGLImage teardown) plus the CPU lock.
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/4, [&] {
+        return LinuxCoreSurface::instance().lock(
+            surface, (options & kIOSurfaceLockReadOnly) != 0);
+      });
 }
 
 Status IOSurfaceUnlock(const IOSurfaceRef& surface) {
   static core::DiplomatEntry& entry = core::DiplomatRegistry::instance().entry(
       "IOSurfaceUnlock", core::DiplomatPattern::kMulti);
-  return core::diplomat_call(entry, graphics_hooks(), [&] {
-    return LinuxCoreSurface::instance().unlock(surface);
-  });
+  // Coalesces the CPU unlock plus the §6.2 re-association (new EGLImage +
+  // save binding + rebind + restore).
+  return core::multi_diplomat_call(
+      entry, graphics_hooks(), /*coalesced_calls=*/4,
+      [&] { return LinuxCoreSurface::instance().unlock(surface); });
 }
 
 }  // namespace cycada::iosurface

@@ -6,20 +6,26 @@ namespace cycada::util {
 
 namespace {
 
-// Per-thread pin state. The slot pointer survives for the thread's
-// lifetime; the destructor hands the slot back so thread churn does not
-// exhaust the fixed array (the slot's epoch is 0 whenever no Guard is
-// live, so a handed-back slot is immediately reusable).
-struct ThreadPin {
-  void* slot = nullptr;
-  std::atomic<const void*>* owner = nullptr;
-  bool overflow = false;
-  int depth = 0;
-  ~ThreadPin() {
-    if (owner != nullptr) owner->store(nullptr, std::memory_order_release);
+// Hands a dying thread's slot back so thread churn does not exhaust the
+// fixed array, and clears the slot's epoch (not just the owner) so a dead
+// thread's cached pin cannot hold the reclamation floor. Kept out of
+// EpochThreadPin itself: a destructor there would force the lazy-init TLS
+// wrapper onto every Guard fast-path access. Constructed (and thereby
+// registered for thread exit) only when a slot is first acquired.
+struct PinSlotJanitor {
+  ~PinSlotJanitor() {
+    detail::EpochThreadPin& pin = detail::t_epoch_pin;
+    if (pin.slot_epoch != nullptr)
+      pin.slot_epoch->store(0, std::memory_order_release);
+    if (pin.owner != nullptr)
+      pin.owner->store(nullptr, std::memory_order_release);
   }
 };
-thread_local ThreadPin t_pin;
+
+void register_pin_janitor() {
+  thread_local PinSlotJanitor janitor;
+  (void)janitor;
+}
 
 }  // namespace
 
@@ -29,22 +35,34 @@ EpochReclaimer& EpochReclaimer::instance() {
 }
 
 EpochReclaimer::PinSlot* EpochReclaimer::acquire_slot() {
-  if (t_pin.slot != nullptr) return static_cast<PinSlot*>(t_pin.slot);
-  if (t_pin.overflow) return nullptr;
+  if (detail::t_epoch_pin.slot != nullptr) return static_cast<PinSlot*>(detail::t_epoch_pin.slot);
+  if (detail::t_epoch_pin.overflow) return nullptr;
   for (PinSlot& slot : slots_) {
     const void* expected = nullptr;
-    if (slot.owner.compare_exchange_strong(expected, &t_pin,
+    if (slot.owner.compare_exchange_strong(expected, &detail::t_epoch_pin,
                                            std::memory_order_acq_rel)) {
-      t_pin.slot = &slot;
-      t_pin.owner = &slot.owner;
+      detail::t_epoch_pin.slot = &slot;
+      detail::t_epoch_pin.owner = &slot.owner;
+      detail::t_epoch_pin.slot_epoch = &slot.epoch;
+      register_pin_janitor();
       return &slot;
     }
   }
-  t_pin.overflow = true;
+  detail::t_epoch_pin.overflow = true;
   return nullptr;
 }
 
 void EpochReclaimer::pin() {
+  // Cached-pin fast path: the slot still publishes the epoch from a prior
+  // guard. The pin never lapsed, so everything retired since carries a
+  // stamp >= published (stamps are monotonic) and stays protected; if the
+  // relaxed load of the global epoch says nothing moved, there is no reason
+  // to re-publish and the fence is skipped entirely. A stale relaxed read
+  // only delays revalidation — the standing pin keeps the read safe.
+  if (detail::t_epoch_pin.published != 0 &&
+      global_epoch_.load(std::memory_order_relaxed) == detail::t_epoch_pin.published) {
+    return;
+  }
   PinSlot* slot = acquire_slot();
   if (slot == nullptr) {
     // Slot table full: count the pin globally. try_reclaim() refuses to
@@ -55,7 +73,9 @@ void EpochReclaimer::pin() {
   // Publish-then-confirm: store the observed epoch, fence, and re-read. If
   // the global epoch moved we re-publish, so by the time pin() returns the
   // slot holds an epoch no older than any retirement stamp a concurrent
-  // writer could have taken without seeing our pin.
+  // writer could have taken without seeing our pin. Overwriting a cached
+  // pin with a newer epoch is a single store — the slot is never 0 in
+  // between, so the floor computation always sees one of the two values.
   std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
   for (;;) {
     slot->epoch.store(epoch, std::memory_order_seq_cst);
@@ -63,26 +83,28 @@ void EpochReclaimer::pin() {
     if (now == epoch) break;
     epoch = now;
   }
+  detail::t_epoch_pin.published = epoch;
 }
 
 void EpochReclaimer::unpin() {
-  if (t_pin.slot != nullptr) {
-    static_cast<PinSlot*>(t_pin.slot)
-        ->epoch.store(0, std::memory_order_release);
+  if (detail::t_epoch_pin.slot != nullptr) {
+    // Leave the pin published (cached) so the next guard on this thread can
+    // revalidate fence-free. release_cached_pin() or thread exit drops it.
     return;
   }
   overflow_pins_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
-EpochReclaimer::Guard::Guard() {
-  if (t_pin.depth++ == 0) EpochReclaimer::instance().pin();
-}
-
-EpochReclaimer::Guard::~Guard() {
-  if (--t_pin.depth == 0) EpochReclaimer::instance().unpin();
+void EpochReclaimer::release_cached_pin() {
+  if (detail::t_epoch_pin.depth != 0 || detail::t_epoch_pin.published == 0) return;
+  static_cast<PinSlot*>(detail::t_epoch_pin.slot)->epoch.store(0, std::memory_order_release);
+  detail::t_epoch_pin.published = 0;
 }
 
 void EpochReclaimer::retire(void* ptr, void (*deleter)(void*)) {
+  // The retiring thread's own cached pin would otherwise hold the floor at
+  // whatever epoch it last probed — drop it (no-op inside an active guard).
+  release_cached_pin();
   const std::uint64_t stamp =
       global_epoch_.fetch_add(1, std::memory_order_seq_cst);
   std::size_t pending;
@@ -99,6 +121,7 @@ void EpochReclaimer::retire(void* ptr, void (*deleter)(void*)) {
 }
 
 std::size_t EpochReclaimer::try_reclaim() {
+  release_cached_pin();
   if (overflow_pins_.load(std::memory_order_seq_cst) != 0) return 0;
   // Any reader that pins after this load observes an epoch >= `floor`, so
   // items stamped strictly below the minimum pinned epoch are unreachable.

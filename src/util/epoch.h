@@ -14,6 +14,20 @@
 // Slots are a fixed array; threads past the capacity fall back to a shared
 // overflow count that blocks reclamation entirely while nonzero —
 // conservative, never unsafe.
+//
+// Pins are *cached*: when the outermost Guard on a thread exits, the slot
+// keeps its published epoch instead of clearing to 0. The next Guard on the
+// same thread revalidates with one relaxed load of the global epoch — no
+// fence — and only re-runs the publish-then-confirm protocol when the epoch
+// advanced. This removes the seq_cst store/load pair from steady-state
+// snapshot probes (the ~12 ns the dispatch rotating-name path regressed by
+// when tables started retiring). Safety is unchanged: a standing pin at
+// epoch E protects everything retired at stamp >= E, and stamps are
+// monotonic, so a pin that never lapses never needs re-publication to stay
+// safe — only to let the floor advance. Cached (inactive) pins are released
+// by the owning thread at thread exit, by retire()/try_reclaim() for the
+// calling thread, and explicitly via release_cached_pin(), so an idle
+// thread's stale pin cannot stall reclamation driven from active threads.
 #pragma once
 
 #include <atomic>
@@ -25,16 +39,58 @@
 
 namespace cycada::util {
 
+namespace detail {
+// Per-thread pin state. The slot pointer survives for the thread's
+// lifetime. `published` mirrors the epoch the slot currently holds
+// (0 = none): it may stay nonzero between guards — a *cached* pin — so
+// the next guard can revalidate with one relaxed load instead of the
+// publish-then-confirm fence.
+//
+// Deliberately trivially destructible and constinit: that lets the
+// compiler reach it with a direct TLS access instead of the lazy-init
+// wrapper a thread_local with a destructor requires — the wrapper call
+// alone costs more than the whole Guard fast path. Slot hand-back at
+// thread exit is done by a separate janitor thread_local (epoch.cpp),
+// registered only on the slow path when a slot is first acquired.
+struct EpochThreadPin {
+  void* slot = nullptr;
+  std::atomic<const void*>* owner = nullptr;
+  std::atomic<std::uint64_t>* slot_epoch = nullptr;
+  std::uint64_t published = 0;
+  bool overflow = false;
+  int depth = 0;
+};
+inline constinit thread_local EpochThreadPin t_epoch_pin{};
+}  // namespace detail
+
 class EpochReclaimer {
  public:
   static EpochReclaimer& instance();
 
-  // RAII epoch pin. Reentrant per thread (inner guards are free); cheap
-  // enough for per-snapshot-read use but not meant for the dispatch path.
+  // RAII epoch pin. Reentrant per thread (inner guards are free). The
+  // outermost guard leaves the slot's pin *published* on exit; re-entering
+  // while the global epoch is unchanged costs one relaxed load. Both paths
+  // are defined inline here — the whole steady-state cost is a TLS access,
+  // a depth bump and that relaxed load, cheap enough for the dispatch
+  // rotating-name probe path (the out-of-line pin()/unpin() calls only
+  // happen when the epoch moved, on first use, or for overflow pins).
   class Guard {
    public:
-    Guard();
-    ~Guard();
+    Guard() {
+      detail::EpochThreadPin& pin = detail::t_epoch_pin;
+      if (pin.depth++ != 0) return;
+      if (pin.published != 0 &&
+          global_epoch_.load(std::memory_order_relaxed) == pin.published) {
+        return;  // cached pin still current: nothing to publish
+      }
+      instance().pin();
+    }
+    ~Guard() {
+      detail::EpochThreadPin& pin = detail::t_epoch_pin;
+      // Slot pins stay published (cached); only overflow pins must be
+      // released eagerly, since they block reclamation outright.
+      if (--pin.depth == 0 && pin.overflow) instance().unpin();
+    }
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
   };
@@ -52,6 +108,13 @@ class EpochReclaimer {
   // Frees every retired object whose stamp has drained; returns how many.
   // Also called automatically when the retired list crosses a threshold.
   std::size_t try_reclaim();
+
+  // Drops the calling thread's cached (inactive) pin so it no longer holds
+  // the reclamation floor. No-op while a Guard is live on this thread, or
+  // when nothing is cached. retire()/try_reclaim() call this for their own
+  // thread; long-lived threads that stop touching snapshots may call it at
+  // quiescent points.
+  void release_cached_pin();
 
   std::size_t retired_count() const;        // currently awaiting reclamation
   std::uint64_t reclaimed_total() const;    // freed since process start
@@ -79,7 +142,7 @@ class EpochReclaimer {
   void pin();
   void unpin();
 
-  std::atomic<std::uint64_t> global_epoch_{1};
+  inline static std::atomic<std::uint64_t> global_epoch_{1};
   PinSlot slots_[kSlots];
   std::atomic<std::uint64_t> overflow_pins_{0};
   std::atomic<std::uint64_t> reclaimed_total_{0};

@@ -120,8 +120,9 @@ FaultRegistry& FaultRegistry::instance() {
 
 const std::vector<std::string>& FaultRegistry::catalog() {
   static const auto* names = new std::vector<std::string>{
-      "linker.dlopen",     "linker.dlforce",     "kernel.set_persona",
+      "linker.dlopen",      "linker.dlforce",     "kernel.set_persona",
       "egl.create_context", "egl.create_surface", "gmem.allocate",
+      "iosurface.lock",     "iosurface.unlock",   "dispatch.impersonate",
   };
   return *names;
 }
@@ -173,40 +174,54 @@ bool FaultRegistry::configure(std::string_view spec) {
       }
     }
 
-    FaultPoint& target = point(name);
+    // Parse the trigger once, then apply it either to the named point or —
+    // for the chaos-mode pseudo-name "all" — to every catalog probe.
     std::uint64_t value = 0;
-    if (trigger == "off") {
-      target.disarm();
-    } else if (trigger == "once") {
-      if (arg1.empty()) {
-        target.arm_once();
-      } else if (parse_u64(arg1, value)) {
-        target.arm_once(value);
+    auto apply = [&](FaultPoint& target) -> bool {
+      if (trigger == "off") {
+        target.disarm();
+      } else if (trigger == "once") {
+        if (arg1.empty()) {
+          target.arm_once();
+        } else if (parse_u64(arg1, value)) {
+          target.arm_once(value);
+        } else {
+          CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad once count in '" << item
+                            << "'";
+          return false;
+        }
+      } else if (trigger == "every") {
+        if (parse_u64(arg1, value) && value > 0) {
+          target.arm_every(value);
+        } else {
+          CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad every-N in '" << item << "'";
+          return false;
+        }
+      } else if (trigger == "prob") {
+        std::uint64_t seed = 1;
+        if (parse_u64(arg1, value) && value <= 1000000 &&
+            (arg2.empty() || parse_u64(arg2, seed))) {
+          target.arm_probability(static_cast<std::uint32_t>(value), seed);
+        } else {
+          CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad prob ppm/seed in '" << item
+                            << "'";
+          return false;
+        }
       } else {
-        CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad once count in '" << item
-                          << "'";
-        ok = false;
+        CYCADA_LOG(kWarn) << "CYCADA_FAULT: unknown trigger in '" << item
+                          << "' (want once|every|prob|off)";
+        return false;
       }
-    } else if (trigger == "every") {
-      if (parse_u64(arg1, value) && value > 0) {
-        target.arm_every(value);
-      } else {
-        CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad every-N in '" << item << "'";
-        ok = false;
+      return true;
+    };
+    if (name == "all") {
+      for (const std::string& catalog_name : catalog()) {
+        if (!apply(point(catalog_name))) {
+          ok = false;
+          break;  // the entry is malformed; reporting it once is enough
+        }
       }
-    } else if (trigger == "prob") {
-      std::uint64_t seed = 1;
-      if (parse_u64(arg1, value) && value <= 1000000 &&
-          (arg2.empty() || parse_u64(arg2, seed))) {
-        target.arm_probability(static_cast<std::uint32_t>(value), seed);
-      } else {
-        CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad prob ppm/seed in '" << item
-                          << "'";
-        ok = false;
-      }
-    } else {
-      CYCADA_LOG(kWarn) << "CYCADA_FAULT: unknown trigger in '" << item
-                        << "' (want once|every|prob|off)";
+    } else if (!apply(point(name))) {
       ok = false;
     }
   }

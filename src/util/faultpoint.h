@@ -18,7 +18,10 @@
 //
 // Spec grammar (comma-separated): name=once | once:K | every:N |
 // prob:PPM[:SEED] | off. Unknown names register a new point (tests use
-// ad-hoc points); malformed entries are logged and skipped.
+// ad-hoc points); malformed entries are logged and skipped. The pseudo-name
+// "all" applies one trigger to every catalog probe at once — chaos mode:
+//
+//   CYCADA_FAULT="all=prob:1000:7"   # 0.1% on every built-in probe, seed 7
 //
 // Every evaluation and every fire is exported through the PR 1 metrics
 // layer as fault.<name>.hits / fault.<name>.fires.

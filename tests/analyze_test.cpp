@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/classification.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
@@ -232,6 +233,55 @@ TEST_F(AnalyzeTest, DetectsClassificationMismatch) {
   EXPECT_TRUE(report.has_rule("diplomat.classification-mismatch") ||
               report.has_rule("diplomat.pattern-conflict") ||
               report.has_rule("diplomat.unimplemented-invoked"));
+}
+
+TEST_F(AnalyzeTest, BatchedWorkloadStaysClean) {
+  // A well-behaved batch — classifier-approved entries recorded under a
+  // scope and fully flushed — must produce no findings: the checker accepts
+  // preludes < domestic_calls for batchable entries (one library prelude
+  // per batch) and sees nothing pending at the quiescent point.
+  core::DiplomatEntry& entry =
+      make_entry("glEnable", core::DiplomatPattern::kDirect);
+  ASSERT_TRUE(entry.batchable);
+  {
+    core::BatchScope scope;
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(core::batch_record(entry, {}, [] {}));
+    }
+  }
+  Report report;
+  check_diplomat_contracts(report);
+  if (!report.clean()) report.print(std::cerr);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST_F(AnalyzeTest, DetectsIllegalBatchedCall) {
+  // Batched evidence on an entry the classifier never approved (and that is
+  // not a kMulti coalescer) means a call site smuggled a non-batchable
+  // diplomat into a command buffer.
+  core::DiplomatEntry& entry =
+      make_entry("test_never_batch", core::DiplomatPattern::kDirect);
+  ASSERT_FALSE(entry.batchable);
+  entry.calls.fetch_add(1);
+  entry.contract.domestic_calls.fetch_add(1);
+  entry.contract.batched_calls.fetch_add(1);
+
+  Report report;
+  check_diplomat_contracts(report);
+  EXPECT_TRUE(report.has_rule("batch.illegal-batched-call"));
+}
+
+TEST_F(AnalyzeTest, DetectsUnflushedBatchAtExit) {
+  core::DiplomatEntry& entry =
+      make_entry("glEnable", core::DiplomatPattern::kDirect);
+  core::BatchScope scope;
+  ASSERT_TRUE(core::batch_record(entry, {}, [] {}));
+  // A quiescent point with a call still queued: the foreign caller believes
+  // that GL call happened, but it never replayed.
+  Report report;
+  check_diplomat_contracts(report);
+  EXPECT_TRUE(report.has_rule("batch.unflushed-at-exit"));
+  // The scope destructor flushes it; a re-check comes back clean.
 }
 
 // --- Lock-order violations (seeded) -----------------------------------------

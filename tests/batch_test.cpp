@@ -1,0 +1,324 @@
+// Command-buffer batching (src/core/batch.h): recording rules, every
+// implicit flush boundary, and the fault-atomicity guarantees of the
+// token-bracketed crossing.
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/diplomat.h"
+#include "core/impersonation.h"
+#include "glport/system_config.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/egl_bridge.h"
+#include "kernel/kernel.h"
+#include "trace/metrics.h"
+#include "util/faultpoint.h"
+
+namespace cycada::core {
+namespace {
+
+std::uint64_t counter_value(const char* name) {
+  return trace::MetricsRegistry::instance().counter(name).value();
+}
+
+// A classifier-approved batchable diplomat (direct, void, scalar args).
+DiplomatEntry& batchable_entry() {
+  return DiplomatRegistry::instance().entry("glEnable",
+                                            DiplomatPattern::kDirect);
+}
+
+// A thread registered with the kernel, usable as an impersonation target.
+class RegisteredHelperThread {
+ public:
+  RegisteredHelperThread() {
+    thread_ = std::thread([this] {
+      kernel::ThreadState& state =
+          kernel::Kernel::instance().register_current_thread(
+              kernel::Persona::kIos);
+      tid_.store(state.tid(), std::memory_order_release);
+      while (!stop_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+    while (tid_.load(std::memory_order_acquire) == kernel::kInvalidTid) {
+      std::this_thread::yield();
+    }
+  }
+  ~RegisteredHelperThread() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+  kernel::Tid tid() const { return tid_.load(std::memory_order_acquire); }
+
+ private:
+  std::thread thread_;
+  std::atomic<kernel::Tid> tid_{kernel::kInvalidTid};
+  std::atomic<bool> stop_{false};
+};
+
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+    util::FaultRegistry::instance().disarm_all();
+    ASSERT_EQ(pending_batched_calls(), 0u);
+  }
+  void TearDown() override {
+    flush_current_batch(BatchFlushReason::kExplicit);
+    util::FaultRegistry::instance().disarm_all();
+  }
+};
+
+// --- Recording rules ---------------------------------------------------------
+
+TEST_F(BatchTest, RecordsOnlyInsideScopeAndOnlyBatchable) {
+  DiplomatEntry& batchable = batchable_entry();
+  DiplomatEntry& plain = DiplomatRegistry::instance().entry(
+      "batch_test.not_batchable", DiplomatPattern::kDirect);
+  ASSERT_TRUE(batchable.batchable);
+  ASSERT_FALSE(plain.batchable);
+
+  // No scope open: nothing records, the caller dispatches normally.
+  EXPECT_FALSE(batching_active());
+  EXPECT_FALSE(batch_record(batchable, {}, [] {}));
+  {
+    BatchScope scope;
+    EXPECT_TRUE(batching_active());
+    EXPECT_TRUE(batch_record(batchable, {}, [] {}));
+    EXPECT_EQ(pending_batched_calls(), 1u);
+    // Non-batchable diplomats never queue, even inside a scope.
+    EXPECT_FALSE(batch_record(plain, {}, [] {}));
+    EXPECT_EQ(pending_batched_calls(), 1u);
+  }
+  EXPECT_FALSE(batching_active());
+  EXPECT_EQ(pending_batched_calls(), 0u);
+}
+
+TEST_F(BatchTest, SizeCapFlushesAutomatically) {
+  DiplomatEntry& entry = batchable_entry();
+  const std::uint64_t calls_before = entry.calls.load();
+  const std::uint64_t flushes_before =
+      counter_value("dispatch.batch.flush.size_cap");
+  const std::uint64_t switches_before = counter_value("persona.switches");
+  {
+    BatchScope scope(/*size_cap=*/4);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(batch_record(entry, {}, [] {}));
+    }
+    // The cap flushed inside the scope: nothing waits for scope exit.
+    EXPECT_EQ(pending_batched_calls(), 0u);
+  }
+  EXPECT_EQ(counter_value("dispatch.batch.flush.size_cap"),
+            flushes_before + 1);
+  EXPECT_EQ(entry.calls.load(), calls_before + 4);
+  // Four calls shared one crossing: two persona switches, not eight.
+  EXPECT_EQ(counter_value("persona.switches"), switches_before + 2);
+}
+
+TEST_F(BatchTest, ScopeExitFlushesInOrder) {
+  DiplomatEntry& entry = batchable_entry();
+  const std::uint64_t exit_before =
+      counter_value("dispatch.batch.flush.scope_exit");
+  std::vector<int> order;
+  {
+    BatchScope scope;
+    for (int i = 1; i <= 3; ++i) {
+      // Replays are deferred: arguments must be captured by value.
+      ASSERT_TRUE(batch_record(entry, {}, [&order, i] { order.push_back(i); }));
+    }
+    EXPECT_TRUE(order.empty());  // nothing ran yet
+    EXPECT_EQ(pending_batched_calls(), 3u);
+  }
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3}));
+  EXPECT_EQ(counter_value("dispatch.batch.flush.scope_exit"), exit_before + 1);
+}
+
+TEST_F(BatchTest, EmptyScopeIsANoOpCrossing) {
+  const std::uint64_t switches_before = counter_value("persona.switches");
+  const std::uint64_t empty_before =
+      counter_value("dispatch.batch.empty_flushes");
+  { BatchScope scope; }
+  // No syscalls at all for an empty batch — just the bookkeeping counter.
+  EXPECT_EQ(counter_value("persona.switches"), switches_before);
+  EXPECT_EQ(counter_value("dispatch.batch.empty_flushes"), empty_before + 1);
+}
+
+TEST_F(BatchTest, NestedScopesFlushOnceAtOutermostExit) {
+  DiplomatEntry& entry = batchable_entry();
+  const std::uint64_t exit_before =
+      counter_value("dispatch.batch.flush.scope_exit");
+  std::vector<int> order;
+  {
+    BatchScope outer;
+    {
+      BatchScope inner;
+      ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(1); }));
+    }
+    // The inner scope exit is free: the batch belongs to the outermost.
+    EXPECT_EQ(pending_batched_calls(), 1u);
+    EXPECT_TRUE(order.empty());
+    ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(2); }));
+  }
+  EXPECT_EQ(order, std::vector<int>({1, 2}));
+  EXPECT_EQ(counter_value("dispatch.batch.flush.scope_exit"), exit_before + 1);
+}
+
+// --- Implicit flush boundaries ----------------------------------------------
+
+TEST_F(BatchTest, ContextSwitchFlushesMidBatch) {
+  auto first = ios_gl::EAGLContext::init_with_api(
+      ios_gl::EAGLRenderingAPI::kOpenGLES2, 16, 16);
+  auto second = ios_gl::EAGLContext::init_with_api(
+      ios_gl::EAGLRenderingAPI::kOpenGLES2, 16, 16);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  ios_gl::EAGLContext::set_current_context(*first);
+
+  DiplomatEntry& entry = batchable_entry();
+  const std::uint64_t ctx_before =
+      counter_value("dispatch.batch.flush.context_switch");
+  std::vector<int> order;
+  {
+    BatchScope scope;
+    ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(1); }));
+    // Making another context current is a batch boundary: queued calls
+    // belong to the old context's command stream and must land first.
+    ios_gl::EAGLContext::set_current_context(*second);
+    EXPECT_EQ(order, std::vector<int>({1}));
+    ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(2); }));
+    // ...and switching back is a boundary again (nested switch mid-batch).
+    ios_gl::EAGLContext::set_current_context(*first);
+    EXPECT_EQ(order, std::vector<int>({1, 2}));
+  }
+  EXPECT_GE(counter_value("dispatch.batch.flush.context_switch"),
+            ctx_before + 2);
+  ios_gl::EAGLContext::clear_current_context();
+}
+
+TEST_F(BatchTest, ImpersonationBoundaryFlushesBothWays) {
+  RegisteredHelperThread target;
+  DiplomatEntry& entry = batchable_entry();
+  const std::uint64_t imp_before =
+      counter_value("dispatch.batch.flush.impersonation");
+  std::vector<int> order;
+  {
+    BatchScope scope;
+    ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(1); }));
+    {
+      // Impersonation start migrates TLS: calls recorded under our own
+      // identity must replay before the target's TLS is installed.
+      ThreadImpersonation imp(target.tid());
+      EXPECT_TRUE(imp.active());
+      EXPECT_EQ(order, std::vector<int>({1}));
+      ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(2); }));
+      // ...and nothing recorded while impersonating may replay after the
+      // identity is handed back (the destructor boundary).
+    }
+    EXPECT_EQ(order, std::vector<int>({1, 2}));
+  }
+  EXPECT_GE(counter_value("dispatch.batch.flush.impersonation"),
+            imp_before + 2);
+}
+
+TEST_F(BatchTest, DegradedEntryFlushes) {
+  DiplomatEntry& entry = batchable_entry();
+  const std::uint64_t degraded_before =
+      counter_value("dispatch.batch.flush.degraded");
+  std::vector<int> order;
+  {
+    BatchScope scope;
+    ASSERT_TRUE(batch_record(entry, {}, [&order] { order.push_back(1); }));
+    // Entering the degraded serial section is a boundary: batched replay
+    // must not straddle the fallback's serialization lock.
+    auto lock = ios_gl::eglbridge::degraded_serial_lock(/*degraded=*/true);
+    EXPECT_EQ(order, std::vector<int>({1}));
+  }
+  EXPECT_EQ(counter_value("dispatch.batch.flush.degraded"),
+            degraded_before + 1);
+}
+
+// --- Fault atomicity ---------------------------------------------------------
+
+TEST_F(BatchTest, AbortedCrossingReplaysEveryCallExactlyOnce) {
+  DiplomatEntry& entry = batchable_entry();
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("kernel.set_persona");
+  const std::uint64_t calls_before = entry.calls.load();
+  const std::uint64_t aborted_before = counter_value("dispatch.batch.aborted");
+  const kernel::Persona caller =
+      kernel::Kernel::instance().current_thread().persona();
+
+  std::vector<int> order;
+  {
+    BatchScope scope;
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(batch_record(entry, {}, [&order, i] { order.push_back(i); }));
+    }
+    // Every set_persona now fails: the crossing cannot open, so the whole
+    // batch aborts to the plain single-call procedure.
+    fault.disarm();
+    fault.arm_every(1);
+    flush_current_batch(BatchFlushReason::kExplicit);
+    fault.disarm();
+  }
+  // Atomicity: every queued call ran exactly once, in order, and the
+  // thread came back in the caller's persona.
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3}));
+  EXPECT_EQ(entry.calls.load(), calls_before + 3);
+  EXPECT_EQ(counter_value("dispatch.batch.aborted"), aborted_before + 1);
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(), caller);
+}
+
+TEST_F(BatchTest, ForcedCloseNeverLeaksTheAndroidPersona) {
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("kernel.set_persona");
+  const kernel::Persona caller =
+      kernel::Kernel::instance().current_thread().persona();
+  const std::uint64_t forced_before =
+      counter_value("dispatch.batch.close_forced");
+
+  const std::uint64_t token = detail::batched_crossing_begin();
+  ASSERT_NE(token, 0u);
+  // The crossing is open; now every close attempt fails persistently. The
+  // recovery path must force it shut — a leaked Android persona (and a
+  // stuck token) would corrupt every later syscall on this thread.
+  fault.disarm();
+  fault.arm_every(1);
+  EXPECT_FALSE(detail::batched_crossing_end(token, caller, 1));
+  fault.disarm();
+
+  EXPECT_EQ(counter_value("dispatch.batch.close_forced"), forced_before + 1);
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(), caller);
+  // The token was cleared: a fresh crossing opens and closes normally.
+  const std::uint64_t next = detail::batched_crossing_begin();
+  ASSERT_NE(next, 0u);
+  EXPECT_TRUE(detail::batched_crossing_end(next, caller, 1));
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(), caller);
+}
+
+TEST_F(BatchTest, TokenMisuseIsRejectedByTheKernel) {
+  const kernel::Persona caller =
+      kernel::Kernel::instance().current_thread().persona();
+  const long token = kernel::sys_persona_batch_begin(kernel::Persona::kAndroid);
+  ASSERT_GT(token, 0);
+  // One batch per thread: a nested open is a caller bug, not a new token.
+  EXPECT_LT(kernel::sys_persona_batch_begin(kernel::Persona::kAndroid), 0);
+  // A close must present the thread's own token.
+  EXPECT_LT(kernel::sys_persona_batch_end(
+                static_cast<std::uint64_t>(token) + 1, caller, 1),
+            0);
+  // Neither rejection disturbed the open crossing.
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(),
+            kernel::Persona::kAndroid);
+  EXPECT_EQ(kernel::sys_persona_batch_end(static_cast<std::uint64_t>(token),
+                                          caller, 1),
+            0);
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(), caller);
+}
+
+}  // namespace
+}  // namespace cycada::core

@@ -14,6 +14,7 @@
 #include "android_gl/egl.h"
 #include "android_gl/vendor.h"
 #include "core/diplomat.h"
+#include "core/impersonation.h"
 #include "glcore/engine.h"
 #include "glport/system_config.h"
 #include "gpu/device.h"
@@ -554,6 +555,82 @@ TEST(RobustnessFaultConfigTest, ConfigureParsesTheCycadaFaultGrammar) {
   }
 }
 
+TEST(RobustnessFaultConfigTest, AllAppliesOneTriggerToTheWholeCatalog) {
+  util::FaultRegistry& registry = util::FaultRegistry::instance();
+  EXPECT_TRUE(registry.configure("all=prob:1000:42"));
+  for (const std::string& name : util::FaultRegistry::catalog()) {
+    EXPECT_EQ(registry.point(name).trigger(), util::FaultTrigger::kProbability)
+        << name;
+  }
+  EXPECT_TRUE(registry.configure("all=off"));
+  for (const std::string& name : util::FaultRegistry::catalog()) {
+    EXPECT_EQ(registry.point(name).trigger(), util::FaultTrigger::kDisarmed)
+        << name;
+  }
+  // A malformed trigger on the pseudo-name is one error, not nine.
+  EXPECT_FALSE(registry.configure("all=bogus"));
+  registry.disarm_all();
+}
+
+TEST(RobustnessFaultPointTest, InjectedIOSurfaceLockFaultFailsGracefully) {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  auto surface = iosurface::IOSurfaceCreate({.width = 8, .height = 8});
+  ASSERT_NE(surface, nullptr);
+
+  util::FaultPoint& lock_fault =
+      util::FaultRegistry::instance().point("iosurface.lock");
+  lock_fault.disarm();
+  lock_fault.arm_once(1);
+  // The injected failure surfaces as a clean Status, not a crash, and the
+  // surface stays usable: the very next lock succeeds.
+  EXPECT_FALSE(iosurface::IOSurfaceLock(surface).is_ok());
+  EXPECT_TRUE(iosurface::IOSurfaceLock(surface).is_ok());
+  lock_fault.disarm();
+
+  util::FaultPoint& unlock_fault =
+      util::FaultRegistry::instance().point("iosurface.unlock");
+  unlock_fault.disarm();
+  unlock_fault.arm_once(1);
+  EXPECT_FALSE(iosurface::IOSurfaceUnlock(surface).is_ok());
+  unlock_fault.disarm();
+  // The failed unlock did not corrupt lock state: the retry drains it.
+  EXPECT_TRUE(iosurface::IOSurfaceUnlock(surface).is_ok());
+}
+
+TEST(RobustnessFaultPointTest, InjectedImpersonationFaultLeavesThreadUsable) {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  std::atomic<kernel::Tid> target{kernel::kInvalidTid};
+  std::atomic<bool> stop{false};
+  std::thread helper([&] {
+    kernel::ThreadState& state =
+        kernel::Kernel::instance().register_current_thread(
+            kernel::Persona::kIos);
+    target.store(state.tid(), std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (target.load(std::memory_order_acquire) == kernel::kInvalidTid) {
+    std::this_thread::yield();
+  }
+
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("dispatch.impersonate");
+  fault.disarm();
+  fault.arm_once(1);
+  {
+    // The injected failure declines the impersonation instead of migrating
+    // TLS halfway: the guard reports inactive and its destructor is a no-op.
+    core::ThreadImpersonation failed(target.load());
+    EXPECT_FALSE(failed.active());
+  }
+  fault.disarm();
+  {
+    core::ThreadImpersonation ok(target.load());
+    EXPECT_TRUE(ok.active());
+  }
+  stop.store(true, std::memory_order_release);
+  helper.join();
+}
+
 TEST(RobustnessRetryTest, RetriesUntilSuccessThenGivesUp) {
   int calls = 0;
   Status status = util::retry_with_backoff(5, [&calls]() -> Status {
@@ -674,6 +751,47 @@ TEST(RobustnessEpochTest, PinnedReaderBlocksReclaimUntilReleased) {
   reader.join();
   EXPECT_EQ(epoch.try_reclaim(), 1u);  // unpinned: the backlog drains
   EXPECT_EQ(epoch.retired_count(), 0u);
+}
+
+TEST(RobustnessEpochTest, CachedPinHoldsFloorUntilReleased) {
+  // The outermost Guard leaves its pin *published* on exit (the cached-pin
+  // fast path that keeps steady-state dispatch probes fence-free). The cost
+  // of that caching is deliberate and bounded: an idle thread's cached pin
+  // holds the reclamation floor only until release_cached_pin().
+  util::EpochReclaimer& epoch = util::EpochReclaimer::instance();
+  (void)epoch.try_reclaim();
+  ASSERT_EQ(epoch.retired_count(), 0u);
+
+  std::atomic<int> stage{0};
+  std::thread idler([&stage] {
+    { util::EpochReclaimer::Guard guard; }  // exits; the pin stays cached
+    stage.store(1, std::memory_order_release);
+    while (stage.load(std::memory_order_acquire) != 2) {
+      std::this_thread::yield();
+    }
+    util::EpochReclaimer::instance().release_cached_pin();
+    stage.store(3, std::memory_order_release);
+    while (stage.load(std::memory_order_acquire) != 4) {
+      std::this_thread::yield();
+    }
+  });
+  while (stage.load(std::memory_order_acquire) != 1) {
+    std::this_thread::yield();
+  }
+  // No guard is live anywhere, but the idler's cached pin still floors the
+  // epoch: the retirement that follows must not drain.
+  epoch.retire(new int(1));
+  EXPECT_EQ(epoch.try_reclaim(), 0u);
+  EXPECT_EQ(epoch.retired_count(), 1u);
+  stage.store(2, std::memory_order_release);
+  while (stage.load(std::memory_order_acquire) != 3) {
+    std::this_thread::yield();
+  }
+  // Released (thread still alive): the backlog drains without a join.
+  EXPECT_EQ(epoch.try_reclaim(), 1u);
+  EXPECT_EQ(epoch.retired_count(), 0u);
+  stage.store(4, std::memory_order_release);
+  idler.join();
 }
 
 // --- Replica pool: warm reuse, LRU eviction, live cap ------------------------
