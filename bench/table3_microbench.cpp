@@ -7,6 +7,7 @@
 // the paper's ARM hardware; the orderings and ratios are the result.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <iostream>
 
 #include "core/batch.h"
@@ -226,6 +227,80 @@ void run_batching_proof() {
   cycada::kernel::sys_set_persona(Persona::kAndroid);
 }
 
+// --- Capture overhead (src/trace/cyt.h) --------------------------------------
+
+// The observability tax: the same dispatch loop with the .cyt recorder off
+// and on. The capture hot path is clock-free and share-nothing (a record
+// built into a thread-private chunk; see src/trace/cyt.h), so the marginal
+// cost is a handful of stores per call.
+//
+// The <10% acceptance gate is evaluated against the paper's Table 3
+// diplomat dispatch latency (816 ns; DESIGN.md §Table 3). The simulation
+// compresses that crossing to ~50 ns (EXPERIMENTS.md keeps the paper/sim
+// ratios, not the absolute scale), while capture's cost here is real
+// hardware nanoseconds — dividing real capture ns by a ~16x-compressed
+// dispatch would overstate the tax by the same 16x. Both ratios are
+// printed; the sim-relative one is informational.
+void run_capture_overhead_proof() {
+  namespace core = cycada::core;
+  namespace trace = cycada::trace;
+  configure(TrapModel::kCycada, Persona::kIos);
+  auto& entry = core::DiplomatRegistry::instance().entry(
+      "glEnable", core::DiplomatPattern::kDirect);
+  constexpr int kWarmup = 2048;
+  constexpr int kCalls = 32768;
+  constexpr int kRepeats = 3;  // best-of: the host is a single shared CPU
+  constexpr double kPaperDiplomatNs = 816.0;
+  const auto measure = [&] {
+    double best = 0.0;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      for (int i = 0; i < kWarmup; ++i) core::diplomat_call(entry, {}, [] {});
+      const std::int64_t start = cycada::now_ns();
+      for (int i = 0; i < kCalls; ++i) core::diplomat_call(entry, {}, [] {});
+      const double ns = static_cast<double>(cycada::now_ns() - start) /
+                        static_cast<double>(kCalls);
+      if (repeat == 0 || ns < best) best = ns;
+    }
+    return best;
+  };
+
+  const double off_ns = measure();
+  const char* path = "/tmp/cycada_table3_capture.cyt";
+  trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+  if (!recorder.start(path).is_ok()) {
+    std::printf("capture overhead: recorder start failed, skipping\n");
+    return;
+  }
+  const double on_ns = measure();
+  (void)recorder.stop();
+  std::remove(path);
+
+  const double overhead_ns = on_ns > off_ns ? on_ns - off_ns : 0.0;
+  const double pct_sim = off_ns > 0 ? overhead_ns / off_ns * 100.0 : 0.0;
+  const double pct_table3 = overhead_ns / kPaperDiplomatNs * 100.0;
+  std::printf(
+      "\nTrace capture overhead (CYCADA_TRACE_CAPTURE, %d calls, best of "
+      "%d)\n"
+      "%-40s %10.1f ns/call\n"
+      "%-40s %10.1f ns/call  (+%.1f ns, +%.1f%% of the sim dispatch)\n"
+      "%-40s %10.1f%%  (%s; +%.1f ns on the paper's 816 ns diplomat)\n",
+      kCalls, kRepeats, "dispatch, capture off", off_ns,
+      "dispatch, capture on", on_ns, overhead_ns, pct_sim,
+      "vs table3 diplomat dispatch latency", pct_table3,
+      pct_table3 < 10.0 ? "< 10%: PASS" : ">= 10%: FAIL", overhead_ns);
+
+  trace::MetricsRegistry& metrics = trace::MetricsRegistry::instance();
+  metrics.counter("table3.capture.dispatch_off_ns")
+      .set(static_cast<std::uint64_t>(off_ns));
+  metrics.counter("table3.capture.dispatch_on_ns")
+      .set(static_cast<std::uint64_t>(on_ns));
+  metrics.counter("table3.capture.overhead_pct_sim_x1000")
+      .set(static_cast<std::uint64_t>(pct_sim * 1000.0));
+  metrics.counter("table3.capture.overhead_pct_table3_x1000")
+      .set(static_cast<std::uint64_t>(pct_table3 * 1000.0));
+  cycada::kernel::sys_set_persona(Persona::kAndroid);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +319,7 @@ int main(int argc, char** argv) {
   const auto comparison = cycada::benchcmp::run_dispatch_comparison();
   cycada::benchcmp::report_dispatch_comparison(comparison, "table3");
   run_batching_proof();
+  run_capture_overhead_proof();
   cycada::trace::emit_bench_json(
       std::cout,
       cycada::trace::MetricsRegistry::instance().snapshot().to_json());

@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# Produces the committed benchmark baseline for this PR (BENCH_pr5.json):
-# a Release build of the two bench targets, each run with CYCADA_BENCH_JSON
+# Produces the committed benchmark baseline for this PR (BENCH_pr6.json):
+# a Release build of the bench targets, each run with CYCADA_BENCH_JSON
 # pointed at a temp file, merged into one document whose schema is described
 # in docs/BENCHMARKING.md. Counters are merged flat; histograms keep their
 # per-run p50/p95/p99 so bench_compare.sh can gate on tail latency too.
+# The trace-replay leg (docs/TRACING.md) captures a golden workload and
+# replays it at 4 threads so replay throughput rides the same gate.
 # From the repo root:
 #
-#   ./scripts/bench_baseline.sh                # writes BENCH_pr5.json
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr6.json
 #   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
-#   BENCH_PR=5 ./scripts/bench_baseline.sh     # writes BENCH_pr5.json
+#   BENCH_PR=6 ./scripts/bench_baseline.sh     # writes BENCH_pr6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${BENCH_PR:-5}"
+PR="${BENCH_PR:-6}"
 OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
 BUILD=build-bench
 
@@ -20,7 +22,7 @@ echo "==> configuring ${BUILD} (Release)"
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> building bench targets"
 cmake --build "${BUILD}" -j --target table3_microbench \
-  table2_diplomat_breakdown >/dev/null
+  table2_diplomat_breakdown cycada_trace_gen cycada_replay >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -31,6 +33,12 @@ CYCADA_BENCH_JSON="${tmpdir}/table3.json" \
 echo "==> running table2_diplomat_breakdown"
 CYCADA_BENCH_JSON="${tmpdir}/table2.json" \
   "./${BUILD}/bench/table2_diplomat_breakdown" >/dev/null
+echo "==> running trace replay (4 threads, max rate)"
+"./${BUILD}/tools/cycada_trace_gen" "${tmpdir}/replay.cyt" --frames 3 \
+  >/dev/null
+CYCADA_BENCH_JSON="${tmpdir}/replay.json" \
+  "./${BUILD}/tools/cycada_replay" "${tmpdir}/replay.cyt" \
+  --threads 4 --iterations 16 --verify >/dev/null
 
 # Merge the two bench documents (shell-only; no python/jq dependency). Each
 # emits {"counters":{...},"histograms":{...}}; the counters object is flat
@@ -58,10 +66,12 @@ join_nonempty() {
   printf '{"schema":"cycada-bench/v1","pr":%d,"build":"Release","counters":{' \
     "${PR}"
   printf '%s' "$(join_nonempty "$(counters "${tmpdir}/table3.json")" \
-    "$(counters "${tmpdir}/table2.json")")"
+    "$(counters "${tmpdir}/table2.json")" \
+    "$(counters "${tmpdir}/replay.json")")"
   printf '},"histograms":{'
   printf '%s' "$(join_nonempty "$(histograms "${tmpdir}/table3.json")" \
-    "$(histograms "${tmpdir}/table2.json")")"
+    "$(histograms "${tmpdir}/table2.json")" \
+    "$(histograms "${tmpdir}/replay.json")")"
   printf '}}\n'
 } > "${OUT}"
 

@@ -22,6 +22,17 @@ if [[ $# -ne 2 || ! -f "$1" || ! -f "$2" ]]; then
 fi
 THRESHOLD="${CYCADA_BENCH_THRESHOLD:-0.10}"
 
+# Both documents must carry the cycada-bench/v1 schema tag. Comparing
+# across schema generations silently produces nonsense, so fail loudly.
+SCHEMA='"schema":"cycada-bench/v1"'
+for doc in "$1" "$2"; do
+  if ! tr -d ' \n' < "${doc}" | grep -qF "${SCHEMA}"; then
+    echo "bench_compare: ${doc} is not a cycada-bench/v1 document" \
+         "(missing ${SCHEMA}); refusing to compare" >&2
+    exit 2
+  fi
+done
+
 # Flattens one bench document to "key value" lines: counters as-is,
 # histogram entries as <histogram>.<field>. Shell + awk only (no jq).
 flatten() {

@@ -23,6 +23,28 @@ run cmake --build build -j
 (cd build && run ctest --output-on-failure -j "$(nproc)")
 run ./build/tools/cycada_check --root "$(pwd)/src"
 
+# --- Trace capture / replay leg (docs/TRACING.md) ----------------------------
+# Capture the real PassMark and SunSpider bench runs, replay the PassMark
+# stream at 1 and 4 threads with fidelity verification (per-diplomat counts
+# exact, crossings/call within 5%), and mine both captures with the trace
+# checker. Any finding fails the leg; batchability candidates are advisory.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "${tracedir}"' EXIT
+echo "==> capturing fig6_passmark + fig5_sunspider (CYCADA_TRACE_CAPTURE)"
+run env CYCADA_TRACE_CAPTURE="${tracedir}/passmark.cyt" \
+  ./build/bench/fig6_passmark
+run env CYCADA_TRACE_CAPTURE="${tracedir}/sunspider.cyt" \
+  ./build/bench/fig5_sunspider
+echo "==> replaying the PassMark capture (1 and 4 threads, max rate)"
+run ./build/tools/cycada_replay "${tracedir}/passmark.cyt" \
+  --threads 1 --iterations 2 --verify
+run ./build/tools/cycada_replay "${tracedir}/passmark.cyt" \
+  --threads 4 --iterations 2 --verify
+echo "==> mining the captures (zero findings gate)"
+run ./build/tools/cycada_check --trace "${tracedir}/passmark.cyt" \
+  --trace "${tracedir}/sunspider.cyt" \
+  --trace "$(pwd)/tests/data/golden_passmark.cyt"
+
 # --- Fault-injected analyzer run (docs/ROBUSTNESS.md) ------------------------
 # Persistent replica-mint failures: the workload must complete in degraded
 # mode with zero findings, not crash.

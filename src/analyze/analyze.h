@@ -10,6 +10,8 @@
 // seeded negative test in tests/analyze_test.cpp.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "kernel/kernel.h"
+#include "trace/cyt.h"
 
 namespace cycada::analyze {
 
@@ -147,6 +150,55 @@ void check_tls_migration(Report& report);
 //                       than releases (a failure path leaked a held mutex;
 //                       requires recording to have been on)
 void check_fault_safety(Report& report);
+
+// --- Trace mining (docs/TRACING.md) -----------------------------------------
+
+struct TraceAuditOptions {
+  // Shortest run of consecutive batch-eligible plain calls worth reporting
+  // as a batchability candidate.
+  std::size_t min_run_length = 4;
+};
+
+// One advisory batchability candidate mined from a trace. Candidates are
+// NOT findings — they are leads for extending classify_ios_gl_batchable /
+// adopting BatchScope, printed by cycada_check --trace but never gating.
+struct BatchCandidate {
+  std::string name;
+  // Batch-eligible plain calls observed inside qualifying runs.
+  std::uint64_t occurrences = 0;
+  std::uint64_t longest_run = 0;
+  bool classifier_batchable = false;
+  std::string why;
+};
+
+struct TraceAudit {
+  std::uint64_t events = 0;
+  std::uint64_t calls = 0;
+  std::vector<BatchCandidate> candidates;
+};
+
+// Mines a captured .cyt stream for contract violations and classification
+// leads. Rules (checker "trace"):
+//   trace.illegal-skip             a kSkip event on a non-data-dependent def
+//   trace.illegal-batched-call     a batched event on a non-batchable def
+//   trace.pattern-contradiction    observed behaviour contradicts the
+//                                  recorded Table 2 pattern (e.g. a kMulti
+//                                  crossing on a non-multi def)
+//   trace.classification-mismatch  a def's recorded pattern/batchable bit
+//                                  disagrees with this build's classifier
+//   trace.unimplemented-invoked    an event on a kUnimplemented def
+//   trace.def-missing              an event references an id with no def
+//   trace.empty-flush              a batch flush closing zero calls
+// Returns the advisory audit (batchability candidates and totals).
+TraceAudit check_trace(const trace::ParsedTrace& trace, Report& report,
+                       const TraceAuditOptions& options = {});
+
+// Compares per-diplomat call counts a replay was expected to produce
+// (core::trace_call_counts × threads × iterations) against the observed
+// registry deltas. Any mismatch is a trace.replay-divergence finding.
+void check_replay_divergence(
+    const std::map<std::string, std::uint64_t>& expected,
+    const std::map<std::string, std::uint64_t>& observed, Report& report);
 
 // --- Source lint ------------------------------------------------------------
 

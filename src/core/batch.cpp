@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "trace/cyt.h"
 #include "trace/trace.h"
 
 namespace cycada::core {
@@ -12,6 +13,10 @@ namespace {
 struct BatchItem {
   DiplomatEntry* entry;
   std::function<void()> replay;
+  // Scalar args the GL dispatch layer staged for this call, captured at
+  // record time so the trace event written at flush carries them (replay is
+  // deferred; the thread's staging has long since moved on).
+  trace::CytStagedArgs capture;
 };
 
 // Per-thread recorder. `scope_depth` counts nested BatchScopes; recording
@@ -95,6 +100,13 @@ void replay_batch(ThreadBatch& batch, BatchFlushReason reason) {
     }
     metrics.counter("dispatch.batch.aborted").add();
     for (BatchItem& item : items) {
+      // Re-stage the call's recorded args so the trace records this batch
+      // as exactly the plain-call sequence that actually ran — a replayed
+      // faulted trace must match live counters (docs/TRACING.md).
+      if (trace::capture_enabled() && item.capture.armed) {
+        trace::capture_stage_args(item.capture.args, item.capture.count,
+                                  item.capture.void_return);
+      }
       diplomat_call(*item.entry, hooks, item.replay);
     }
     return;
@@ -132,6 +144,27 @@ void replay_batch(ThreadBatch& batch, BatchFlushReason reason) {
   }
   metrics.counter("dispatch.batch.flushes").add();
   metrics.counter("dispatch.batch.calls").add(items.size());
+
+  // Trace capture happens at flush time (not record time), so the file
+  // reflects what actually crossed: per-item kBatchedCall events followed
+  // by one kBatchFlush closing the shared crossing. The aborted path above
+  // records plain kCall events through diplomat_call instead.
+  if (trace::capture_enabled()) {
+    const auto persona = static_cast<std::uint8_t>(caller_persona);
+    for (const BatchItem& item : items) {
+      trace::capture_diplomat_event(
+          trace::CytEventKind::kBatchedCall, item.entry->id, item.entry->name,
+          static_cast<std::uint8_t>(item.entry->pattern),
+          item.entry->batchable, persona, /*aux=*/0, /*reason=*/0,
+          &item.capture);
+    }
+    const trace::CytStagedArgs no_args;
+    trace::capture_diplomat_event(
+        trace::CytEventKind::kBatchFlush, opener.id, opener.name,
+        static_cast<std::uint8_t>(opener.pattern), opener.batchable, persona,
+        static_cast<std::uint32_t>(items.size()),
+        static_cast<std::uint8_t>(reason), &no_args);
+  }
 }
 
 }  // namespace
@@ -175,7 +208,9 @@ bool batch_record(DiplomatEntry& entry, const DiplomatHooks& hooks,
     batch.hooks = hooks;
     batch.caller = caller;
   }
-  batch.items.push_back({&entry, std::move(replay)});
+  BatchItem item{&entry, std::move(replay), {}};
+  if (trace::capture_enabled()) item.capture = trace::capture_take_staged();
+  batch.items.push_back(std::move(item));
   g_pending.fetch_add(1, std::memory_order_relaxed);
   if (batch.items.size() >= batch.size_cap) {
     flush_current_batch(BatchFlushReason::kSizeCap);

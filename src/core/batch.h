@@ -122,6 +122,7 @@ auto multi_diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
 
   DiplomatRegistry& registry = DiplomatRegistry::instance();
   const bool profiling = registry.profiling();
+  const bool capturing = trace::capture_enabled();
   const std::int64_t start_ns = profiling ? now_ns() : 0;
   TRACE_SCOPE("diplomat.multi", entry.name.c_str());
 
@@ -170,6 +171,13 @@ auto multi_diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
         .counter("dispatch.batch.calls")
         .add(static_cast<std::uint64_t>(coalesced_calls));
     if (profiling) entry.record_latency(now_ns() - start_ns);
+    if (capturing) {
+      trace::capture_diplomat_event(
+          trace::CytEventKind::kMulti, entry.id, entry.name,
+          static_cast<std::uint8_t>(entry.pattern), entry.batchable,
+          static_cast<std::uint8_t>(caller_persona),
+          static_cast<std::uint32_t>(coalesced_calls));
+    }
   };
 
   if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {

@@ -28,6 +28,7 @@
 
 #include "kernel/kernel.h"
 #include "kernel/libc.h"
+#include "trace/cyt.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/clock.h"
@@ -253,6 +254,7 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
                    Fn&& domestic) {
   DiplomatRegistry& registry = DiplomatRegistry::instance();
   const bool profiling = registry.profiling();
+  const bool capturing = trace::capture_enabled();
   const std::int64_t start_ns = profiling ? now_ns() : 0;
   TRACE_SCOPE("diplomat", entry.name.c_str());
 
@@ -297,7 +299,27 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
     }
     entry.contract.domestic_calls.fetch_add(1, std::memory_order_relaxed);
     entry.calls.fetch_add(1, std::memory_order_relaxed);
-    if (profiling) entry.record_latency(now_ns() - start_ns);
+    if (profiling) {
+      // Profiling already reads the clock; that read doubles as the
+      // captured event's timestamp and its aux duration.
+      const std::int64_t end_ns = now_ns();
+      const std::int64_t elapsed_ns = end_ns - start_ns;
+      entry.record_latency(elapsed_ns);
+      if (capturing) {
+        trace::capture_diplomat_event(
+            trace::CytEventKind::kCall, entry.id, entry.name,
+            static_cast<std::uint8_t>(entry.pattern), entry.batchable,
+            static_cast<std::uint8_t>(caller_persona),
+            static_cast<std::uint32_t>(elapsed_ns < 0 ? 0 : elapsed_ns));
+      }
+    } else if (capturing) {
+      // Capture alone stays clock-free on the hot path: the recorder
+      // stamps the event from its per-thread cached clock.
+      trace::capture_diplomat_event(
+          trace::CytEventKind::kCall, entry.id, entry.name,
+          static_cast<std::uint8_t>(entry.pattern), entry.batchable,
+          static_cast<std::uint8_t>(caller_persona), /*aux=*/0);
+    }
   };
 
   if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {
@@ -318,6 +340,14 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
 inline void diplomat_skip(DiplomatEntry& entry) {
   entry.calls.fetch_add(1, std::memory_order_relaxed);
   entry.contract.skipped_calls.fetch_add(1, std::memory_order_relaxed);
+  if (trace::capture_enabled()) {
+    trace::capture_diplomat_event(
+        trace::CytEventKind::kSkip, entry.id, entry.name,
+        static_cast<std::uint8_t>(entry.pattern), entry.batchable,
+        static_cast<std::uint8_t>(
+            kernel::Kernel::instance().current_thread().persona()),
+        /*aux=*/0);
+  }
 }
 
 }  // namespace cycada::core

@@ -12,6 +12,7 @@
 #include "iosurface/iosurface.h"
 #include "kernel/kernel.h"
 #include "linker/linker.h"
+#include "trace/cyt.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/log.h"
@@ -45,10 +46,45 @@ void install_trace_env_hook() {
   }();
   (void)installed;
 }
+
+// CYCADA_TRACE_CAPTURE=path.cyt starts the diplomat trace recorder for the
+// whole run and finalizes the file (footer + checksum) at process exit.
+// Like the Chrome-trace hook above, the capture spans every configuration
+// the run applies — diplomat ids are immortal across resets, so one .cyt
+// can hold a whole multi-config bench (docs/TRACING.md).
+void install_capture_env_hook() {
+  static const bool installed = [] {
+    const char* path = std::getenv("CYCADA_TRACE_CAPTURE");
+    if (path == nullptr || *path == '\0') return false;
+    const Status status = trace::TraceRecorder::instance().start(path);
+    if (!status.is_ok()) {
+      CYCADA_LOG(kError) << "CYCADA_TRACE_CAPTURE start failed: "
+                         << status.to_string();
+      return false;
+    }
+    std::atexit([] {
+      trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+      const std::uint64_t dropped = recorder.dropped();
+      const Status stop_status = recorder.stop();
+      if (!stop_status.is_ok()) {
+        CYCADA_LOG(kError) << "CYCADA_TRACE_CAPTURE finalize failed: "
+                           << stop_status.to_string();
+      } else if (dropped > 0) {
+        // The ring drops rather than blocking the hot path; the file is
+        // valid but misses events — the footer records how many.
+        CYCADA_LOG(kWarn) << "CYCADA_TRACE_CAPTURE: " << dropped
+                          << " record(s) dropped to a full ring";
+      }
+    });
+    return true;
+  }();
+  (void)installed;
+}
 }  // namespace
 
 void apply_system_config(SystemConfig config) {
   install_trace_env_hook();
+  install_capture_env_hook();
   // Leave no dangling per-thread context before tearing the world down.
   ios_gl::EAGLContext::clear_current_context();
 

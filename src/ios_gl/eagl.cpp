@@ -6,6 +6,7 @@
 #include "core/diplomat.h"
 #include "gpu/device.h"
 #include "kernel/kernel.h"
+#include "trace/cyt.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -89,6 +90,8 @@ bool EAGLContext::set_current_context(Ref context) {
   // must land before another context owns this thread's GL stream.
   core::flush_current_batch(core::BatchFlushReason::kContextSwitch);
   t_current_context = context;
+  trace::capture_set_context(reinterpret_cast<std::uint64_t>(
+      static_cast<const void*>(context.get())));
   if (context == nullptr) return true;
   if (platform() == Platform::kNativeIos) {
     // Apple GLES allows any thread to use any context (paper §7).

@@ -12,6 +12,7 @@
 #include "ios_gl/platform.h"
 #include "iosurface/iosurface.h"
 #include "kernel/kernel.h"
+#include "trace/cyt.h"
 
 namespace cycada::ios_gl {
 
@@ -29,6 +30,7 @@ class MigrationScope {
     saved_ = wrapper_->get_tls();
     (void)wrapper_->set_tls({eagl_->context_tls_value()});
     kernel::sys_impersonate(eagl_->creator_tid());
+    trace::capture_set_impersonating(true);
   }
   ~MigrationScope() {
     if (eagl_ == nullptr) return;
@@ -36,6 +38,7 @@ class MigrationScope {
     eagl_->set_context_tls_value(updated.empty() ? nullptr : updated[0]);
     (void)wrapper_->set_tls(saved_);
     kernel::sys_impersonate(kernel::kInvalidTid);
+    trace::capture_set_impersonating(false);
   }
   MigrationScope(const MigrationScope&) = delete;
   MigrationScope& operator=(const MigrationScope&) = delete;
@@ -56,10 +59,24 @@ core::DiplomatId gl_diplomat_id(std::string_view name) {
 // is open, batchable calls queue in the multi-diplomat command buffer and
 // cross personas together at the next flush; everything else flushes the
 // pending batch and crosses on its own.
-template <typename Fn>
+//
+// `scalar_args` are the call's scalar arguments when it has only scalars
+// (call sites that capture by value pass them through); while trace capture
+// is on they are staged for the .cyt event this dispatch produces, together
+// with the void-return bit the batchability miner keys on (docs/TRACING.md).
+template <typename Fn, typename... Args>
 std::invoke_result_t<Fn, glcore::GlesEngine&> dispatch(
-    core::DiplomatEntry& entry, Fn&& fn) {
+    core::DiplomatEntry& entry, Fn&& fn, Args... scalar_args) {
   using Result = std::invoke_result_t<Fn, glcore::GlesEngine&>;
+  if (trace::capture_enabled()) {
+    if constexpr (sizeof...(Args) > 0) {
+      const double staged[] = {static_cast<double>(scalar_args)...};
+      trace::capture_stage_args(staged, static_cast<int>(sizeof...(Args)),
+                                std::is_void_v<Result>);
+    } else {
+      trace::capture_stage_args(nullptr, 0, std::is_void_v<Result>);
+    }
+  }
   if (platform() == Platform::kNativeIos) {
     return fn(*apple_engine());
   }
@@ -110,60 +127,65 @@ std::invoke_result_t<Fn, glcore::GlesEngine&> dispatch(
 
 void glClear(GLbitfield mask) {
   IOS_GL(glClear);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClear(mask); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClear(mask); }, mask);
 }
 
 void glClearColor(GLclampf r, GLclampf g, GLclampf b, GLclampf a) {
   IOS_GL(glClearColor);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClearColor(r, g, b, a); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClearColor(r, g, b, a); },
+           r, g, b, a);
 }
 
 void glClearDepthf(GLclampf depth) {
   IOS_GL(glClearDepthf);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClearDepthf(depth); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glClearDepthf(depth); },
+           depth);
 }
 
 void glEnable(GLenum cap) {
   IOS_GL(glEnable);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glEnable(cap); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glEnable(cap); }, cap);
 }
 
 void glDisable(GLenum cap) {
   IOS_GL(glDisable);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDisable(cap); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDisable(cap); }, cap);
 }
 
 void glBlendFunc(GLenum sfactor, GLenum dfactor) {
   IOS_GL(glBlendFunc);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glBlendFunc(sfactor, dfactor); });
+           [=](glcore::GlesEngine& gl) { gl.glBlendFunc(sfactor, dfactor); },
+                    sfactor, dfactor);
 }
 
 void glDepthFunc(GLenum func) {
   IOS_GL(glDepthFunc);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDepthFunc(func); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDepthFunc(func); }, func);
 }
 
 void glDepthMask(GLboolean flag) {
   IOS_GL(glDepthMask);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDepthMask(flag); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDepthMask(flag); }, flag);
 }
 
 void glCullFace(GLenum mode) {
   IOS_GL(glCullFace);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glCullFace(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glCullFace(mode); }, mode);
 }
 
 void glViewport(GLint x, GLint y, GLsizei width, GLsizei height) {
   IOS_GL(glViewport);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glViewport(x, y, width, height); });
+           [=](glcore::GlesEngine& gl) { gl.glViewport(x, y, width, height); },
+                    x, y, width, height);
 }
 
 void glScissor(GLint x, GLint y, GLsizei width, GLsizei height) {
   IOS_GL(glScissor);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glScissor(x, y, width, height); });
+           [=](glcore::GlesEngine& gl) { gl.glScissor(x, y, width, height); },
+                    x, y, width, height);
 }
 
 void glFlush() {
@@ -260,7 +282,7 @@ void glReadPixels(GLint x, GLint y, GLsizei width, GLsizei height,
 
 void glPointSize(GLfloat size) {
   IOS_GL(glPointSize);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glPointSize(size); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glPointSize(size); }, size);
 }
 
 void glGetFloatv(GLenum pname, GLfloat* params) {
@@ -271,58 +293,65 @@ void glGetFloatv(GLenum pname, GLfloat* params) {
 
 void glColorMask(GLboolean r, GLboolean g, GLboolean b, GLboolean a) {
   IOS_GL(glColorMask);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glColorMask(r, g, b, a); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glColorMask(r, g, b, a); },
+           r, g, b, a);
 }
 
 void glFrontFace(GLenum mode) {
   IOS_GL(glFrontFace);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glFrontFace(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glFrontFace(mode); }, mode);
 }
 
 void glLineWidth(GLfloat width) {
   IOS_GL(glLineWidth);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLineWidth(width); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLineWidth(width); },
+           width);
 }
 
 void glDepthRangef(GLclampf near_val, GLclampf far_val) {
   IOS_GL(glDepthRangef);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glDepthRangef(near_val, far_val);
-  });
+  }, near_val, far_val);
 }
 
 void glBlendEquation(GLenum mode) {
   IOS_GL(glBlendEquation);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glBlendEquation(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glBlendEquation(mode); },
+           mode);
 }
 
 void glHint(GLenum target, GLenum mode) {
   IOS_GL(glHint);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glHint(target, mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glHint(target, mode); },
+           target, mode);
 }
 
 void glStencilFunc(GLenum func, GLint ref, GLuint mask) {
   IOS_GL(glStencilFunc);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glStencilFunc(func, ref, mask); });
+           [=](glcore::GlesEngine& gl) { gl.glStencilFunc(func, ref, mask); },
+                    func, ref, mask);
 }
 
 void glStencilMask(GLuint mask) {
   IOS_GL(glStencilMask);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glStencilMask(mask); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glStencilMask(mask); },
+           mask);
 }
 
 void glStencilOp(GLenum sfail, GLenum dpfail, GLenum dppass) {
   IOS_GL(glStencilOp);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glStencilOp(sfail, dpfail, dppass);
-  });
+  }, sfail, dpfail, dppass);
 }
 
 void glPolygonOffset(GLfloat factor, GLfloat units) {
   IOS_GL(glPolygonOffset);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glPolygonOffset(factor, units); });
+           [=](glcore::GlesEngine& gl) { gl.glPolygonOffset(factor, units); },
+                    factor, units);
 }
 
 // --- Textures ---------------------------------------------------------------
@@ -354,19 +383,21 @@ void glDeleteTextures(GLsizei n, const GLuint* names) {
 void glBindTexture(GLenum target, GLuint name) {
   IOS_GL(glBindTexture);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glBindTexture(target, name); });
+           [=](glcore::GlesEngine& gl) { gl.glBindTexture(target, name); },
+                    target, name);
 }
 
 void glActiveTexture(GLenum unit) {
   IOS_GL(glActiveTexture);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glActiveTexture(unit); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glActiveTexture(unit); },
+           unit);
 }
 
 void glTexParameteri(GLenum target, GLenum pname, GLint param) {
   IOS_GL(glTexParameteri);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glTexParameteri(target, pname, param);
-  });
+  }, target, pname, param);
 }
 
 void glTexImage2D(GLenum target, GLint level, GLint internal_format,
@@ -423,7 +454,7 @@ void glCopyTexImage2D(GLenum target, GLint level, GLenum internal_format,
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glCopyTexImage2D(target, level, internal_format, x, y, width, height,
                         border);
-  });
+  }, target, level, internal_format, x, y, width, height, border);
 }
 
 void glCopyTexSubImage2D(GLenum target, GLint level, GLint xoffset,
@@ -433,12 +464,13 @@ void glCopyTexSubImage2D(GLenum target, GLint level, GLint xoffset,
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glCopyTexSubImage2D(target, level, xoffset, yoffset, x, y, width,
                            height);
-  });
+  }, target, level, xoffset, yoffset, x, y, width, height);
 }
 
 void glGenerateMipmap(GLenum target) {
   IOS_GL(glGenerateMipmap);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glGenerateMipmap(target); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glGenerateMipmap(target); },
+           target);
 }
 
 GLboolean glIsBuffer(GLuint name) {
@@ -470,7 +502,8 @@ void glDeleteBuffers(GLsizei n, const GLuint* names) {
 void glBindBuffer(GLenum target, GLuint name) {
   IOS_GL(glBindBuffer);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glBindBuffer(target, name); });
+           [=](glcore::GlesEngine& gl) { gl.glBindBuffer(target, name); },
+                    target, name);
 }
 
 void glBufferData(GLenum target, GLsizeiptr size, const void* data,
@@ -506,7 +539,8 @@ void glDeleteFramebuffers(GLsizei n, const GLuint* names) {
 void glBindFramebuffer(GLenum target, GLuint name) {
   IOS_GL(glBindFramebuffer);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glBindFramebuffer(target, name); });
+           [=](glcore::GlesEngine& gl) { gl.glBindFramebuffer(target, name); },
+                    target, name);
 }
 
 void glGenRenderbuffers(GLsizei n, GLuint* out) {
@@ -526,7 +560,7 @@ void glBindRenderbuffer(GLenum target, GLuint name) {
   IOS_GL(glBindRenderbuffer);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glBindRenderbuffer(target, name);
-  });
+  }, target, name);
 }
 
 void glRenderbufferStorage(GLenum target, GLenum internal_format,
@@ -542,7 +576,7 @@ void glFramebufferRenderbuffer(GLenum target, GLenum attachment,
   IOS_GL(glFramebufferRenderbuffer);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glFramebufferRenderbuffer(target, attachment, rb_target, renderbuffer);
-  });
+  }, target, attachment, rb_target, renderbuffer);
 }
 
 void glFramebufferTexture2D(GLenum target, GLenum attachment,
@@ -550,7 +584,7 @@ void glFramebufferTexture2D(GLenum target, GLenum attachment,
   IOS_GL(glFramebufferTexture2D);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glFramebufferTexture2D(target, attachment, tex_target, texture, level);
-  });
+  }, target, attachment, tex_target, texture, level);
 }
 
 GLenum glCheckFramebufferStatus(GLenum target) {
@@ -577,7 +611,8 @@ GLuint glCreateShader(GLenum type) {
 
 void glDeleteShader(GLuint shader) {
   IOS_GL(glDeleteShader);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDeleteShader(shader); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDeleteShader(shader); },
+           shader);
 }
 
 void glShaderSource(GLuint shader, GLsizei count, const char* const* strings,
@@ -590,7 +625,8 @@ void glShaderSource(GLuint shader, GLsizei count, const char* const* strings,
 
 void glCompileShader(GLuint shader) {
   IOS_GL(glCompileShader);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glCompileShader(shader); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glCompileShader(shader); },
+           shader);
 }
 
 void glGetShaderiv(GLuint shader, GLenum pname, GLint* params) {
@@ -608,19 +644,21 @@ GLuint glCreateProgram() {
 
 void glDeleteProgram(GLuint program) {
   IOS_GL(glDeleteProgram);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDeleteProgram(program); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glDeleteProgram(program); },
+           program);
 }
 
 void glAttachShader(GLuint program, GLuint shader) {
   IOS_GL(glAttachShader);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glAttachShader(program, shader);
-  });
+  }, program, shader);
 }
 
 void glLinkProgram(GLuint program) {
   IOS_GL(glLinkProgram);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLinkProgram(program); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glLinkProgram(program); },
+           program);
 }
 
 void glGetProgramiv(GLuint program, GLenum pname, GLint* params) {
@@ -632,7 +670,8 @@ void glGetProgramiv(GLuint program, GLenum pname, GLint* params) {
 
 void glUseProgram(GLuint program) {
   IOS_GL(glUseProgram);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glUseProgram(program); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glUseProgram(program); },
+           program);
 }
 
 GLint glGetAttribLocation(GLuint program, const char* name) {
@@ -661,7 +700,7 @@ void glUniform4f(GLint location, GLfloat x, GLfloat y, GLfloat z, GLfloat w) {
   IOS_GL(glUniform4f);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glUniform4f(location, x, y, z, w);
-  });
+  }, location, x, y, z, w);
 }
 
 void glUniform4fv(GLint location, GLsizei count, const GLfloat* value) {
@@ -674,13 +713,15 @@ void glUniform4fv(GLint location, GLsizei count, const GLfloat* value) {
 void glUniform1i(GLint location, GLint value) {
   IOS_GL(glUniform1i);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glUniform1i(location, value); });
+           [=](glcore::GlesEngine& gl) { gl.glUniform1i(location, value); },
+                    location, value);
 }
 
 void glUniform1f(GLint location, GLfloat value) {
   IOS_GL(glUniform1f);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glUniform1f(location, value); });
+           [=](glcore::GlesEngine& gl) { gl.glUniform1f(location, value); },
+                    location, value);
 }
 
 // --- Vertex attributes / draws -----------------------------------------------
@@ -689,14 +730,14 @@ void glEnableVertexAttribArray(GLuint index) {
   IOS_GL(glEnableVertexAttribArray);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glEnableVertexAttribArray(index);
-  });
+  }, index);
 }
 
 void glDisableVertexAttribArray(GLuint index) {
   IOS_GL(glDisableVertexAttribArray);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glDisableVertexAttribArray(index);
-  });
+  }, index);
 }
 
 void glVertexAttribPointer(GLuint index, GLint size, GLenum type,
@@ -713,7 +754,7 @@ void glVertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
   IOS_GL(glVertexAttrib4f);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glVertexAttrib4f(index, x, y, z, w);
-  });
+  }, index, x, y, z, w);
 }
 
 void glDrawArrays(GLenum mode, GLint first, GLsizei count) {
@@ -735,7 +776,7 @@ void glDrawElements(GLenum mode, GLsizei count, GLenum type,
 
 void glMatrixMode(GLenum mode) {
   IOS_GL(glMatrixMode);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glMatrixMode(mode); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glMatrixMode(mode); }, mode);
 }
 
 void glLoadIdentity() {
@@ -765,49 +806,57 @@ void glPopMatrix() {
 
 void glTranslatef(GLfloat x, GLfloat y, GLfloat z) {
   IOS_GL(glTranslatef);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glTranslatef(x, y, z); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glTranslatef(x, y, z); },
+           x, y, z);
 }
 
 void glRotatef(GLfloat angle, GLfloat x, GLfloat y, GLfloat z) {
   IOS_GL(glRotatef);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glRotatef(angle, x, y, z); });
+           [=](glcore::GlesEngine& gl) { gl.glRotatef(angle, x, y, z); },
+                    angle, x, y, z);
 }
 
 void glScalef(GLfloat x, GLfloat y, GLfloat z) {
   IOS_GL(glScalef);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glScalef(x, y, z); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glScalef(x, y, z); },
+           x, y, z);
 }
 
 void glOrthof(GLfloat l, GLfloat r, GLfloat b, GLfloat t, GLfloat n,
               GLfloat f) {
   IOS_GL(glOrthof);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glOrthof(l, r, b, t, n, f); });
+           [=](glcore::GlesEngine& gl) { gl.glOrthof(l, r, b, t, n, f); },
+                    l, r, b, t, n, f);
 }
 
 void glFrustumf(GLfloat l, GLfloat r, GLfloat b, GLfloat t, GLfloat n,
                 GLfloat f) {
   IOS_GL(glFrustumf);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glFrustumf(l, r, b, t, n, f); });
+           [=](glcore::GlesEngine& gl) { gl.glFrustumf(l, r, b, t, n, f); },
+                    l, r, b, t, n, f);
 }
 
 void glColor4f(GLfloat r, GLfloat g, GLfloat b, GLfloat a) {
   IOS_GL(glColor4f);
-  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glColor4f(r, g, b, a); });
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glColor4f(r, g, b, a); },
+           r, g, b, a);
 }
 
 void glEnableClientState(GLenum array) {
   IOS_GL(glEnableClientState);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glEnableClientState(array); });
+           [=](glcore::GlesEngine& gl) { gl.glEnableClientState(array); },
+                    array);
 }
 
 void glDisableClientState(GLenum array) {
   IOS_GL(glDisableClientState);
   dispatch(entry,
-           [=](glcore::GlesEngine& gl) { gl.glDisableClientState(array); });
+           [=](glcore::GlesEngine& gl) { gl.glDisableClientState(array); },
+                    array);
 }
 
 void glVertexPointer(GLint size, GLenum type, GLsizei stride,
@@ -845,7 +894,7 @@ void glTexEnvi(GLenum target, GLenum pname, GLint param) {
   IOS_GL(glTexEnvi);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glTexEnvi(target, pname, param);
-  });
+  }, target, pname, param);
 }
 
 // --- APPLE_fence -> NV_fence indirect diplomats (paper §4.1) -------------------

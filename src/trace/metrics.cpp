@@ -169,7 +169,11 @@ void MetricsRegistry::reset() {
 }
 
 std::string MetricsSnapshot::to_json() const {
-  std::string out = "{\"counters\":{";
+  // The schema tag lets downstream tooling (scripts/bench_compare.sh) fail
+  // loudly on output from a different format generation instead of
+  // silently comparing garbage.
+  std::string out =
+      std::string("{\"schema\":\"") + kBenchJsonSchema + "\",\"counters\":{";
   bool first = true;
   for (const auto& counter : counters) {
     if (!first) out += ',';

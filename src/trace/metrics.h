@@ -92,6 +92,10 @@ struct HistogramSnapshot {
   std::int64_t p99;
 };
 
+// Schema tag stamped into every to_json() payload; bench tooling rejects
+// files carrying any other value (scripts/bench_compare.sh).
+inline constexpr char kBenchJsonSchema[] = "cycada-bench/v1";
+
 struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<HistogramSnapshot> histograms;

@@ -13,8 +13,10 @@
 #include "analyze/analyze.h"
 #include "android_gl/egl.h"
 #include "android_gl/vendor.h"
+#include "core/batch.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
+#include "core/replay.h"
 #include "glcore/engine.h"
 #include "glport/system_config.h"
 #include "gpu/device.h"
@@ -1048,6 +1050,68 @@ TEST(RobustnessFaultSafetyTest, DetectsALeakedLock) {
   analyze::check_fault_safety(clean);
   EXPECT_FALSE(clean.has_rule("fault.lock-leak"));
   graph.reset();
+}
+
+// --- Trace capture under fault injection -------------------------------------
+
+// A batch whose crossing cannot open aborts to the plain single-call
+// procedure (batch_test.cpp pins the atomicity). The capture layer must
+// record what actually HAPPENED — four plain kCall records, no batched or
+// flush records — and replaying that faulted trace with faults off must
+// drive the live counters to exactly the same per-diplomat counts the
+// aborted run produced.
+TEST(TraceCaptureFaultTest, AbortedBatchCapturesAsPlainCallsAndReplaysTrue) {
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  util::FaultRegistry::instance().disarm_all();
+  core::DiplomatEntry& entry = core::DiplomatRegistry::instance().entry(
+      "glEnable", core::DiplomatPattern::kDirect);
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("kernel.set_persona");
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "cyt_fault_abort.cyt";
+  trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+  ASSERT_TRUE(recorder.start(path).is_ok());
+  const std::uint64_t live_before = entry.calls.load();
+  {
+    core::BatchScope scope;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(core::batch_record(entry, {}, [] {}));
+    }
+    // Every set_persona now fails: the crossing cannot open and the whole
+    // batch falls back to single calls, under capture.
+    fault.disarm();
+    fault.arm_every(1);
+    core::flush_current_batch(core::BatchFlushReason::kExplicit);
+    fault.disarm();
+  }
+  const std::uint64_t live_calls = entry.calls.load() - live_before;
+  ASSERT_TRUE(recorder.stop().is_ok());
+  EXPECT_EQ(live_calls, 4u);
+
+  auto parsed = trace::read_cyt(path);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  std::uint64_t plain = 0, batched = 0, flushes = 0;
+  for (const trace::CytRecord& record : parsed->records) {
+    if (record.type != static_cast<std::uint8_t>(trace::CytRecordType::kEvent))
+      continue;
+    switch (static_cast<trace::CytEventKind>(record.kind)) {
+      case trace::CytEventKind::kCall: ++plain; break;
+      case trace::CytEventKind::kBatchedCall: ++batched; break;
+      case trace::CytEventKind::kBatchFlush: ++flushes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(plain, 4u);
+  EXPECT_EQ(batched, 0u);
+  EXPECT_EQ(flushes, 0u);
+
+  // Replay with faults off: same per-diplomat counters as the live run.
+  const std::uint64_t replay_before = entry.calls.load();
+  auto stats = core::replay_trace(*parsed, {});
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(entry.calls.load() - replay_before, live_calls);
+  EXPECT_EQ(core::trace_call_counts(*parsed).at("glEnable"), live_calls);
 }
 
 }  // namespace

@@ -7,7 +7,12 @@
 // graph, DLR replica isolation, TLS-migration completeness, and — when
 // --root is given — the static source lint.
 //
-//   cycada_check [--root <source-dir>]
+//   cycada_check [--root <source-dir>] [--trace <file.cyt>]...
+//
+// --trace switches to trace-mining mode (docs/TRACING.md): instead of
+// running the live workload, each named .cyt capture is loaded and judged
+// with analyze::check_trace. Contract violations are findings (gating);
+// batchability candidates are printed as advisory notes and never gate.
 //
 // Exits 0 when every check is clean, 1 when there are findings (each
 // printed one per line), 2 on usage/workload errors.
@@ -16,6 +21,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analyze/analyze.h"
 #include "glport/system_config.h"
@@ -92,13 +98,56 @@ bool render_frame(EAGLContext::Ref context, int size) {
 
 int main(int argc, char** argv) {
   std::string root;
+  std::vector<std::string> traces;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      traces.push_back(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: cycada_check [--root <source-dir>]\n");
+      std::fprintf(stderr,
+                   "usage: cycada_check [--root <source-dir>] "
+                   "[--trace <file.cyt>]...\n");
       return 2;
     }
+  }
+
+  // Trace-mining mode: judge captured streams, not the live workload.
+  if (!traces.empty()) {
+    analyze::Report report;
+    std::size_t candidates = 0;
+    for (const std::string& path : traces) {
+      auto trace = trace::read_cyt(path);
+      if (!trace.is_ok()) {
+        std::fprintf(stderr, "cycada_check: %s: %s\n", path.c_str(),
+                     trace.status().to_string().c_str());
+        return 2;
+      }
+      const analyze::TraceAudit audit =
+          analyze::check_trace(*trace, report);
+      std::printf(
+          "cycada_check: %s: %llu event(s), %llu call(s), %llu dropped\n",
+          path.c_str(), static_cast<unsigned long long>(audit.events),
+          static_cast<unsigned long long>(audit.calls),
+          static_cast<unsigned long long>(trace->dropped));
+      for (const analyze::BatchCandidate& candidate : audit.candidates) {
+        // Advisory, deliberately not a Finding: leads, not violations.
+        std::printf(
+            "note: batchable-run candidate %s: %llu call(s), longest run "
+            "%llu — %s\n",
+            candidate.name.c_str(),
+            static_cast<unsigned long long>(candidate.occurrences),
+            static_cast<unsigned long long>(candidate.longest_run),
+            candidate.why.c_str());
+      }
+      candidates += audit.candidates.size();
+    }
+    const int findings = report.print(std::cout);
+    std::printf(
+        "cycada_check: %d finding(s), %zu batchability candidate(s) over "
+        "%zu trace(s)\n",
+        findings, candidates, traces.size());
+    return findings == 0 ? 0 : 1;
   }
 
   // Record every lock acquisition from boot onward.

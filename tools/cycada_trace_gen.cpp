@@ -1,0 +1,154 @@
+// cycada_trace_gen: deterministic .cyt capture for the golden test corpus
+// (docs/TRACING.md, tests/data/).
+//
+//   cycada_trace_gen <out.cyt> [--frames N]
+//
+// Boots the simulated Cycada device and records a small, single-threaded
+// PassMark-shaped workload: EAGL setup, shader compile/link, batched state
+// runs under a BatchScope, a draw + present per frame, a data-dependent
+// query (skip path) — and one deliberately UN-batched run of
+// classifier-batchable scalar state calls, so analyze::check_trace always
+// has at least one actionable batchability candidate to report on this
+// corpus. Single-threaded and fixed-sequence: replaying the capture at
+// N×M multiplies every per-diplomat count exactly.
+//
+// Exits 0 on success, 2 on errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/batch.h"
+#include "glport/system_config.h"
+#include "ios_gl/eagl.h"
+#include "ios_gl/gles.h"
+#include "trace/cyt.h"
+
+namespace {
+
+using namespace cycada;
+using namespace cycada::ios_gl;
+
+bool render_frame(EAGLContext::Ref context, int size, int frame) {
+  EAGLContext::set_current_context(context);
+  GLuint fbo = 0, rbo = 0;
+  glGenFramebuffers(1, &fbo);
+  glGenRenderbuffers(1, &rbo);
+  glBindRenderbuffer(glcore::GL_RENDERBUFFER, rbo);
+  if (!context->renderbuffer_storage_from_drawable(rbo,
+                                                   CAEAGLLayer{size, size})
+           .is_ok()) {
+    return false;
+  }
+  glBindFramebuffer(glcore::GL_FRAMEBUFFER, fbo);
+  glFramebufferRenderbuffer(glcore::GL_FRAMEBUFFER,
+                            glcore::GL_COLOR_ATTACHMENT0,
+                            glcore::GL_RENDERBUFFER, rbo);
+
+  const char* vs_src =
+      "attribute vec4 a_position; void main() { gl_Position = a_position; }";
+  const char* fs_src = "void main() { gl_FragColor = vec4(1.0); }";
+  const GLuint vs = glCreateShader(glcore::GL_VERTEX_SHADER);
+  const GLuint fs = glCreateShader(glcore::GL_FRAGMENT_SHADER);
+  glShaderSource(vs, 1, &vs_src, nullptr);
+  glShaderSource(fs, 1, &fs_src, nullptr);
+  glCompileShader(vs);
+  glCompileShader(fs);
+  const GLuint program = glCreateProgram();
+  glAttachShader(program, vs);
+  glAttachShader(program, fs);
+  glLinkProgram(program);
+  glUseProgram(program);
+
+  {
+    // The batched stretch: the PassMark-style same-direction state run the
+    // command buffer exists for (kBatchedCall records + one kBatchFlush).
+    core::BatchScope scope;
+    glViewport(0, 0, size, size);
+    glClearColor(0.1f, 0.2f, 0.3f, 1.f);
+    glEnable(glcore::GL_BLEND);
+    glBlendFunc(glcore::GL_SRC_ALPHA, glcore::GL_ONE_MINUS_SRC_ALPHA);
+    glDepthMask(glcore::GL_TRUE);
+    glCullFace(glcore::GL_BACK);
+    glFrontFace(glcore::GL_CCW);
+    glDisable(glcore::GL_BLEND);
+    glClear(glcore::GL_COLOR_BUFFER_BIT);
+  }
+
+  const float positions[] = {-0.9f, -0.8f, 0.9f, -0.8f, 0.f, 0.9f};
+  glEnableVertexAttribArray(0);
+  glVertexAttribPointer(0, 2, glcore::GL_FLOAT, glcore::GL_FALSE, 0,
+                        positions);
+  glDrawArrays(glcore::GL_TRIANGLES, 0, 3);
+
+  // The deliberately un-batched run: scalar void state calls the classifier
+  // marks batchable, crossing one by one with no BatchScope open. This is
+  // the trace miner's bread and butter — it must flag this run as a
+  // batchability candidate (tests/trace_replay_test.cpp pins that).
+  for (int i = 0; i < 4; ++i) {
+    glLineWidth(1.0f + static_cast<float>((frame + i) % 3));
+    glPolygonOffset(static_cast<float>(i), 0.5f);
+  }
+
+  // Data-dependent skip path (answered on the iOS side).
+  (void)glGetString(glcore::GL_VENDOR);
+  if (!context->present_renderbuffer(rbo).is_ok()) return false;
+  return glGetError() == glcore::GL_NO_ERROR;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  int frames = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = std::atoi(argv[++i]);
+    } else if (argv[i][0] != '-' && out.empty()) {
+      out = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: cycada_trace_gen <out.cyt> [--frames N]\n");
+      return 2;
+    }
+  }
+  if (out.empty() || frames < 1) {
+    std::fprintf(stderr, "usage: cycada_trace_gen <out.cyt> [--frames N]\n");
+    return 2;
+  }
+
+  glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+  trace::TraceRecorder& recorder = trace::TraceRecorder::instance();
+  if (const Status status = recorder.start(out); !status.is_ok()) {
+    std::fprintf(stderr, "cycada_trace_gen: %s\n",
+                 status.to_string().c_str());
+    return 2;
+  }
+
+  auto context =
+      EAGLContext::init_with_api(EAGLRenderingAPI::kOpenGLES2, 64, 64);
+  if (!context.is_ok()) {
+    std::fprintf(stderr, "cycada_trace_gen: workload boot failed\n");
+    return 2;
+  }
+  for (int frame = 0; frame < frames; ++frame) {
+    if (!render_frame(*context, 64, frame)) {
+      std::fprintf(stderr, "cycada_trace_gen: frame %d failed\n", frame);
+      return 2;
+    }
+  }
+  EAGLContext::clear_current_context();
+
+  const std::uint64_t recorded = recorder.recorded();
+  const std::uint64_t dropped = recorder.dropped();
+  if (const Status status = recorder.stop(); !status.is_ok()) {
+    std::fprintf(stderr, "cycada_trace_gen: finalize failed: %s\n",
+                 status.to_string().c_str());
+    return 2;
+  }
+  std::printf("cycada_trace_gen: %s: %llu record(s), %llu dropped, %d "
+              "frame(s)\n",
+              out.c_str(), static_cast<unsigned long long>(recorded),
+              static_cast<unsigned long long>(dropped), frames);
+  return dropped == 0 ? 0 : 2;
+}
