@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The CI entry point (.github/workflows/ci.yml runs exactly this): tier-1
-# build + full test suite + the cycada_check contract analyzer, a
-# fault-injected cycada_check run that must degrade gracefully, and a TSan
-# leg over the concurrency-sensitive suites. Fast enough for every push;
-# the full sanitizer matrix stays in scripts/check.sh.
+# build + full test suite + the cycada_check contract analyzer, the trace
+# capture/replay leg, the classification prover with its amendment proof
+# gate, a fault-injected cycada_check run that must degrade gracefully, and
+# a TSan leg over the concurrency-sensitive suites. Fast enough for every
+# push; the full sanitizer matrix stays in scripts/check.sh (ci.yml also
+# runs a focused ASan+UBSan leg).
 #
 #   ./scripts/ci.sh               # everything below
 #   CYCADA_SKIP_TSAN=1 ./scripts/ci.sh
@@ -43,7 +45,31 @@ run ./build/tools/cycada_replay "${tracedir}/passmark.cyt" \
 echo "==> mining the captures (zero findings gate)"
 run ./build/tools/cycada_check --trace "${tracedir}/passmark.cyt" \
   --trace "${tracedir}/sunspider.cyt" \
-  --trace "$(pwd)/tests/data/golden_passmark.cyt"
+  --trace "$(pwd)/tests/data/golden_passmark.cyt" \
+  --trace "$(pwd)/tests/data/golden_sunspider.cyt"
+
+# --- Classification prover (docs/ANALYZER.md) --------------------------------
+# The static dispatch-site scanner and the committed golden corpus must
+# agree with classification.cpp (zero findings, blocking), and the
+# static+corpus agreements must graduate into at least one amendment that
+# the real cycada_replay --verify binary proves end-to-end under
+# CYCADA_CLASSIFY_AMEND.
+echo "==> cycada_check --classify (classification prover + amendment proof)"
+run ./build/tools/cycada_check --classify --root "$(pwd)/src" \
+  --corpus "$(pwd)/tests/data/golden_passmark.cyt" \
+  --corpus "$(pwd)/tests/data/golden_sunspider.cyt" \
+  --amend-out "${tracedir}/classification_amendments"
+if ! grep -q '^batchable ' "${tracedir}/classification_amendments"; then
+  echo "ci.sh: FAIL — the classification prover produced no amendment" >&2
+  exit 1
+fi
+echo "==> replaying the golden corpus under the generated amendments"
+run env CYCADA_CLASSIFY_AMEND="${tracedir}/classification_amendments" \
+  ./build/tools/cycada_replay "$(pwd)/tests/data/golden_passmark.cyt" \
+  --threads 2 --iterations 2 --verify
+run env CYCADA_CLASSIFY_AMEND="${tracedir}/classification_amendments" \
+  ./build/tools/cycada_replay "$(pwd)/tests/data/golden_sunspider.cyt" \
+  --threads 2 --iterations 2 --verify
 
 # --- Fault-injected analyzer run (docs/ROBUSTNESS.md) ------------------------
 # Persistent replica-mint failures: the workload must complete in degraded

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diplomat.h"
 #include "kernel/kernel.h"
 #include "trace/cyt.h"
 
@@ -203,19 +204,115 @@ void check_replay_divergence(
 // --- Source lint ------------------------------------------------------------
 
 // Purely static pass over one file's contents. Rules:
-//   lint.raw-set-persona   sys_set_persona() outside kernel/, the diplomat
-//                          procedure or the ScopedPersona guard
-//   lint.raw-pthread-key   pthread_key_create/delete in graphics code not
-//                          routed through kernel::libc:: (bypasses the
-//                          12-line-patch hooks the TLS tracker relies on)
-// Comment-only lines are skipped; a line containing "cycada-lint: allow"
-// is exempt. `path` is used for allowlisting and finding subjects.
+//   lint.raw-set-persona       sys_set_persona() outside kernel/, the
+//                              diplomat procedure or the ScopedPersona guard
+//   lint.raw-pthread-key       pthread_key_create/delete in graphics code
+//                              not routed through kernel::libc:: (bypasses
+//                              the 12-line-patch hooks the TLS tracker
+//                              relies on)
+//   lint.batch-capture-by-ref  an IOS_GL dispatch site whose diplomat the
+//                              classifier marks batchable contains a
+//                              reference-capturing lambda — the command
+//                              buffer replays closures after the caller's
+//                              frame is gone, so batchable sites must
+//                              capture by value
+//   lint.allow-without-reason  a bare "cycada-lint: allow" marker; every
+//                              suppression must carry a justification,
+//                              "cycada-lint: allow(<reason>)"
+// Comment-only lines are skipped; a line containing a reasoned
+// "cycada-lint: allow(<reason>)" marker is exempt. `path` is used for
+// allowlisting and finding subjects.
 void lint_source_file(const std::string& path, const std::string& contents,
                       Report& report);
 
 // Recursively lints every .h/.cpp under `root`. Returns false (with a
 // finding) when `root` cannot be read.
 bool lint_source_tree(const std::string& root, Report& report);
+
+// --- Classification prover (docs/ANALYZER.md) --------------------------------
+//
+// Proves the hand-written Table 2 classification (src/core/classification.cpp)
+// against two independent evidence sources: the compiled static scanner over
+// the IOS_GL dispatch sites (source A) and a .cyt trace corpus (source B).
+// Contradictions are blocking findings; static+corpus agreements above a
+// confidence threshold graduate into amendment proposals, each proved by
+// replaying the corpus under the amended classification before acceptance.
+
+// Static facts one IOS_GL dispatch site yields without running anything.
+struct ClassifySiteFacts {
+  std::string name;
+  int line = 0;  // line of the IOS_GL(...) marker
+  core::DiplomatPattern declared{};  // this build's classifier verdict
+  bool void_return = false;       // the entry point returns void
+  bool pointer_args = false;      // a parameter carries a pointer
+  bool capture_by_value = false;  // a [=] dispatch lambda (batch protocol)
+  bool capture_by_ref = false;    // a [&] dispatch lambda (immediate path)
+  bool has_skip = false;          // diplomat_skip at the site (iOS-side answer)
+  bool redirect = false;          // the engine call name differs from the
+                                  // site's (input re-arranging, e.g.
+                                  // glSetFenceAPPLE -> glSetFenceNV)
+};
+
+// One auto-generated amendment proposal: both sources agree this direct
+// diplomat is batch-safe even though the hand table keeps it out.
+struct AmendmentProposal {
+  std::string name;
+  std::uint64_t corpus_occurrences = 0;
+  std::uint64_t longest_run = 0;
+  bool replay_proved = false;  // survived the corpus replay proof
+  std::string why;
+};
+
+struct ClassifyAudit {
+  std::vector<ClassifySiteFacts> sites;
+  std::size_t corpus_traces = 0;
+  std::vector<AmendmentProposal> proposals;
+};
+
+struct ClassifyOptions {
+  // Confidence threshold: corpus occurrences inside qualifying runs a
+  // static+corpus agreement needs before it becomes a proposal.
+  std::uint64_t min_corpus_occurrences = 8;
+  std::size_t min_run_length = 4;
+  // Prove every proposal by replaying the corpus in-process under the
+  // amended classification (exact per-diplomat counts); unproved proposals
+  // are dropped. CI additionally drives the real cycada_replay --verify
+  // binary against the generated file (scripts/ci.sh).
+  bool prove_with_replay = true;
+};
+
+// Scans one ios_gl source file for IOS_GL dispatch sites and extracts the
+// per-site facts. Purely textual, like the source lint: the scanner relies
+// on the site idiom (column-0 function headers, the IOS_GL macro, dispatch
+// lambdas), not on parsing C++.
+std::vector<ClassifySiteFacts> scan_ios_gl_sites(const std::string& path,
+                                                 const std::string& contents);
+
+// Cross-checks the static facts and the trace corpus against the
+// classifier. Rules (checker "classify"):
+//   classify.signature-mismatch    a site's static shape contradicts its
+//                                  declared pattern (a dispatch site on a
+//                                  kUnimplemented name, a diplomat_skip on
+//                                  a non-data-dependent site, an engine
+//                                  redirect under kDirect, a site outside
+//                                  the Table 2 universe)
+//   classify.batchable-unsafe      the classifier marks the name batchable
+//                                  but the site is not void/scalar/by-value
+//   classify.corpus-contradiction  a corpus def or event stream disagrees
+//                                  with this build's classifier (recorded
+//                                  pattern/batchable bit differs, or a
+//                                  batched event on a classifier-rejected
+//                                  name)
+// Returns the audit (per-site facts + surviving amendment proposals).
+ClassifyAudit check_classification(
+    const std::string& gl_source_path, const std::string& contents,
+    const std::vector<const trace::ParsedTrace*>& corpus, Report& report,
+    const ClassifyOptions& options = {});
+
+// Renders proposals as a versioned amendment file body
+// (core::parse_classification_amendments reads it back).
+std::string render_classification_amendments(
+    const std::vector<AmendmentProposal>& proposals);
 
 // --- Convenience ------------------------------------------------------------
 

@@ -354,6 +354,23 @@ void glPolygonOffset(GLfloat factor, GLfloat units) {
                     factor, units);
 }
 
+// glBlendColor and glSampleCoverage are void/scalar/value-capturing but the
+// hand table conservatively keeps them unbatched until a trace corpus shows
+// them in batch-eligible runs — the classification prover's amendment
+// pipeline (docs/ANALYZER.md) graduates them once the replay proof passes.
+void glBlendColor(GLclampf r, GLclampf g, GLclampf b, GLclampf a) {
+  IOS_GL(glBlendColor);
+  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glBlendColor(r, g, b, a); },
+           r, g, b, a);
+}
+
+void glSampleCoverage(GLclampf value, GLboolean invert) {
+  IOS_GL(glSampleCoverage);
+  dispatch(entry,
+           [=](glcore::GlesEngine& gl) { gl.glSampleCoverage(value, invert); },
+           value, invert);
+}
+
 // --- Textures ---------------------------------------------------------------
 
 void glGenTextures(GLsizei n, GLuint* out) {
@@ -652,6 +669,15 @@ void glAttachShader(GLuint program, GLuint shader) {
   IOS_GL(glAttachShader);
   dispatch(entry, [=](glcore::GlesEngine& gl) {
     gl.glAttachShader(program, shader);
+  }, program, shader);
+}
+
+// Conservatively unbatched like glBlendColor above: a handle-only scalar
+// site the amendment pipeline can prove batch-safe from a corpus.
+void glDetachShader(GLuint program, GLuint shader) {
+  IOS_GL(glDetachShader);
+  dispatch(entry, [=](glcore::GlesEngine& gl) {
+    gl.glDetachShader(program, shader);
   }, program, shader);
 }
 

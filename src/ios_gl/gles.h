@@ -60,6 +60,8 @@ void glStencilFunc(GLenum func, GLint ref, GLuint mask);
 void glStencilMask(GLuint mask);
 void glStencilOp(GLenum sfail, GLenum dpfail, GLenum dppass);
 void glPolygonOffset(GLfloat factor, GLfloat units);
+void glBlendColor(GLclampf r, GLclampf g, GLclampf b, GLclampf a);
+void glSampleCoverage(GLclampf value, GLboolean invert);
 
 // --- Textures ---------------------------------------------------------------
 void glGenTextures(GLsizei n, GLuint* out);
@@ -122,6 +124,7 @@ void glGetShaderiv(GLuint shader, GLenum pname, GLint* params);
 GLuint glCreateProgram();
 void glDeleteProgram(GLuint program);
 void glAttachShader(GLuint program, GLuint shader);
+void glDetachShader(GLuint program, GLuint shader);
 void glLinkProgram(GLuint program);
 void glGetProgramiv(GLuint program, GLenum pname, GLint* params);
 void glUseProgram(GLuint program);

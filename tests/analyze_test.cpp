@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -41,6 +44,9 @@ class AnalyzeTest : public ::testing::Test {
     while (core::GraphicsTlsTracker::instance().in_graphics_diplomat()) {
       core::GraphicsTlsTracker::instance().exit_graphics_diplomat();
     }
+    // Seeded-misclassification fixtures install amendment overlays; a
+    // leaked overlay would fail the clean-tree lint/classify tests.
+    core::clear_classification_amendments();
   }
 };
 
@@ -470,7 +476,7 @@ TEST_F(AnalyzeTest, LintAllowsSanctionedSetPersonaSites) {
                    report);
   lint_source_file("src/ios_gl/ok.cpp",
                    "// a comment mentioning sys_set_persona\n"
-                   "do_it();  // cycada-lint: allow sys_set_persona here\n",
+                   "do_it();  // cycada-lint: allow(sys_set_persona here)\n",
                    report);
   EXPECT_TRUE(report.clean());
 }
@@ -485,6 +491,381 @@ TEST_F(AnalyzeTest, LintFlagsRawPthreadKeyInGraphicsCode) {
   lint_source_file("src/glcore/fine.cpp",
                    "auto k = kernel::libc::pthread_key_create();\n", clean);
   EXPECT_TRUE(clean.clean());
+}
+
+TEST_F(AnalyzeTest, LintFlagsBareAllowMarkerAndKeepsChecking) {
+  // A bare marker is a finding AND fails to suppress the violation it sat
+  // next to — both rules fire on the same line.
+  Report report;
+  lint_source_file("src/ios_gl/rogue.cpp",
+                   "kernel::sys_set_persona(p);  // cycada-lint: allow\n",
+                   report);
+  EXPECT_TRUE(report.has_rule("lint.allow-without-reason"));
+  EXPECT_TRUE(report.has_rule("lint.raw-set-persona"));
+
+  Report reasoned;
+  lint_source_file(
+      "src/ios_gl/ok.cpp",
+      "kernel::sys_set_persona(p);  // cycada-lint: allow(fixture helper)\n",
+      reasoned);
+  EXPECT_TRUE(reasoned.clean());
+}
+
+TEST_F(AnalyzeTest, LintFlagsRefCaptureInBatchableDispatchSite) {
+  const std::string site =
+      "void glClearColor(GLclampf r, GLclampf g, GLclampf b, GLclampf a) {\n"
+      "  IOS_GL(glClearColor);\n"
+      "  dispatch(entry, [&](glcore::GlesEngine& gl) {\n"
+      "    gl.glClearColor(r, g, b, a);\n"
+      "  });\n"
+      "}\n";
+  Report report;
+  lint_source_file("src/ios_gl/rogue.cpp", site, report);
+  EXPECT_TRUE(report.has_rule("lint.batch-capture-by-ref"));
+
+  // The same shape on a non-batchable diplomat (glGetIntegerv is a
+  // readback) is the immediate path working as designed.
+  Report readback;
+  lint_source_file("src/ios_gl/fine.cpp",
+                   "void glGetIntegerv(GLenum pname, GLint* params) {\n"
+                   "  IOS_GL(glGetIntegerv);\n"
+                   "  dispatch(entry, [&](glcore::GlesEngine& gl) {\n"
+                   "    gl.glGetIntegerv(pname, params);\n"
+                   "  });\n"
+                   "}\n",
+                   readback);
+  EXPECT_TRUE(readback.clean());
+
+  // Outside ios_gl/ the rule never applies.
+  Report elsewhere;
+  lint_source_file("src/glcore/engine.cpp", site, elsewhere);
+  EXPECT_TRUE(elsewhere.clean());
+}
+
+// --- Classification universe (Table 2) ---------------------------------------
+
+TEST(ClassificationTest, Table2CountsMatchThePaper) {
+  const core::Table2Counts counts = core::count_table2();
+  EXPECT_EQ(counts.direct, 312);
+  EXPECT_EQ(counts.indirect, 15);
+  EXPECT_EQ(counts.data_dependent, 5);
+  EXPECT_EQ(counts.multi, 2);
+  EXPECT_EQ(counts.unimplemented, 10);
+  EXPECT_EQ(counts.total(), 344);
+}
+
+TEST(ClassificationTest, FunctionsWithPatternRoundTrip) {
+  int total = 0;
+  for (const core::DiplomatPattern pattern :
+       {core::DiplomatPattern::kDirect, core::DiplomatPattern::kIndirect,
+        core::DiplomatPattern::kDataDependent, core::DiplomatPattern::kMulti,
+        core::DiplomatPattern::kUnimplemented}) {
+    for (const std::string& name : core::functions_with_pattern(pattern)) {
+      EXPECT_EQ(core::classify_ios_gl_function(name), pattern) << name;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 344);
+}
+
+TEST(ClassificationTest, EveryBatchableNameClassifiesDirect) {
+  int batchable = 0;
+  for (const core::DiplomatPattern pattern :
+       {core::DiplomatPattern::kDirect, core::DiplomatPattern::kIndirect,
+        core::DiplomatPattern::kDataDependent, core::DiplomatPattern::kMulti,
+        core::DiplomatPattern::kUnimplemented}) {
+    for (const std::string& name : core::functions_with_pattern(pattern)) {
+      if (!core::classify_ios_gl_batchable(name)) continue;
+      EXPECT_EQ(core::classify_ios_gl_function(name),
+                core::DiplomatPattern::kDirect)
+          << name;
+      ++batchable;
+    }
+  }
+  EXPECT_GT(batchable, 50);
+}
+
+// --- Classification amendments -----------------------------------------------
+
+TEST_F(AnalyzeTest, AmendmentParseAcceptsHeaderDirectivesAndComments) {
+  auto parsed = core::parse_classification_amendments(
+      std::string(core::kClassificationAmendmentsHeader) +
+      "\n# a comment\n"
+      "batchable glBlendColor  # corpus evidence\n"
+      "batchable glSampleCoverage\n");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->batchable,
+            (std::vector<std::string>{"glBlendColor", "glSampleCoverage"}));
+}
+
+TEST_F(AnalyzeTest, AmendmentParseRejectsBadInput) {
+  // Missing header.
+  EXPECT_FALSE(
+      core::parse_classification_amendments("batchable glBlendColor\n")
+          .is_ok());
+  // Empty file.
+  EXPECT_FALSE(core::parse_classification_amendments("").is_ok());
+  const std::string header(core::kClassificationAmendmentsHeader);
+  // Unknown directive.
+  EXPECT_FALSE(
+      core::parse_classification_amendments(header + "\nskip glEnable\n")
+          .is_ok());
+  // Trailing garbage after the name.
+  EXPECT_FALSE(core::parse_classification_amendments(
+                   header + "\nbatchable glEnable glDisable\n")
+                   .is_ok());
+  // Only direct diplomats may be amended: glGetString is data-dependent.
+  EXPECT_FALSE(
+      core::parse_classification_amendments(header +
+                                            "\nbatchable glGetString\n")
+          .is_ok());
+}
+
+TEST_F(AnalyzeTest, AmendmentOverlayWidensTheBatchableSet) {
+  // glBlendColor is direct but conservatively out of the hand table.
+  EXPECT_FALSE(core::classify_ios_gl_batchable("glBlendColor"));
+  core::set_classification_amendments({{"glBlendColor"}});
+  EXPECT_TRUE(core::classify_ios_gl_batchable("glBlendColor"));
+  EXPECT_TRUE(core::classification_amended("glBlendColor"));
+  // Hand-table entries are untouched, and the overlay cannot widen
+  // non-direct patterns (classify_ios_gl_batchable gates on the pattern).
+  EXPECT_TRUE(core::classify_ios_gl_batchable("glClearColor"));
+  EXPECT_FALSE(core::classification_amended("glClearColor"));
+  core::clear_classification_amendments();
+  EXPECT_FALSE(core::classify_ios_gl_batchable("glBlendColor"));
+}
+
+// --- Classification prover ---------------------------------------------------
+
+std::string real_gles_source() {
+  std::ifstream file(CYCADA_SOURCE_DIR "/src/ios_gl/gles.cpp");
+  EXPECT_TRUE(file.is_open());
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return contents.str();
+}
+
+trace::ParsedTrace synthetic_trace(
+    const std::vector<trace::CytDef>& defs,
+    const std::vector<trace::CytRecord>& events) {
+  trace::ParsedTrace trace;
+  std::memset(&trace.header, 0, sizeof(trace.header));
+  std::uint32_t id = 1;
+  for (const trace::CytDef& def : defs) trace.defs[id++] = def;
+  trace.records = events;
+  return trace;
+}
+
+trace::CytRecord synthetic_event(std::uint32_t id, trace::CytEventKind kind,
+                                 std::uint8_t flags) {
+  trace::CytRecord event = trace::cyt_zero_record();
+  event.type = static_cast<std::uint8_t>(trace::CytRecordType::kEvent);
+  event.kind = static_cast<std::uint8_t>(kind);
+  event.flags = flags;
+  event.id = id;
+  return event;
+}
+
+TEST_F(AnalyzeTest, ClassifyScannerExtractsSiteFacts) {
+  const std::vector<ClassifySiteFacts> sites = scan_ios_gl_sites(
+      "src/ios_gl/gles.cpp",
+      "#define IOS_GL(name) resolve(name)\n"
+      "\n"
+      "void glEnable(GLenum cap) {\n"
+      "  IOS_GL(glEnable);\n"
+      "  dispatch(entry, [=](glcore::GlesEngine& gl) { gl.glEnable(cap); },\n"
+      "           cap);\n"
+      "}\n"
+      "\n"
+      "void glGetIntegerv(GLenum pname, GLint* params) {\n"
+      "  IOS_GL(glGetIntegerv);\n"
+      "  dispatch(entry, [&](glcore::GlesEngine& gl) {\n"
+      "    gl.glGetIntegerv(pname, params);\n"
+      "  });\n"
+      "}\n"
+      "\n"
+      "void glSetFenceAPPLE(GLuint fence) {\n"
+      "  IOS_GL(glSetFenceAPPLE);\n"
+      "  dispatch(entry, [&](glcore::GlesEngine& gl) {\n"
+      "    gl.glSetFenceNV(fence);\n"
+      "  });\n"
+      "}\n");
+  ASSERT_EQ(sites.size(), 3u);  // the #define is not a site
+
+  EXPECT_EQ(sites[0].name, "glEnable");
+  EXPECT_EQ(sites[0].declared, core::DiplomatPattern::kDirect);
+  EXPECT_TRUE(sites[0].void_return);
+  EXPECT_FALSE(sites[0].pointer_args);
+  EXPECT_TRUE(sites[0].capture_by_value);
+  EXPECT_FALSE(sites[0].capture_by_ref);
+  EXPECT_FALSE(sites[0].redirect);
+
+  EXPECT_EQ(sites[1].name, "glGetIntegerv");
+  EXPECT_TRUE(sites[1].pointer_args);
+  EXPECT_TRUE(sites[1].capture_by_ref);
+  EXPECT_FALSE(sites[1].capture_by_value);
+
+  EXPECT_EQ(sites[2].name, "glSetFenceAPPLE");
+  EXPECT_EQ(sites[2].declared, core::DiplomatPattern::kIndirect);
+  EXPECT_TRUE(sites[2].redirect);  // gl.glSetFenceNV under glSetFenceAPPLE
+}
+
+TEST_F(AnalyzeTest, ClassifyRunsCleanOnTheRealTree) {
+  Report report;
+  const ClassifyAudit audit = check_classification(
+      "src/ios_gl/gles.cpp", real_gles_source(), {}, report);
+  if (!report.clean()) report.print(std::cerr);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GE(audit.sites.size(), 111u);
+}
+
+TEST_F(AnalyzeTest, ClassifyFlagsSignatureMismatches) {
+  // Four seeded shapes, one finding each: a skip on a non-data-dependent
+  // site, an engine redirect under kDirect, a site outside the Table 2
+  // universe, and a live site on a kUnimplemented name.
+  Report report;
+  check_classification(
+      "src/ios_gl/rogue.cpp",
+      "void glDrawArrays(GLenum mode, GLint first, GLsizei count) {\n"
+      "  IOS_GL(glDrawArrays);\n"
+      "  diplomat_skip(entry);\n"
+      "}\n"
+      "\n"
+      "void glFinish() {\n"
+      "  IOS_GL(glFinish);\n"
+      "  dispatch(entry, [&](glcore::GlesEngine& gl) { gl.glFlush(); });\n"
+      "}\n"
+      "\n"
+      "void glNotInTheUniverse(GLenum cap) {\n"
+      "  IOS_GL(glNotInTheUniverse);\n"
+      "  dispatch(entry, [=](glcore::GlesEngine& gl) {});\n"
+      "}\n"
+      "\n"
+      "void glLogicOp(GLenum opcode) {\n"
+      "  IOS_GL(glLogicOp);\n"
+      "  dispatch(entry, [=](glcore::GlesEngine& gl) {});\n"
+      "}\n",
+      {}, report);
+  EXPECT_EQ(report.by_checker("classify").size(), 4u);
+  EXPECT_TRUE(report.has_rule("classify.signature-mismatch"));
+}
+
+TEST_F(AnalyzeTest, ClassifyFlagsBatchableUnsafeSite) {
+  // glClearColor is classifier-batchable; a reference-capturing, non-void
+  // site contradicts everything batching assumes about it.
+  Report report;
+  check_classification(
+      "src/ios_gl/rogue.cpp",
+      "GLenum glClearColor(GLclampf r, GLclampf g, GLclampf b, GLclampf a) "
+      "{\n"
+      "  IOS_GL(glClearColor);\n"
+      "  dispatch(entry, [&](glcore::GlesEngine& gl) {\n"
+      "    gl.glClearColor(r, g, b, a);\n"
+      "  });\n"
+      "  return glcore::GL_NO_ERROR;\n"
+      "}\n",
+      {}, report);
+  EXPECT_TRUE(report.has_rule("classify.batchable-unsafe"));
+}
+
+TEST_F(AnalyzeTest, ClassifyFlagsCorpusContradictions) {
+  // A corpus whose defs/events disagree with this build's classifier:
+  // glClear recorded as batchable=false, a batched crossing on
+  // glBlendColor (classifier-rejected), and a non-void observed call on
+  // batchable glClearColor.
+  const trace::ParsedTrace trace = synthetic_trace(
+      {{"glClear", static_cast<std::uint8_t>(core::DiplomatPattern::kDirect),
+        false},
+       {"glBlendColor",
+        static_cast<std::uint8_t>(core::DiplomatPattern::kDirect), false},
+       {"glClearColor",
+        static_cast<std::uint8_t>(core::DiplomatPattern::kDirect), true}},
+      {synthetic_event(1, trace::CytEventKind::kCall,
+                       trace::kCytFlagVoidReturn | trace::kCytFlagScalarArgs),
+       synthetic_event(2, trace::CytEventKind::kBatchedCall,
+                       trace::kCytFlagVoidReturn | trace::kCytFlagScalarArgs),
+       synthetic_event(3, trace::CytEventKind::kCall,
+                       trace::kCytFlagScalarArgs)});
+  Report report;
+  check_classification("src/ios_gl/gles.cpp", real_gles_source(), {&trace},
+                       report);
+  const auto findings = report.by_checker("classify");
+  EXPECT_EQ(findings.size(), 3u);
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "classify.corpus-contradiction") << finding.subject;
+  }
+}
+
+TEST_F(AnalyzeTest, SeededMisclassificationCaughtByBothSources) {
+  // Seed a false batchable bit: amend glDrawArrays (direct, but its real
+  // site is the immediate [&] path — draws consume client-array pointers).
+  core::set_classification_amendments({{"glDrawArrays"}});
+
+  // Source A: the static scanner catches it against the real tree.
+  Report static_report;
+  check_classification("src/ios_gl/gles.cpp", real_gles_source(), {},
+                       static_report);
+  bool static_caught = false;
+  for (const Finding& finding : static_report.by_checker("classify")) {
+    if (finding.rule == "classify.batchable-unsafe" &&
+        finding.message.find("glDrawArrays") != std::string::npos) {
+      static_caught = true;
+    }
+  }
+  EXPECT_TRUE(static_caught);
+
+  // The batch-capture source lint is a second, independent static catch.
+  Report lint_report;
+  lint_source_file("src/ios_gl/gles.cpp", real_gles_source(), lint_report);
+  EXPECT_TRUE(lint_report.has_rule("lint.batch-capture-by-ref"));
+
+  // Source B: a corpus recorded by an honest build (batchable=false, as
+  // the capture layer wrote it) contradicts the seeded classifier.
+  const trace::ParsedTrace trace = synthetic_trace(
+      {{"glDrawArrays",
+        static_cast<std::uint8_t>(core::DiplomatPattern::kDirect), false}},
+      {synthetic_event(1, trace::CytEventKind::kCall,
+                       trace::kCytFlagVoidReturn)});
+  Report corpus_report;
+  check_classification("src/ios_gl/gles.cpp", real_gles_source(), {&trace},
+                       corpus_report);
+  EXPECT_TRUE(corpus_report.has_rule("classify.corpus-contradiction"));
+
+  core::clear_classification_amendments();
+}
+
+TEST_F(AnalyzeTest, ClassifyProvesAmendmentsOverTheGoldenCorpus) {
+  // The committed golden corpus + the real dispatch sites must agree on
+  // the two deliberately-conservative diplomats and prove them by replay;
+  // glDetachShader stays below the confidence threshold.
+  auto passmark =
+      trace::read_cyt(CYCADA_SOURCE_DIR "/tests/data/golden_passmark.cyt");
+  ASSERT_TRUE(passmark.is_ok()) << passmark.status().to_string();
+
+  Report report;
+  const ClassifyAudit audit = check_classification(
+      "src/ios_gl/gles.cpp", real_gles_source(), {&*passmark}, report);
+  if (!report.clean()) report.print(std::cerr);
+  EXPECT_TRUE(report.clean());
+
+  std::vector<std::string> proposed;
+  for (const AmendmentProposal& proposal : audit.proposals) {
+    EXPECT_TRUE(proposal.replay_proved) << proposal.name;
+    EXPECT_GE(proposal.corpus_occurrences, 8u) << proposal.name;
+    proposed.push_back(proposal.name);
+  }
+  EXPECT_EQ(proposed,
+            (std::vector<std::string>{"glBlendColor", "glSampleCoverage"}));
+
+  // The prover's replay proof restores the pre-existing overlay.
+  EXPECT_FALSE(core::classify_ios_gl_batchable("glBlendColor"));
+
+  // The rendered file round-trips through the runtime loader's parser.
+  const std::string rendered =
+      render_classification_amendments(audit.proposals);
+  auto parsed = core::parse_classification_amendments(rendered);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->batchable, proposed);
 }
 
 }  // namespace

@@ -8,18 +8,29 @@
 // --root is given — the static source lint.
 //
 //   cycada_check [--root <source-dir>] [--trace <file.cyt>]...
+//   cycada_check --classify --root <source-dir> [--corpus <file.cyt>]...
+//                [--amend-out <path>]
 //
 // --trace switches to trace-mining mode (docs/TRACING.md): instead of
 // running the live workload, each named .cyt capture is loaded and judged
 // with analyze::check_trace. Contract violations are findings (gating);
 // batchability candidates are printed as advisory notes and never gate.
 //
+// --classify runs the classification prover (docs/ANALYZER.md): the static
+// scanner over the IOS_GL dispatch sites under --root and the --corpus
+// traces are cross-checked against src/core/classification.cpp; any
+// contradiction is a blocking finding, and surviving static+corpus
+// agreements become replay-proved amendment proposals, written to
+// --amend-out as a loadable CYCADA_CLASSIFY_AMEND file.
+//
 // Exits 0 when every check is clean, 1 when there are findings (each
 // printed one per line), 2 on usage/workload errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -99,17 +110,92 @@ bool render_frame(EAGLContext::Ref context, int size) {
 int main(int argc, char** argv) {
   std::string root;
   std::vector<std::string> traces;
+  std::vector<std::string> corpus_paths;
+  std::string amend_out;
+  bool classify = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       traces.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--classify") == 0) {
+      classify = true;
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_paths.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--amend-out") == 0 && i + 1 < argc) {
+      amend_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: cycada_check [--root <source-dir>] "
-                   "[--trace <file.cyt>]...\n");
+                   "[--trace <file.cyt>]...\n"
+                   "       cycada_check --classify --root <source-dir> "
+                   "[--corpus <file.cyt>]... [--amend-out <path>]\n");
       return 2;
     }
+  }
+
+  // Classification-prover mode (docs/ANALYZER.md).
+  if (classify) {
+    if (root.empty()) {
+      std::fprintf(stderr, "cycada_check: --classify requires --root\n");
+      return 2;
+    }
+    const std::string gl_source = root + "/ios_gl/gles.cpp";
+    std::ifstream file(gl_source);
+    if (!file) {
+      std::fprintf(stderr, "cycada_check: cannot read %s\n",
+                   gl_source.c_str());
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+
+    std::vector<trace::ParsedTrace> parsed;
+    parsed.reserve(corpus_paths.size());
+    for (const std::string& path : corpus_paths) {
+      auto trace = trace::read_cyt(path);
+      if (!trace.is_ok()) {
+        std::fprintf(stderr, "cycada_check: %s: %s\n", path.c_str(),
+                     trace.status().to_string().c_str());
+        return 2;
+      }
+      parsed.push_back(*std::move(trace));
+    }
+    std::vector<const trace::ParsedTrace*> corpus;
+    for (const trace::ParsedTrace& trace : parsed) corpus.push_back(&trace);
+
+    // The replay proof drives real diplomat calls, so the simulated device
+    // must be up before check_classification runs.
+    if (!corpus.empty()) {
+      glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+    }
+
+    analyze::Report report;
+    const analyze::ClassifyAudit audit = analyze::check_classification(
+        gl_source, contents.str(), corpus, report);
+    std::printf(
+        "cycada_check: classify: %zu dispatch site(s) in %s, %zu corpus "
+        "trace(s)\n",
+        audit.sites.size(), gl_source.c_str(), audit.corpus_traces);
+    for (const analyze::AmendmentProposal& proposal : audit.proposals) {
+      std::printf("note: amendment proposal batchable %s — %s\n",
+                  proposal.name.c_str(), proposal.why.c_str());
+    }
+    if (!amend_out.empty() && !audit.proposals.empty()) {
+      std::ofstream out(amend_out);
+      if (!out) {
+        std::fprintf(stderr, "cycada_check: cannot write %s\n",
+                     amend_out.c_str());
+        return 2;
+      }
+      out << analyze::render_classification_amendments(audit.proposals);
+      std::printf("cycada_check: wrote %zu amendment(s) to %s\n",
+                  audit.proposals.size(), amend_out.c_str());
+    }
+    const int findings = report.print(std::cout);
+    std::printf("cycada_check: %d finding(s), %zu amendment proposal(s)\n",
+                findings, audit.proposals.size());
+    return findings == 0 ? 0 : 1;
   }
 
   // Trace-mining mode: judge captured streams, not the live workload.

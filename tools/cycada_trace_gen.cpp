@@ -1,16 +1,22 @@
 // cycada_trace_gen: deterministic .cyt capture for the golden test corpus
 // (docs/TRACING.md, tests/data/).
 //
-//   cycada_trace_gen <out.cyt> [--frames N]
+//   cycada_trace_gen <out.cyt> [--frames N] [--workload passmark|sunspider]
+//                    [--scripts N]
 //
 // Boots the simulated Cycada device and records a small, single-threaded
-// PassMark-shaped workload: EAGL setup, shader compile/link, batched state
-// runs under a BatchScope, a draw + present per frame, a data-dependent
-// query (skip path) — and one deliberately UN-batched run of
-// classifier-batchable scalar state calls, so analyze::check_trace always
-// has at least one actionable batchability candidate to report on this
+// workload. The default PassMark shape: EAGL setup, shader compile/link,
+// batched state runs under a BatchScope, a draw + present per frame, a
+// data-dependent query (skip path) — and one deliberately UN-batched run of
+// scalar void state calls (some classifier-batchable, some conservatively
+// unbatched), so analyze::check_trace always has actionable batchability
+// candidates and the classification prover has amendment material on this
 // corpus. Single-threaded and fixed-sequence: replaying the capture at
 // N×M multiplies every per-diplomat count exactly.
+//
+// --workload sunspider instead drives the simulated WebKit browser over the
+// first --scripts SunSpider categories on the Cycada-iOS port (the Figure 5
+// workload shape), capturing the diplomat stream its page renders produce.
 //
 // Exits 0 on success, 2 on errors.
 #include <cstdio>
@@ -22,7 +28,9 @@
 #include "glport/system_config.h"
 #include "ios_gl/eagl.h"
 #include "ios_gl/gles.h"
+#include "jsvm/sunspider.h"
 #include "trace/cyt.h"
+#include "webkit/browser.h"
 
 namespace {
 
@@ -58,6 +66,11 @@ bool render_frame(EAGLContext::Ref context, int size, int frame) {
   glAttachShader(program, vs);
   glAttachShader(program, fs);
   glLinkProgram(program);
+  // Detach after link, iOS-app style. glDetachShader is conservatively
+  // unbatched, but two calls per frame stay BELOW the prover's confidence
+  // threshold — a deliberate below-the-bar candidate for the tests.
+  glDetachShader(program, vs);
+  glDetachShader(program, fs);
   glUseProgram(program);
 
   {
@@ -85,9 +98,15 @@ bool render_frame(EAGLContext::Ref context, int size, int frame) {
   // marks batchable, crossing one by one with no BatchScope open. This is
   // the trace miner's bread and butter — it must flag this run as a
   // batchability candidate (tests/trace_replay_test.cpp pins that).
+  // glBlendColor / glSampleCoverage ride the same runs but are NOT in the
+  // hand-written batchable table: four per frame puts them over the
+  // prover's confidence threshold, so they graduate into replay-proved
+  // amendment proposals (cycada_check --classify).
   for (int i = 0; i < 4; ++i) {
     glLineWidth(1.0f + static_cast<float>((frame + i) % 3));
     glPolygonOffset(static_cast<float>(i), 0.5f);
+    glBlendColor(0.1f * static_cast<float>(i), 0.2f, 0.3f, 1.f);
+    glSampleCoverage(1.0f - 0.1f * static_cast<float>(i), glcore::GL_FALSE);
   }
 
   // Data-dependent skip path (answered on the iOS side).
@@ -96,24 +115,51 @@ bool render_frame(EAGLContext::Ref context, int size, int frame) {
   return glGetError() == glcore::GL_NO_ERROR;
 }
 
+// The SunSpider shape (Figure 5): the simulated browser runs each category
+// script and renders the results page through the Cycada-iOS port, so every
+// GL call the raster path makes crosses the diplomat bridge and lands in
+// the capture. JIT off, as on real Cycada iOS (§9). `scripts` bounds the
+// categories so the fixed-size capture pool never drops records.
+bool run_sunspider(int scripts) {
+  auto port = glport::make_gl_port(glport::SystemConfig::kCycadaIos);
+  if (!port->init(192, 160, 2).is_ok()) return false;
+  webkit::Browser browser(*port, /*jit=*/false);
+  int run = 0;
+  for (const auto& workload : jsvm::sunspider::workloads()) {
+    if (run >= scripts) break;
+    if (!browser.run_script(workload.source).is_ok()) return false;
+    ++run;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  static const char kUsage[] =
+      "usage: cycada_trace_gen <out.cyt> [--frames N] "
+      "[--workload passmark|sunspider] [--scripts N]\n";
   std::string out;
+  std::string workload = "passmark";
   int frames = 3;
+  int scripts = 2;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
       frames = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
+    } else if (std::strcmp(argv[i], "--scripts") == 0 && i + 1 < argc) {
+      scripts = std::atoi(argv[++i]);
     } else if (argv[i][0] != '-' && out.empty()) {
       out = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: cycada_trace_gen <out.cyt> [--frames N]\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
   }
-  if (out.empty() || frames < 1) {
-    std::fprintf(stderr, "usage: cycada_trace_gen <out.cyt> [--frames N]\n");
+  if (out.empty() || frames < 1 || scripts < 1 ||
+      (workload != "passmark" && workload != "sunspider")) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
@@ -125,19 +171,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto context =
-      EAGLContext::init_with_api(EAGLRenderingAPI::kOpenGLES2, 64, 64);
-  if (!context.is_ok()) {
-    std::fprintf(stderr, "cycada_trace_gen: workload boot failed\n");
-    return 2;
-  }
-  for (int frame = 0; frame < frames; ++frame) {
-    if (!render_frame(*context, 64, frame)) {
-      std::fprintf(stderr, "cycada_trace_gen: frame %d failed\n", frame);
+  if (workload == "sunspider") {
+    if (!run_sunspider(scripts)) {
+      std::fprintf(stderr, "cycada_trace_gen: sunspider workload failed\n");
       return 2;
     }
+  } else {
+    auto context =
+        EAGLContext::init_with_api(EAGLRenderingAPI::kOpenGLES2, 64, 64);
+    if (!context.is_ok()) {
+      std::fprintf(stderr, "cycada_trace_gen: workload boot failed\n");
+      return 2;
+    }
+    for (int frame = 0; frame < frames; ++frame) {
+      if (!render_frame(*context, 64, frame)) {
+        std::fprintf(stderr, "cycada_trace_gen: frame %d failed\n", frame);
+        return 2;
+      }
+    }
+    EAGLContext::clear_current_context();
   }
-  EAGLContext::clear_current_context();
 
   const std::uint64_t recorded = recorder.recorded();
   const std::uint64_t dropped = recorder.dropped();
@@ -146,9 +199,8 @@ int main(int argc, char** argv) {
                  status.to_string().c_str());
     return 2;
   }
-  std::printf("cycada_trace_gen: %s: %llu record(s), %llu dropped, %d "
-              "frame(s)\n",
+  std::printf("cycada_trace_gen: %s: %llu record(s), %llu dropped (%s)\n",
               out.c_str(), static_cast<unsigned long long>(recorded),
-              static_cast<unsigned long long>(dropped), frames);
+              static_cast<unsigned long long>(dropped), workload.c_str());
   return dropped == 0 ? 0 : 2;
 }
