@@ -1,13 +1,30 @@
 // Regenerates Figure 6 of the paper: PassMark 2D/3D graphics performance,
 // normalized to the Android app on stock Android (higher is better).
+//
+// Two extra modes support the tile-parallel frame pipeline
+// (docs/PIPELINE.md, docs/BENCHMARKING.md):
+//   CYCADA_PASSMARK_HASH=1   print an FNV-1a hash of the final screen for
+//                            every (config, test) pair instead of rates.
+//                            CI runs this at CYCADA_GPU_WORKERS=1 and =4
+//                            and diffs the output byte-for-byte: the tiled
+//                            rasterizer must be deterministic.
+//   CYCADA_PASSMARK_SWEEP=1  run the workload at 1/2/4/8 tile workers on a
+//                            512x512 surface (an 8x8 tile grid) and emit
+//                            the per-stage pipeline metrics as bench JSON
+//                            (BENCH_pr8.json via scripts/bench_baseline.sh).
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "glport/system_config.h"
+#include "gpu/pipeline.h"
 #include "passmark/passmark.h"
+#include "trace/metrics.h"
 #include "util/clock.h"
+#include "util/image.h"
 
 namespace {
 
@@ -21,10 +38,11 @@ int frames_for(std::string_view test) {
   return 8;
 }
 
-double run_rate(SystemConfig config, std::string_view test) {
+double run_rate(SystemConfig config, std::string_view test, int width = 128,
+                int height = 128) {
   cycada::glport::apply_system_config(config);
   auto port = cycada::glport::make_gl_port(config);
-  if (!port->init(128, 128, 1).is_ok()) return -1;
+  if (!port->init(width, height, 1).is_ok()) return -1;
   cycada::passmark::PassMark passmark(*port);
   // Warm-up frame (texture/mesh setup).
   if (!passmark.run(test, 1).is_ok()) return -1;
@@ -37,9 +55,124 @@ double run_rate(SystemConfig config, std::string_view test) {
          static_cast<double>(elapsed);
 }
 
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::string_view(value) != "0";
+}
+
+std::uint64_t fnv1a_hash(const cycada::Image& image) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const std::uint32_t pixel : image.pixels()) {
+    for (int byte = 0; byte < 4; ++byte) {
+      hash ^= (pixel >> (8 * byte)) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+// CYCADA_PASSMARK_HASH: every (config, test) pair renders the same seeded
+// workload, so the screen hash is a pure function of the raster pipeline.
+// The output is diffed across CYCADA_GPU_WORKERS settings by scripts/ci.sh.
+int run_hash_mode() {
+  const std::vector<std::pair<const char*, SystemConfig>> configs = {
+      {"cycada-ios", SystemConfig::kCycadaIos},
+      {"cycada-android", SystemConfig::kCycadaAndroid},
+      {"ios", SystemConfig::kIos},
+      {"android", SystemConfig::kAndroid},
+  };
+  std::printf("# fig6 framebuffer hashes (FNV-1a 64 of the final screen)\n");
+  for (const auto& [label, config] : configs) {
+    for (const auto& spec : cycada::passmark::test_specs()) {
+      cycada::glport::apply_system_config(config);
+      auto port = cycada::glport::make_gl_port(config);
+      if (!port->init(128, 128, 1).is_ok()) return 1;
+      cycada::passmark::PassMark passmark(*port);
+      if (!passmark.run(spec.name, 1 + frames_for(spec.name)).is_ok())
+        return 1;
+      const cycada::Image screen = port->screen();
+      if (screen.empty()) return 1;
+      std::printf("hash %-16s %-22s %016llx\n", label,
+                  std::string(spec.name).c_str(),
+                  static_cast<unsigned long long>(fnv1a_hash(screen)));
+    }
+  }
+  return 0;
+}
+
+// CYCADA_PASSMARK_SWEEP: the tile-parallel pipeline scaling run. A 512x512
+// surface is an 8x8 grid of 64x64 tiles, enough work per raster phase for
+// eight workers to claim and steal. apply_system_config() resets the
+// metrics registry, so the config is applied once per worker count, the
+// whole seven-test workload runs under it, and the pipeline.* metrics are
+// snapshotted into a merged document under fig6.workersN.* names before the
+// next worker count wipes them.
+int run_sweep_mode() {
+  auto& metrics = cycada::trace::MetricsRegistry::instance();
+  auto& pool = cycada::gpu::TileWorkerPool::instance();
+
+  std::printf(
+      "fig6 worker sweep: Cycada iOS PassMark on 512x512 (8x8 tiles)\n\n");
+  std::printf("%8s %14s %10s\n", "workers", "prims/sec", "speedup");
+  cycada::trace::MetricsSnapshot merged;
+  std::vector<std::pair<int, double>> rates;
+  for (const int workers : {1, 2, 4, 8}) {
+    cycada::glport::apply_system_config(SystemConfig::kCycadaIos);
+    pool.set_worker_count(workers);
+    std::uint64_t primitives = 0;
+    const auto start = cycada::now_ns();
+    for (const auto& spec : cycada::passmark::test_specs()) {
+      auto port = cycada::glport::make_gl_port(SystemConfig::kCycadaIos);
+      if (!port->init(512, 512, 1).is_ok()) return 1;
+      cycada::passmark::PassMark passmark(*port);
+      if (!passmark.run(spec.name, 1).is_ok()) return 1;  // warm-up
+      const auto prims = passmark.run(spec.name, frames_for(spec.name));
+      if (!prims.is_ok()) return 1;
+      primitives += *prims;
+    }
+    const auto elapsed = cycada::now_ns() - start;
+    if (elapsed <= 0) return 1;
+    rates.emplace_back(workers, static_cast<double>(primitives) * 1e9 /
+                                    static_cast<double>(elapsed));
+
+    const std::string prefix = "fig6.workers" + std::to_string(workers) + ".";
+    const cycada::trace::MetricsSnapshot snap = metrics.snapshot();
+    for (const auto& counter : snap.counters) {
+      if (counter.name.rfind("pipeline.", 0) != 0) continue;
+      merged.counters.push_back({prefix + counter.name, counter.value});
+    }
+    for (const auto& histogram : snap.histograms) {
+      if (histogram.name.rfind("pipeline.", 0) != 0) continue;
+      cycada::trace::HistogramSnapshot renamed = histogram;
+      renamed.name = prefix + histogram.name;
+      merged.histograms.push_back(std::move(renamed));
+    }
+  }
+
+  const double base_rate = rates.front().second;
+  for (const auto& [workers, rate] : rates) {
+    const double speedup = base_rate > 0 ? rate / base_rate : 0;
+    std::printf("%8d %14.0f %9.2fx\n", workers, rate, speedup);
+    const std::string prefix = "fig6.sweep.workers" + std::to_string(workers);
+    merged.counters.push_back(
+        {prefix + ".prims_per_sec", static_cast<std::uint64_t>(rate)});
+    merged.counters.push_back({prefix + ".raster_speedup_x100",
+                               static_cast<std::uint64_t>(speedup * 100)});
+  }
+  std::printf(
+      "\nNote: wall-clock speedup needs real cores; on a single-core host "
+      "the\nsweep stays ~1.00x while determinism and the per-stage "
+      "histograms still hold\n(docs/BENCHMARKING.md).\n");
+  cycada::trace::emit_bench_json(std::cout, merged.to_json());
+  return 0;
+}
+
 }  // namespace
 
 int main() {
+  if (env_flag("CYCADA_PASSMARK_HASH")) return run_hash_mode();
+  if (env_flag("CYCADA_PASSMARK_SWEEP")) return run_sweep_mode();
+
   const std::vector<std::pair<const char*, SystemConfig>> configs = {
       {"Cycada iOS", SystemConfig::kCycadaIos},
       {"Cycada Android", SystemConfig::kCycadaAndroid},

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Produces the committed benchmark baseline for this PR (BENCH_pr6.json):
+# Produces the committed benchmark baseline for this PR (BENCH_pr8.json):
 # a Release build of the bench targets, each run with CYCADA_BENCH_JSON
 # pointed at a temp file, merged into one document whose schema is described
 # in docs/BENCHMARKING.md. Counters are merged flat; histograms keep their
 # per-run p50/p95/p99 so bench_compare.sh can gate on tail latency too.
 # The trace-replay leg (docs/TRACING.md) captures a golden workload and
-# replays it at 4 threads so replay throughput rides the same gate.
+# replays it at 4 threads so replay throughput rides the same gate; the
+# fig6 worker-sweep leg (docs/PIPELINE.md) runs PassMark at 1/2/4/8 tile
+# workers so the per-stage pipeline histograms and the raster speedup ride
+# it too.
 # From the repo root:
 #
-#   ./scripts/bench_baseline.sh                # writes BENCH_pr6.json
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr8.json
 #   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
 #   BENCH_PR=6 ./scripts/bench_baseline.sh     # writes BENCH_pr6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${BENCH_PR:-6}"
+PR="${BENCH_PR:-8}"
 OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
 BUILD=build-bench
 
@@ -22,7 +25,8 @@ echo "==> configuring ${BUILD} (Release)"
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> building bench targets"
 cmake --build "${BUILD}" -j --target table3_microbench \
-  table2_diplomat_breakdown cycada_trace_gen cycada_replay >/dev/null
+  table2_diplomat_breakdown cycada_trace_gen cycada_replay \
+  fig6_passmark >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -39,6 +43,9 @@ echo "==> running trace replay (4 threads, max rate)"
 CYCADA_BENCH_JSON="${tmpdir}/replay.json" \
   "./${BUILD}/tools/cycada_replay" "${tmpdir}/replay.cyt" \
   --threads 4 --iterations 16 --verify >/dev/null
+echo "==> running fig6 worker sweep (1/2/4/8 tile workers)"
+CYCADA_BENCH_JSON="${tmpdir}/sweep.json" CYCADA_PASSMARK_SWEEP=1 \
+  "./${BUILD}/bench/fig6_passmark" >/dev/null
 
 # Merge the two bench documents (shell-only; no python/jq dependency). Each
 # emits {"counters":{...},"histograms":{...}}; the counters object is flat
@@ -67,13 +74,16 @@ join_nonempty() {
     "${PR}"
   printf '%s' "$(join_nonempty "$(counters "${tmpdir}/table3.json")" \
     "$(counters "${tmpdir}/table2.json")" \
-    "$(counters "${tmpdir}/replay.json")")"
+    "$(counters "${tmpdir}/replay.json")" \
+    "$(counters "${tmpdir}/sweep.json")")"
   printf '},"histograms":{'
   printf '%s' "$(join_nonempty "$(histograms "${tmpdir}/table3.json")" \
     "$(histograms "${tmpdir}/table2.json")" \
-    "$(histograms "${tmpdir}/replay.json")")"
+    "$(histograms "${tmpdir}/replay.json")" \
+    "$(histograms "${tmpdir}/sweep.json")")"
   printf '}}\n'
 } > "${OUT}"
 
 echo "==> wrote ${OUT}"
 grep -o '"table3.dispatch.[^,}]*' "${OUT}" | sed 's/"//g'
+grep -o '"fig6.sweep.[^,}]*' "${OUT}" | sed 's/"//g'

@@ -9,8 +9,12 @@
 #     more than the threshold above the baseline is a regression
 #   - speedup counters (names containing "speedup"): higher is better
 #   - histogram tails (p50_ns / p95_ns / p99_ns per histogram): lower is
-#     better
-# Everything else is printed for information only. The relative threshold is
+#     better. min/max/sum are single-sample extremes or count-dependent and
+#     stay informational.
+# The per-stage pipeline profiles (pipeline.stage.*) are utilization
+# diagnostics, not gates — single-run bucket noise swamps them; the gated
+# pipeline signal is fig6.sweep.*.raster_speedup_x100. Everything else is
+# printed for information only. The relative threshold is
 # CYCADA_BENCH_THRESHOLD (default 0.10 = 10%).
 #
 # Exits 0 when no gated metric regressed, 1 on regression, 2 on usage error.
@@ -87,8 +91,13 @@ awk -v threshold="${THRESHOLD}" \
       delta = old != 0 ? (new - old) / old : 0
       # Gate direction: timing and tail-latency keys regress upward,
       # speedups regress downward; everything else is informational.
+      # Histogram min/max/sum fields and the pipeline.stage.* profiles are
+      # never gated (see the header).
       gated = ""
-      if (key ~ /_ns/ && key !~ /speedup/) {
+      informational = (key ~ /\.(min|max|sum)_ns$/ || \
+                       key ~ /pipeline\.stage\./)
+      if (informational) {
+      } else if (key ~ /_ns/ && key !~ /speedup/) {
         if (old > 0 && delta > threshold) gated = "REGRESSION"
       } else if (key ~ /speedup/) {
         if (old > 0 && delta < -threshold) gated = "REGRESSION"

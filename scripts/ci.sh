@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # The CI entry point (.github/workflows/ci.yml runs exactly this): tier-1
-# build + full test suite + the cycada_check contract analyzer, the trace
-# capture/replay leg, the classification prover with its amendment proof
-# gate, a fault-injected cycada_check run that must degrade gracefully, and
-# a TSan leg over the concurrency-sensitive suites. Fast enough for every
-# push; the full sanitizer matrix stays in scripts/check.sh (ci.yml also
-# runs a focused ASan+UBSan leg).
+# build + full test suite + the cycada_check contract analyzer, the tile
+# pipeline determinism/scaling leg, the trace capture/replay leg, the
+# classification prover with its amendment proof gate, a fault-injected
+# cycada_check run that must degrade gracefully, and a TSan leg over the
+# concurrency-sensitive suites. Fast enough for every push; the full
+# sanitizer matrix stays in scripts/check.sh (ci.yml also runs a focused
+# ASan+UBSan leg).
 #
 #   ./scripts/ci.sh               # everything below
 #   CYCADA_SKIP_TSAN=1 ./scripts/ci.sh
@@ -24,6 +25,38 @@ run cmake --build build -j
 # is always passed explicitly.
 (cd build && run ctest --output-on-failure -j "$(nproc)")
 run ./build/tools/cycada_check --root "$(pwd)/src"
+
+# --- Tile pipeline determinism + scaling (docs/PIPELINE.md) ------------------
+# The tiled rasterizer must be deterministic: the full PassMark screen hash
+# at 4 workers must be byte-identical to the single-threaded run. The
+# scaling gate (>= 2.00x raster speedup at 4 workers) only means something
+# with real cores underneath, so it is conditioned on nproc.
+echo "==> fig6 framebuffer hashes at CYCADA_GPU_WORKERS=1 vs 4"
+hash_w1="$(CYCADA_PASSMARK_HASH=1 CYCADA_GPU_WORKERS=1 \
+  ./build/bench/fig6_passmark)"
+hash_w4="$(CYCADA_PASSMARK_HASH=1 CYCADA_GPU_WORKERS=4 \
+  ./build/bench/fig6_passmark)"
+if [[ "${hash_w1}" != "${hash_w4}" ]]; then
+  echo "ci.sh: FAIL — framebuffer hashes diverge across worker counts" >&2
+  diff <(printf '%s\n' "${hash_w1}") <(printf '%s\n' "${hash_w4}") >&2 || true
+  exit 1
+fi
+echo "    identical ($(printf '%s\n' "${hash_w1}" | grep -c '^hash ') hashes)"
+if [[ "$(nproc)" -ge 4 ]]; then
+  echo "==> fig6 worker sweep (>= 2.00x raster speedup at 4 workers)"
+  sweep_json="$(CYCADA_PASSMARK_SWEEP=1 ./build/bench/fig6_passmark)"
+  speedup_x100="$(printf '%s' "${sweep_json}" \
+    | grep -o '"fig6.sweep.workers4.raster_speedup_x100":[0-9]*' \
+    | grep -o '[0-9]*$' || true)"
+  if [[ -z "${speedup_x100}" || "${speedup_x100}" -lt 200 ]]; then
+    echo "ci.sh: FAIL — 4-worker raster speedup" \
+         "$(printf '%s' "${speedup_x100:-?}")/100 < 2.00x" >&2
+    exit 1
+  fi
+  echo "    speedup ${speedup_x100}/100 at 4 workers"
+else
+  echo "==> fig6 scaling gate skipped ($(nproc) core(s); needs >= 4)"
+fi
 
 # --- Trace capture / replay leg (docs/TRACING.md) ----------------------------
 # Capture the real PassMark and SunSpider bench runs, replay the PassMark
@@ -94,6 +127,6 @@ fi
 run cmake -B build-tsan -S . -DCYCADA_TSAN=ON
 run cmake --build build-tsan -j
 (cd build-tsan && run ctest --output-on-failure -j "$(nproc)" \
-  -R 'DispatchTest|Robustness|LinkerTest|BatchTest')
+  -R 'DispatchTest|Robustness|LinkerTest|BatchTest|PipelineTest')
 
 echo "ci.sh: OK"

@@ -152,6 +152,14 @@ void check_tls_migration(Report& report);
 //                       requires recording to have been on)
 void check_fault_safety(Report& report);
 
+// Tile-pipeline thread-ownership checker (docs/PIPELINE.md). Rules:
+//   pipeline.worker-crossing  a persona switch or diplomat call was
+//                             initiated from a GPU tile worker thread
+//                             (the "pipeline.worker.crossings" metric is
+//                             nonzero; raster workers may only touch
+//                             pre-resolved framebuffer work)
+void check_pipeline_isolation(Report& report);
+
 // --- Trace mining (docs/TRACING.md) -----------------------------------------
 
 struct TraceAuditOptions {

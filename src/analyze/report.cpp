@@ -41,6 +41,7 @@ void check_all_runtime(Report& report) {
   check_lock_order(report);
   check_replica_isolation(report);
   check_fault_safety(report);
+  check_pipeline_isolation(report);
 }
 
 }  // namespace cycada::analyze

@@ -8,6 +8,7 @@
 #include "kernel/libc.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
+#include "util/clock.h"
 #include "util/faultpoint.h"
 #include "util/log.h"
 
@@ -24,6 +25,17 @@ EGLint unpack_error(void* value) {
   return static_cast<EGLint>(reinterpret_cast<std::intptr_t>(value));
 }
 }  // namespace
+
+const gmem::GraphicBuffer& EglSurface::front_buffer() const {
+  sync_front();
+  return *buffers_[1 - back_];
+}
+
+void EglSurface::sync_front() const {
+  if (present_fence_ == gpu::kNoHandle) return;
+  device().wait_fence(present_fence_);
+  present_fence_ = gpu::kNoHandle;
+}
 
 AndroidEgl::AndroidEgl() {
   tls_connection_key_ = kernel::libc::pthread_key_create();
@@ -297,11 +309,17 @@ EGLBoolean AndroidEgl::eglSwapBuffers(EglSurface* surface) {
   static trace::Counter& swaps =
       trace::MetricsRegistry::instance().counter("gl.egl_swaps");
   swaps.add();
-  // Retire all queued rendering into the back buffer, then flip.
-  device().flush();
-  surface->back_ = 1 - surface->back_;
-  // Composition handoff (HW-Composer scanout of the new front buffer).
+  static trace::Histogram& present_wait =
+      trace::MetricsRegistry::instance().histogram(
+          "pipeline.stage.present_wait_ns");
+  // Composition handoff (HW-Composer scanout), deferred one swap: settle the
+  // PREVIOUS frame — wait out its fence if its raster work is still in
+  // flight — and scan it out before this frame replaces it. Deferring the
+  // copy is what lets a swap return while the pipeline is still rasterizing.
   {
+    const std::int64_t wait_start = now_ns();
+    surface->sync_front();
+    present_wait.record(now_ns() - wait_start);
     const gmem::GraphicBuffer& front = surface->front_buffer();
     auto* pixels = const_cast<gmem::GraphicBuffer&>(front).pixels32();
     surface->scanout_.resize(static_cast<std::size_t>(surface->width_) *
@@ -314,6 +332,13 @@ EGLBoolean AndroidEgl::eglSwapBuffers(EglSurface* surface) {
           static_cast<std::size_t>(surface->width_) * sizeof(std::uint32_t));
     }
   }
+  // Close the recorded commands as this frame and hand them to the tile
+  // pipeline — asynchronously when the pool can overlap. The fence gates
+  // every CPU consumer of the new front buffer (front_buffer() waits it).
+  const gpu::FenceHandle frame_fence = device().submit_fence();
+  device().submit_frame();
+  surface->back_ = 1 - surface->back_;
+  surface->present_fence_ = frame_fence;
   // Rendering continues into the new back buffer.
   EglContext* context = eglGetCurrentContext();
   if (context != nullptr) {

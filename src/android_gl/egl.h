@@ -46,7 +46,10 @@ class UiWrapper;
 
 // A double-buffered drawable. Window surfaces are backed by GraphicBuffers
 // (zero-copy to the compositor); the "front" buffer is what the screen
-// shows.
+// shows. Since PR 8 a swap submits the frame to the tile pipeline
+// asynchronously and records a present fence on the surface; every CPU
+// consumer of the front buffer goes through front_buffer(), which waits
+// that fence, so readers always observe the fully rasterized frame.
 class EglSurface {
  public:
   int width() const { return width_; }
@@ -54,16 +57,21 @@ class EglSurface {
   // The GPU target rendering currently lands in (the back buffer).
   gpu::RenderTargetHandle back_target() const { return targets_[back_]; }
   // The displayed buffer's pixels (what Surface Flinger would scan out).
-  const gmem::GraphicBuffer& front_buffer() const {
-    return *buffers_[1 - back_];
-  }
+  // Implies sync_front().
+  const gmem::GraphicBuffer& front_buffer() const;
   gmem::GraphicBuffer& back_buffer() { return *buffers_[back_]; }
+  // Blocks until the present fence recorded by the last eglSwapBuffers has
+  // signaled (no-op when the frame already retired or none is pending).
+  void sync_front() const;
 
  private:
   friend class AndroidEgl;
   std::array<std::shared_ptr<gmem::GraphicBuffer>, 2> buffers_;
   std::array<gpu::RenderTargetHandle, 2> targets_{};
   std::vector<std::uint32_t> scanout_;  // the composer's view of the frame
+  // Signals when the displayed frame's raster work retires. Mutable: waiting
+  // it out is logically const for readers.
+  mutable gpu::FenceHandle present_fence_ = gpu::kNoHandle;
   int back_ = 0;
   int width_ = 0;
   int height_ = 0;

@@ -81,6 +81,9 @@ Image SurfaceFlinger::compose(int display_width, int display_height) {
 
   Image display(display_width, display_height, 0xff000000u);
   for (const Layer& layer : ordered) {
+    // front_buffer() waits the layer's present fence: composition is gated
+    // on the frame's raster work having retired, never on work still being
+    // recorded — the pipeline's overlap never shows a half-rastered frame.
     const gmem::GraphicBuffer& front = layer.surface->front_buffer();
     auto* pixels = const_cast<gmem::GraphicBuffer&>(front).pixels32();
     const int width = layer.surface->width();
@@ -112,9 +115,12 @@ Image SurfaceFlinger::compose(int display_width, int display_height) {
   static trace::Counter& frames = metrics.counter("frame.composed");
   static trace::Counter& dropped = metrics.counter("frame.dropped");
   static trace::Histogram& compose_ns = metrics.histogram("frame.compose_ns");
+  static trace::Histogram& stage_compose_ns =
+      metrics.histogram("pipeline.stage.compose_ns");
   const std::int64_t elapsed_ns = now_ns() - start_ns;
   frames.add();
   compose_ns.record(elapsed_ns);
+  stage_compose_ns.record(elapsed_ns);
   if (elapsed_ns > kFrameBudgetNs) dropped.add();
   return display;
 }

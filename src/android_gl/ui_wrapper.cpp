@@ -6,6 +6,8 @@
 #include "gpu/device.h"
 #include "kernel/kernel.h"
 #include "kernel/libc.h"
+#include "trace/metrics.h"
+#include "util/clock.h"
 #include "util/faultpoint.h"
 #include "util/log.h"
 
@@ -119,6 +121,7 @@ void UiWrapper::teardown() {
   present_image_.reset();
   present_image_buffer_ = 0;
   scanout_.clear();
+  present_fence_ = gpu::kNoHandle;
   back_ = 0;
   creator_ = kernel::kInvalidTid;
   gles_version_ = 0;
@@ -312,21 +315,31 @@ Status UiWrapper::swap_buffers() {
   if (context_ == glcore::kNoContext) {
     return Status::failed_precondition("not initialized");
   }
-  // Retire all queued rendering into the back buffer, flip, and re-point
-  // the default framebuffer at the new back buffer.
-  device().flush();
+  static trace::Histogram& present_wait =
+      trace::MetricsRegistry::instance().histogram(
+          "pipeline.stage.present_wait_ns");
+  // Composition handoff, deferred one swap (same protocol as
+  // eglSwapBuffers): settle the previous frame behind its fence and scan it
+  // out before this frame's flip replaces it.
+  {
+    const std::int64_t wait_start = now_ns();
+    sync_front();
+    present_wait.record(now_ns() - wait_start);
+    const gmem::GraphicBuffer& front = *buffers_[1 - back_];
+    scanout_.resize(static_cast<std::size_t>(width_) * height_);
+    auto* pixels = const_cast<gmem::GraphicBuffer&>(front).pixels32();
+    for (int y = 0; y < height_; ++y) {
+      std::memcpy(scanout_.data() + static_cast<std::size_t>(y) * width_,
+                  pixels + static_cast<std::size_t>(y) * front.stride_px(),
+                  static_cast<std::size_t>(width_) * sizeof(std::uint32_t));
+    }
+  }
+  // Submit this frame to the tile pipeline (async when it can overlap),
+  // flip, and re-point the default framebuffer at the new back buffer.
+  present_fence_ = device().submit_fence();
+  device().submit_frame();
   back_ = 1 - back_;
   CYCADA_RETURN_IF_ERROR(engine_->set_default_target(targets_[back_]));
-  // Composition handoff: the composer consumes the published frame (the
-  // HW-Composer scanout of the new front buffer) — the real cost of a swap.
-  const gmem::GraphicBuffer& front = *buffers_[1 - back_];
-  scanout_.resize(static_cast<std::size_t>(width_) * height_);
-  auto* pixels = const_cast<gmem::GraphicBuffer&>(front).pixels32();
-  for (int y = 0; y < height_; ++y) {
-    std::memcpy(scanout_.data() + static_cast<std::size_t>(y) * width_,
-                pixels + static_cast<std::size_t>(y) * front.stride_px(),
-                static_cast<std::size_t>(width_) * sizeof(std::uint32_t));
-  }
   return Status::ok();
 }
 
@@ -342,7 +355,14 @@ Status UiWrapper::set_tls(const std::vector<void*>& values) {
   return Status::ok();
 }
 
+void UiWrapper::sync_front() const {
+  if (present_fence_ == gpu::kNoHandle) return;
+  device().wait_fence(present_fence_);
+  present_fence_ = gpu::kNoHandle;
+}
+
 Image UiWrapper::front_snapshot() const {
+  sync_front();
   Image image(width_, height_);
   const gmem::GraphicBuffer& front = *buffers_[1 - back_];
   const auto* pixels =

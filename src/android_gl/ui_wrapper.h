@@ -75,7 +75,11 @@ class UiWrapper : public linker::LibraryInstance {
   Status set_tls(const std::vector<void*>& values);
 
   // What the screen would show (the front buffer), for tests and examples.
+  // Implies sync_front().
   Image front_snapshot() const;
+  // Blocks until the present fence recorded by the last swap_buffers() has
+  // signaled, so CPU reads of the front buffer observe the finished frame.
+  void sync_front() const;
   int width() const { return width_; }
   int height() const { return height_; }
 
@@ -99,6 +103,8 @@ class UiWrapper : public linker::LibraryInstance {
   std::unique_ptr<glcore::EglImage> present_image_;
   gmem::BufferId present_image_buffer_ = 0;
   std::vector<std::uint32_t> scanout_;  // the composer's view of the frame
+  // Signals when the displayed frame's raster work retires (PR 8 pipeline).
+  mutable gpu::FenceHandle present_fence_ = gpu::kNoHandle;
   int replica_global_ = 0;  // exported for DLR address-uniqueness tests
 };
 

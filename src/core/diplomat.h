@@ -34,6 +34,7 @@
 #include "util/clock.h"
 #include "util/epoch.h"
 #include "util/lock_order.h"
+#include "util/thread_role.h"
 
 namespace cycada::core {
 
@@ -257,6 +258,16 @@ auto diplomat_call(DiplomatEntry& entry, const DiplomatHooks& hooks,
   const bool capturing = trace::capture_enabled();
   const std::int64_t start_ns = profiling ? now_ns() : 0;
   TRACE_SCOPE("diplomat", entry.name.c_str());
+
+  // GPU tile workers own no persona state and must not cross; a diplomat
+  // dispatched from one is counted and flagged by the analyzer's
+  // pipeline.worker-crossing rule (docs/PIPELINE.md thread-ownership rules).
+  if (util::current_thread_role() == util::ThreadRole::kTileWorker) {
+    static trace::Counter& worker_crossings =
+        trace::MetricsRegistry::instance().counter(
+            "pipeline.worker.crossings");
+    worker_crossings.add();
+  }
 
   // Step 2: prelude in the foreign persona.
   if (hooks.prelude) {

@@ -223,6 +223,11 @@ gpu::RasterState GlesEngine::build_raster_state(GlContext& ctx, bool textured,
   return state;
 }
 
+// Hands the shaded vertices to the device's record queue. Nothing executes
+// here: the device kicks batches into the tile pipeline (docs/PIPELINE.md)
+// asynchronously, and the engine's read-back paths (glReadPixels, queries)
+// go through device calls that drain the in-flight frame first — so the
+// state machine never needs to know a frame is rasterizing concurrently.
 void GlesEngine::submit_vertices(GlContext& ctx, GLenum mode,
                                  std::vector<gpu::ShadedVertex> vertices,
                                  bool textured, gpu::TextureHandle texture) {

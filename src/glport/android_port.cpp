@@ -49,6 +49,9 @@ class AndroidPort : public GlPort {
 
   Image screen() override {
     Image image(width_, height_);
+    // front_buffer() waits the surface's present fence first, so snapshots
+    // taken right after present() see the fully rasterized frame even when
+    // the tile pipeline executed it asynchronously.
     const gmem::GraphicBuffer& front = surface_->front_buffer();
     auto* pixels = const_cast<gmem::GraphicBuffer&>(front).pixels32();
     for (int y = 0; y < height_; ++y) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "trace/metrics.h"
 #include "util/log.h"
 
 namespace cycada::gpu {
@@ -13,7 +15,8 @@ GpuDevice& GpuDevice::instance() {
 }
 
 void GpuDevice::reset() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  drain_in_flight_locked(lock);
   textures_.clear();
   targets_.clear();
   fences_.clear();
@@ -30,12 +33,13 @@ TextureHandle GpuDevice::create_texture() {
 }
 
 Status GpuDevice::define_texture(TextureHandle handle, int width, int height) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = textures_.find(handle);
   if (it == textures_.end()) return Status::not_found("no such texture");
   if (width < 0 || height < 0 || width > 16384 || height > 16384) {
     return Status::invalid_argument("bad texture dimensions");
   }
+  drain_in_flight_locked(lock);  // an in-flight frame may sample this texture
   Texture& texture = it->second;
   texture.owned.assign(static_cast<std::size_t>(width) * height, 0);
   texture.texels = texture.owned.data();
@@ -49,12 +53,13 @@ Status GpuDevice::define_texture(TextureHandle handle, int width, int height) {
 Status GpuDevice::bind_texture_external(TextureHandle handle,
                                         std::uint32_t* texels, int width,
                                         int height, int stride_px) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = textures_.find(handle);
   if (it == textures_.end()) return Status::not_found("no such texture");
   if (texels == nullptr || width <= 0 || height <= 0 || stride_px < width) {
     return Status::invalid_argument("bad external texture binding");
   }
+  drain_in_flight_locked(lock);
   Texture& texture = it->second;
   texture.owned.clear();
   texture.texels = texels;
@@ -68,7 +73,7 @@ Status GpuDevice::bind_texture_external(TextureHandle handle,
 Status GpuDevice::upload_texture(TextureHandle handle, int x, int y, int width,
                                  int height, const std::uint32_t* pixels,
                                  int src_stride_px) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = textures_.find(handle);
   if (it == textures_.end()) return Status::not_found("no such texture");
   Texture& texture = it->second;
@@ -79,6 +84,7 @@ Status GpuDevice::upload_texture(TextureHandle handle, int x, int y, int width,
       x + width > texture.width || y + height > texture.height) {
     return Status::out_of_range("upload region outside texture");
   }
+  drain_in_flight_locked(lock);
   for (int row = 0; row < height; ++row) {
     std::memcpy(
         texture.texels + static_cast<std::size_t>(y + row) * texture.stride_px +
@@ -90,7 +96,8 @@ Status GpuDevice::upload_texture(TextureHandle handle, int x, int y, int width,
 }
 
 Status GpuDevice::destroy_texture(TextureHandle handle) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  drain_in_flight_locked(lock);  // resolved views may point into its storage
   return textures_.erase(handle) > 0
              ? Status::ok()
              : Status::not_found("no such texture");
@@ -102,10 +109,11 @@ bool GpuDevice::texture_valid(TextureHandle handle) const {
 }
 
 StatusOr<TextureView> GpuDevice::texture_view(TextureHandle handle) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = textures_.find(handle);
   if (it == textures_.end()) return Status::not_found("no such texture");
-  if (!queue_.empty()) flush_locked();
+  drain_in_flight_locked(lock);
+  if (!queue_.empty()) flush_locked(lock);
   const Texture& texture = it->second;
   return TextureView{texture.texels, texture.width, texture.height,
                      texture.stride_px};
@@ -149,10 +157,11 @@ RenderTargetHandle GpuDevice::create_target_external(std::uint32_t* color,
 }
 
 Status GpuDevice::destroy_target(RenderTargetHandle handle) {
-  std::lock_guard lock(mutex_);
-  // Commands referencing the target may still be queued; retire them first,
-  // as a real driver would before freeing the memory.
-  if (!queue_.empty()) flush_locked();
+  std::unique_lock lock(mutex_);
+  // Commands referencing the target may still be queued or in flight; retire
+  // them first, as a real driver would before freeing the memory.
+  drain_in_flight_locked(lock);
+  if (!queue_.empty()) flush_locked(lock);
   return targets_.erase(handle) > 0 ? Status::ok()
                                     : Status::not_found("no such target");
 }
@@ -175,10 +184,11 @@ TargetView GpuDevice::target_view_locked(const Target& target) {
 }
 
 StatusOr<TargetView> GpuDevice::target_view(RenderTargetHandle handle) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = targets_.find(handle);
   if (it == targets_.end()) return Status::not_found("no such target");
-  if (!queue_.empty()) flush_locked();
+  drain_in_flight_locked(lock);
+  if (!queue_.empty()) flush_locked(lock);
   return target_view_locked(it->second);
 }
 
@@ -186,19 +196,34 @@ void GpuDevice::submit_clear(RenderTargetHandle target,
                              std::optional<ScissorRect> scissor,
                              bool clear_color, Color color, bool clear_depth,
                              float depth_value) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   queue_.push_back(ClearCommand{target, scissor, clear_color, color,
                                 clear_depth, depth_value});
-  if (queue_.size() >= kKickBatchSize) flush_locked();
+  if (queue_.size() >= kKickBatchSize) {
+    if (TileWorkerPool::instance().async_capable()) {
+      // Kick the partial batch to the pool if the in-flight slot is free;
+      // otherwise keep recording (the queue is the second buffer of the
+      // double-buffered pair).
+      if (!in_flight_) submit_frame_locked(lock);
+    } else {
+      flush_locked(lock);
+    }
+  }
 }
 
 void GpuDevice::submit_draw(RenderTargetHandle target, RasterState state,
                             PrimitiveKind kind,
                             std::vector<ShadedVertex> vertices) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   queue_.push_back(
       DrawCommand{target, std::move(state), kind, std::move(vertices)});
-  if (queue_.size() >= kKickBatchSize) flush_locked();
+  if (queue_.size() >= kKickBatchSize) {
+    if (TileWorkerPool::instance().async_capable()) {
+      if (!in_flight_) submit_frame_locked(lock);
+    } else {
+      flush_locked(lock);
+    }
+  }
 }
 
 FenceHandle GpuDevice::submit_fence() {
@@ -216,60 +241,137 @@ bool GpuDevice::fence_signaled(FenceHandle fence) {
 }
 
 void GpuDevice::wait_fence(FenceHandle fence) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = fences_.find(fence);
   if (it == fences_.end() || it->second) return;
-  flush_locked();
+  // The fence is either in the in-flight frame or still in the record
+  // queue; waiting out the former may already signal it.
+  drain_in_flight_locked(lock);
+  it = fences_.find(fence);
+  if (it == fences_.end() || it->second) return;
+  flush_locked(lock);
+}
+
+void GpuDevice::submit_frame() {
+  std::unique_lock lock(mutex_);
+  submit_frame_locked(lock);
 }
 
 void GpuDevice::flush() {
-  std::lock_guard lock(mutex_);
-  flush_locked();
+  std::unique_lock lock(mutex_);
+  drain_in_flight_locked(lock);
+  flush_locked(lock);
 }
 
 void GpuDevice::finish() { flush(); }
 
-void GpuDevice::flush_locked() {
-  ++stats_.flushes;
+void GpuDevice::drain_in_flight_locked(std::unique_lock<std::mutex>& lock) {
+  retire_cv_.wait(lock, [this] { return !in_flight_; });
+}
+
+std::unique_ptr<FrameBatch> GpuDevice::resolve_batch_locked() {
+  auto batch = std::make_unique<FrameBatch>();
+  batch->steps.reserve(queue_.size());
   for (Command& command : queue_) {
     if (auto* clear = std::get_if<ClearCommand>(&command)) {
       auto it = targets_.find(clear->target);
       if (it == targets_.end()) continue;
-      rasterizer_.clear(target_view_locked(it->second), clear->scissor,
-                        clear->clear_color, clear->color, clear->clear_depth,
-                        clear->depth_value);
-      ++stats_.clear_commands;
+      FrameStep step;
+      step.kind = FrameStep::Kind::kClear;
+      step.target = target_view_locked(it->second);
+      step.scissor = clear->scissor;
+      step.clear_color = clear->clear_color;
+      step.color = clear->color;
+      step.clear_depth = clear->clear_depth;
+      step.depth_value = clear->depth_value;
+      batch->steps.push_back(std::move(step));
     } else if (auto* draw = std::get_if<DrawCommand>(&command)) {
       auto it = targets_.find(draw->target);
       if (it == targets_.end()) continue;
-      TextureView texture;
-      if (draw->state.texture != kNoHandle) {
-        auto texture_it = textures_.find(draw->state.texture);
+      FrameStep step;
+      step.kind = FrameStep::Kind::kDraw;
+      step.target = target_view_locked(it->second);
+      step.state = std::move(draw->state);
+      step.prim_kind = draw->kind;
+      step.vertices = std::move(draw->vertices);
+      if (step.state.texture != kNoHandle) {
+        auto texture_it = textures_.find(step.state.texture);
         if (texture_it != textures_.end()) {
           const Texture& t = texture_it->second;
-          texture = TextureView{t.texels, t.width, t.height, t.stride_px};
+          step.texture = TextureView{t.texels, t.width, t.height, t.stride_px};
         }
       }
-      stats_.fragments_shaded +=
-          rasterizer_.draw(target_view_locked(it->second), draw->state,
-                           draw->kind, draw->vertices, texture);
-      ++stats_.draw_commands;
+      batch->steps.push_back(std::move(step));
     } else if (auto* fence = std::get_if<FenceCommand>(&command)) {
-      fences_[fence->fence] = true;
-      ++stats_.fences_signaled;
+      FrameStep step;
+      step.kind = FrameStep::Kind::kFence;
+      step.fence = fence->fence;
+      batch->steps.push_back(std::move(step));
     }
   }
-  stats_.triangles = rasterizer_.triangles_submitted();
   queue_.clear();
+  return batch;
+}
+
+void GpuDevice::apply_result_locked(const FrameResult& result) {
+  stats_.draw_commands += result.draw_commands;
+  stats_.clear_commands += result.clear_commands;
+  stats_.fragments_shaded += result.fragments_shaded;
+  cumulative_triangles_ += result.triangles;
+  stats_.triangles = cumulative_triangles_;
+  for (const FenceHandle fence : result.signaled_fences) {
+    fences_[fence] = true;
+    ++stats_.fences_signaled;
+  }
+}
+
+void GpuDevice::flush_locked(std::unique_lock<std::mutex>& lock) {
+  drain_in_flight_locked(lock);
+  ++stats_.flushes;
+  if (queue_.empty()) {
+    stats_.triangles = cumulative_triangles_;
+    return;
+  }
+  std::unique_ptr<FrameBatch> batch = resolve_batch_locked();
+  // Execute on this thread while holding the device lock, exactly as the
+  // pre-pipeline device did; the pool's helpers may still join tile phases.
+  execute_frame(*batch);
+  apply_result_locked(batch->result);
+}
+
+void GpuDevice::submit_frame_locked(std::unique_lock<std::mutex>& lock) {
+  TileWorkerPool& pool = TileWorkerPool::instance();
+  if (!pool.async_capable()) {
+    flush_locked(lock);
+    return;
+  }
+  // Double buffering: at most one frame in flight; the record queue is the
+  // second buffer. A second submit while one is executing waits for retire.
+  drain_in_flight_locked(lock);
+  ++stats_.flushes;
+  if (queue_.empty()) {
+    stats_.triangles = cumulative_triangles_;
+    return;
+  }
+  std::unique_ptr<FrameBatch> batch = resolve_batch_locked();
+  in_flight_ = true;
+  pool.submit_async(std::move(batch),
+                    [this](std::unique_ptr<FrameBatch> done) {
+                      std::lock_guard retire_lock(mutex_);
+                      apply_result_locked(done->result);
+                      in_flight_ = false;
+                      retire_cv_.notify_all();
+                    });
 }
 
 Status GpuDevice::read_pixels(RenderTargetHandle target, int x, int y,
                               int width, int height, std::uint32_t* out,
                               int out_stride_px) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   auto it = targets_.find(target);
   if (it == targets_.end()) return Status::not_found("no such target");
-  if (!queue_.empty()) flush_locked();
+  drain_in_flight_locked(lock);
+  if (!queue_.empty()) flush_locked(lock);
   const Target& t = it->second;
   if (out == nullptr || x < 0 || y < 0 || width < 0 || height < 0 ||
       x + width > t.width || y + height > t.height) {
@@ -289,7 +391,8 @@ GpuStats GpuDevice::stats() const {
 }
 
 void GpuDevice::reset_stats() {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
+  drain_in_flight_locked(lock);
   stats_ = {};
 }
 

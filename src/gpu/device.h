@@ -4,8 +4,20 @@
 // driver-level behaviors — deferred execution until flush, fence signaling,
 // zero-copy render targets aliasing externally-owned graphics memory — are
 // exercised just as on the device the paper used.
+//
+// Since PR 8 the device is double-buffered (docs/PIPELINE.md): commands
+// record into a queue of handle-based entries, and submit_frame() resolves
+// them into a FrameBatch of plain views and hands it to the tile worker
+// pool. With >= 2 workers the batch executes asynchronously — the app
+// thread records the next frame while the pool rasterizes the previous one,
+// with at most one frame in flight. Anything that reads or mutates memory a
+// batch could touch (views, readback, texture definition/upload/destroy,
+// target destroy, reset) drains the in-flight frame first. With one worker
+// (the default on small machines) every path executes inline and the device
+// behaves exactly as it did before the pipeline existed.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -14,6 +26,7 @@
 #include <variant>
 #include <vector>
 
+#include "gpu/pipeline.h"
 #include "gpu/raster.h"
 #include "gpu/types.h"
 #include "util/status.h"
@@ -29,7 +42,8 @@ class GpuDevice {
   GpuDevice(const GpuDevice&) = delete;
   GpuDevice& operator=(const GpuDevice&) = delete;
 
-  // Drops all resources and queued work (test support).
+  // Drops all resources and queued work (test support). Drains any frame in
+  // flight first.
   void reset();
 
   // --- Textures ----------------------------------------------------------
@@ -70,10 +84,18 @@ class GpuDevice {
   // Inserts a fence after the currently queued commands.
   FenceHandle submit_fence();
   bool fence_signaled(FenceHandle fence);
-  // Blocks (by executing) until the fence has signaled.
+  // Blocks until the fence has signaled: waits out an in-flight frame that
+  // contains it, then executes any still-recorded work.
   void wait_fence(FenceHandle fence);
 
-  // Executes all queued commands.
+  // Closes the recording queue as one frame and executes it — async on the
+  // tile worker pool when it has >= 2 workers (at most one frame in flight;
+  // a second submit waits for the first to retire), inline otherwise. The
+  // present path calls this instead of flush(); pair it with submit_fence()
+  // to learn when the frame's buffers are safe to read.
+  void submit_frame();
+
+  // Executes all queued commands and waits for any in-flight frame.
   void flush();
   // flush() + device idle (synchronous device: identical, kept for API
   // fidelity with glFinish).
@@ -86,13 +108,15 @@ class GpuDevice {
 
   GpuStats stats() const;
   void reset_stats();
-  // Commands queued but not yet executed.
+  // Commands recorded but not yet handed to the executor. An in-flight
+  // async frame no longer counts — it is executing, not pending.
   std::size_t pending_commands() const;
 
   // Driver kick batching: once this many commands are queued, submission
   // triggers execution of the batch (as real drivers kick command buffers),
   // so heavy rendering cost attributes to the submitting call rather than
-  // accumulating entirely in glFlush/present.
+  // accumulating entirely in glFlush/present. When the pool is async-capable
+  // and idle, the kick dispatches the partial batch asynchronously instead.
   static constexpr std::size_t kKickBatchSize = 8;
 
  private:
@@ -134,16 +158,34 @@ class GpuDevice {
   };
   using Command = std::variant<ClearCommand, DrawCommand, FenceCommand>;
 
-  void flush_locked();
+  // Blocks until no async frame is in flight (releases the lock while
+  // waiting). Everything that touches resource memory calls this first.
+  void drain_in_flight_locked(std::unique_lock<std::mutex>& lock);
+  // Resolves the record queue into plain-view steps, clearing it. Commands
+  // naming destroyed targets are dropped, destroyed textures sample as
+  // untextured — the old flush-time semantics, preserved.
+  std::unique_ptr<FrameBatch> resolve_batch_locked();
+  // Folds an executed batch's results into stats_ and signals its fences.
+  void apply_result_locked(const FrameResult& result);
+  // Synchronous execute of the record queue on the calling thread.
+  void flush_locked(std::unique_lock<std::mutex>& lock);
+  // Async dispatch of the record queue; falls back to flush_locked when the
+  // pool cannot overlap.
+  void submit_frame_locked(std::unique_lock<std::mutex>& lock);
   TargetView target_view_locked(const Target& target);
 
   mutable std::mutex mutex_;
+  std::condition_variable retire_cv_;  // signaled when a frame retires
   std::unordered_map<TextureHandle, Texture> textures_;
   std::unordered_map<RenderTargetHandle, Target> targets_;
   std::unordered_map<FenceHandle, bool> fences_;
   std::vector<Command> queue_;
-  Rasterizer rasterizer_;
+  bool in_flight_ = false;  // one async frame may be executing
   GpuStats stats_;
+  // Post-clip triangle total since process start. Deliberately survives
+  // reset()/reset_stats(): the pre-PR 8 counter lived on the long-lived
+  // rasterizer member and tests grew to rely on it being cumulative.
+  std::uint64_t cumulative_triangles_ = 0;
   std::uint32_t next_handle_ = 1;
 };
 

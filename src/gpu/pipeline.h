@@ -1,0 +1,151 @@
+// The tile-parallel frame pipeline (docs/PIPELINE.md).
+//
+// GpuDevice records commands into a per-frame batch; this module executes a
+// batch in two stages modeled on glSoftPipe's DrawEngine, whose stage
+// objects are "triggered in any thread without lock protection":
+//
+//   bin    — single-threaded: vertex post-processing (build_screen_prims)
+//            and binning of every primitive/clear into the 64x64 screen
+//            tiles its bounding box intersects, in command order.
+//   raster — tile-parallel: a fixed worker pool claims tiles from a
+//            lock-free per-participant range queue with work stealing and
+//            rasterizes each tile's op list in command order.
+//
+// Determinism is structural, not incidental: a tile's op list preserves
+// submission order, tiles are disjoint pixel rects, and every fragment is a
+// pure function of its own inputs — so the framebuffer produced at N
+// workers is byte-identical to N=1 regardless of tile completion order.
+// The one exception a software GPU can detect is framebuffer feedback (a
+// draw sampling memory aliased by its own render target, undefined in GL);
+// the binner detects the overlap and forces that batch serial.
+//
+// Pool threads run under util::ThreadRole::kTileWorker and execute only
+// pre-resolved raster work: no GL, no diplomats, no persona crossings.
+// The analyzer's pipeline.worker-crossing rule enforces this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gpu/raster.h"
+#include "gpu/types.h"
+
+namespace cycada::gpu {
+
+inline constexpr int kTileSize = 64;
+
+// One recorded command with all device-table lookups already resolved (the
+// pool never touches GpuDevice state).
+struct FrameStep {
+  enum class Kind : std::uint8_t { kClear, kDraw, kFence };
+  Kind kind = Kind::kDraw;
+  TargetView target;
+
+  // kClear
+  std::optional<ScissorRect> scissor;
+  bool clear_color = false;
+  Color color;
+  bool clear_depth = false;
+  float depth_value = 1.f;
+
+  // kDraw
+  RasterState state;
+  PrimitiveKind prim_kind = PrimitiveKind::kTriangles;
+  std::vector<ShadedVertex> vertices;
+  TextureView texture;
+
+  // kFence
+  FenceHandle fence = kNoHandle;
+};
+
+// Execution results the device folds back into GpuStats at retire.
+struct FrameResult {
+  std::uint64_t draw_commands = 0;
+  std::uint64_t clear_commands = 0;
+  std::uint64_t triangles = 0;
+  std::uint64_t fragments_shaded = 0;
+  std::vector<FenceHandle> signaled_fences;
+};
+
+// A double-buffered command queue generation: the device swaps its record
+// queue into one of these and hands it to the pipeline.
+struct FrameBatch {
+  std::vector<FrameStep> steps;
+  FenceHandle frame_fence = kNoHandle;  // signaled when the batch retires
+  FrameResult result;
+};
+
+// Executes `batch` to completion on the calling thread plus up to
+// `workers - 1` pool helpers. Deterministic for any worker count.
+void execute_frame(FrameBatch& batch);
+
+// The fixed raster worker pool. Worker count comes from CYCADA_GPU_WORKERS
+// (clamped to [1, 16]) or set_worker_count(); the default is
+// min(4, hardware_concurrency). One worker means no threads are spawned and
+// every batch executes inline on the submitting thread.
+class TileWorkerPool {
+ public:
+  static TileWorkerPool& instance();
+
+  // (Re)configures the pool. Blocks until in-flight work retires. n < 1 is
+  // clamped to 1.
+  void set_worker_count(int n);
+  int worker_count();
+
+  // Hands a batch to the consumer thread and returns immediately. Requires
+  // worker_count() >= 2 (the device falls back to execute_frame inline
+  // otherwise). `retire` runs on the consumer thread after execution.
+  void submit_async(std::unique_ptr<FrameBatch> batch,
+                    std::function<void(std::unique_ptr<FrameBatch>)> retire);
+  bool async_capable();  // worker_count() >= 2 and pool healthy
+
+  // Waits until no async batch is queued or executing.
+  void drain();
+
+  // Test support: tears every thread down (drains first). The next use
+  // respawns from the configured count.
+  void shutdown();
+
+ private:
+  friend void execute_frame(FrameBatch& batch);
+  struct Phase;
+
+  TileWorkerPool() = default;
+  void ensure_started_locked();
+  void stop_threads_locked(std::unique_lock<std::mutex>& lock);
+  void helper_main(int slot);
+  void consumer_main();
+
+  // Runs one phase's tiles on the caller plus any idle helpers.
+  void run_phase(Phase& phase);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // helpers + consumer wait here
+  std::condition_variable idle_cv_;   // drain()/set_worker_count() wait here
+  int configured_workers_ = 0;        // 0 = not yet resolved from env
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;  // [0] consumer, rest helpers
+
+  // Async frame slot (capacity 1: one batch in flight, one recording).
+  std::unique_ptr<FrameBatch> pending_batch_;
+  std::function<void(std::unique_ptr<FrameBatch>)> pending_retire_;
+  bool executing_ = false;
+
+  // Current tile phase helpers can join (null when none). The generation is
+  // bumped per publish so helpers never confuse two phases at one address;
+  // the helper count lives here (not on the phase) so the final
+  // decrement/notify cannot race phase destruction.
+  std::atomic<Phase*> active_phase_{nullptr};
+  std::uint64_t phase_generation_ = 0;
+  std::atomic<int> helpers_in_phase_{0};
+};
+
+}  // namespace cycada::gpu

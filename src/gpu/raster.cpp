@@ -48,67 +48,12 @@ int wrap_coord(int coord, int size, TextureWrap wrap) {
   return std::clamp(coord, 0, size - 1);
 }
 
-struct Bounds {
-  int x0, y0, x1, y1;  // inclusive-exclusive pixel rect
-  bool empty() const { return x0 >= x1 || y0 >= y1; }
-};
-
-Bounds clip_bounds(const TargetView& target, const RasterState& state) {
-  Bounds b{0, 0, target.width, target.height};
-  const Viewport& vp = state.viewport;
-  if (vp.width > 0 && vp.height > 0) {
-    b.x0 = std::max(b.x0, vp.x);
-    b.y0 = std::max(b.y0, vp.y);
-    b.x1 = std::min(b.x1, vp.x + vp.width);
-    b.y1 = std::min(b.y1, vp.y + vp.height);
-  }
-  if (state.scissor.has_value()) {
-    const ScissorRect& sc = *state.scissor;
-    b.x0 = std::max(b.x0, sc.x);
-    b.y0 = std::max(b.y0, sc.y);
-    b.x1 = std::min(b.x1, sc.x + sc.width);
-    b.y1 = std::min(b.y1, sc.y + sc.height);
-  }
-  return b;
-}
-
-}  // namespace
-
-Color sample_texture(TextureView texture, Vec2 uv, TextureFilter filter,
-                     TextureWrap wrap) {
-  if (texture.texels == nullptr || texture.width <= 0 || texture.height <= 0) {
-    return {1.f, 1.f, 1.f, 1.f};
-  }
-  const auto texel_at = [&](int x, int y) {
-    x = wrap_coord(x, texture.width, wrap);
-    y = wrap_coord(y, texture.height, wrap);
-    return unpack_rgba8888(
-        texture.texels[static_cast<std::size_t>(y) * texture.stride_px + x]);
-  };
-  if (filter == TextureFilter::kNearest) {
-    const int x = static_cast<int>(std::floor(uv.x * texture.width));
-    const int y = static_cast<int>(std::floor(uv.y * texture.height));
-    return texel_at(x, y);
-  }
-  // Bilinear.
-  const float fx = uv.x * texture.width - 0.5f;
-  const float fy = uv.y * texture.height - 0.5f;
-  const int x0 = static_cast<int>(std::floor(fx));
-  const int y0 = static_cast<int>(std::floor(fy));
-  const float tx = fx - x0;
-  const float ty = fy - y0;
-  const Color c00 = texel_at(x0, y0);
-  const Color c10 = texel_at(x0 + 1, y0);
-  const Color c01 = texel_at(x0, y0 + 1);
-  const Color c11 = texel_at(x0 + 1, y0 + 1);
-  const Color top = c00 * (1.f - tx) + c10 * tx;
-  const Color bottom = c01 * (1.f - tx) + c11 * tx;
-  return top * (1.f - ty) + bottom * ty;
-}
-
-bool Rasterizer::shade_fragment(TargetView target, const RasterState& state,
-                                int x, int y, float z, Color color, Vec2 uv,
-                                TextureView texture) {
+// Emits one fragment: depth test, texturing, blending, write-back. Reads
+// and writes only the (x, y) pixel, so concurrent calls on disjoint pixel
+// rects of the same target never race.
+bool shade_fragment(const TargetView& target, const RasterState& state, int x,
+                    int y, float z, Color color, Vec2 uv,
+                    TextureView texture) {
   float* depth_slot = nullptr;
   if (state.depth_test) {
     if (target.depth == nullptr) return false;
@@ -150,130 +95,24 @@ bool Rasterizer::shade_fragment(TargetView target, const RasterState& state,
   return true;
 }
 
-void Rasterizer::clear(TargetView target,
-                       const std::optional<ScissorRect>& scissor,
-                       bool clear_color, Color color, bool clear_depth,
-                       float depth_value) {
-  RasterState bounds_state;
-  bounds_state.scissor = scissor;
-  const Bounds b = clip_bounds(target, bounds_state);
-  if (b.empty()) return;
-  const std::uint32_t packed = pack_rgba8888(color);
-  for (int y = b.y0; y < b.y1; ++y) {
-    if (clear_color) {
-      std::uint32_t* row =
-          &target.color[static_cast<std::size_t>(y) * target.stride_px];
-      std::fill(row + b.x0, row + b.x1, packed);
-    }
-    if (clear_depth && target.depth != nullptr) {
-      float* row = &target.depth[static_cast<std::size_t>(y) * target.width];
-      std::fill(row + b.x0, row + b.x1, depth_value);
-    }
-  }
-}
-
-std::uint64_t Rasterizer::draw(TargetView target, const RasterState& state,
-                               PrimitiveKind kind,
-                               std::span<const ShadedVertex> vertices,
-                               TextureView texture) {
-  if (target.color == nullptr) return 0;
-
-  const Viewport vp = state.viewport.width > 0
-                          ? state.viewport
-                          : Viewport{0, 0, target.width, target.height};
-  const auto to_screen = [&](const ShadedVertex& v) {
-    ScreenVertex s;
-    const float inv_w = 1.f / v.clip_pos.w;
-    s.x = (v.clip_pos.x * inv_w * 0.5f + 0.5f) * vp.width + vp.x;
-    s.y = (1.f - (v.clip_pos.y * inv_w * 0.5f + 0.5f)) * vp.height + vp.y;
-    s.z = v.clip_pos.z * inv_w * 0.5f + 0.5f;
-    s.inv_w = inv_w;
-    s.color = v.color;
-    s.texcoord = v.texcoord;
-    return s;
-  };
-
-  std::uint64_t fragments = 0;
-  switch (kind) {
-    case PrimitiveKind::kTriangles: {
-      for (std::size_t i = 0; i + 2 < vertices.size(); i += 3) {
-        // Near-plane clip (w > epsilon) via Sutherland-Hodgman on w.
-        const ShadedVertex* tri[3] = {&vertices[i], &vertices[i + 1],
-                                      &vertices[i + 2]};
-        ShadedVertex clipped[4];
-        int clipped_count = 0;
-        for (int e = 0; e < 3 && clipped_count < 4; ++e) {
-          const ShadedVertex& cur = *tri[e];
-          const ShadedVertex& nxt = *tri[(e + 1) % 3];
-          const bool cur_in = cur.clip_pos.w > kNearEpsilon;
-          const bool nxt_in = nxt.clip_pos.w > kNearEpsilon;
-          if (cur_in) clipped[clipped_count++] = cur;
-          if (cur_in != nxt_in && clipped_count < 4) {
-            const float t = (kNearEpsilon - cur.clip_pos.w) /
-                            (nxt.clip_pos.w - cur.clip_pos.w);
-            ShadedVertex mid;
-            mid.clip_pos = cur.clip_pos + (nxt.clip_pos - cur.clip_pos) * t;
-            mid.color = cur.color + (nxt.color + cur.color * -1.f) * t;
-            mid.texcoord = {cur.texcoord.x + (nxt.texcoord.x - cur.texcoord.x) * t,
-                            cur.texcoord.y + (nxt.texcoord.y - cur.texcoord.y) * t};
-            clipped[clipped_count++] = mid;
-          }
-        }
-        if (clipped_count < 3) continue;
-        const ScreenVertex s0 = to_screen(clipped[0]);
-        for (int k = 1; k + 1 < clipped_count; ++k) {
-          fragments += draw_triangle(target, state, s0,
-                                     to_screen(clipped[k]),
-                                     to_screen(clipped[k + 1]), texture);
-          ++triangles_;
-        }
-      }
-      break;
-    }
-    case PrimitiveKind::kLines: {
-      for (std::size_t i = 0; i + 1 < vertices.size(); i += 2) {
-        if (vertices[i].clip_pos.w <= kNearEpsilon ||
-            vertices[i + 1].clip_pos.w <= kNearEpsilon) {
-          continue;
-        }
-        fragments += draw_line(target, state, to_screen(vertices[i]),
-                               to_screen(vertices[i + 1]), texture);
-      }
-      break;
-    }
-    case PrimitiveKind::kPoints: {
-      for (const ShadedVertex& v : vertices) {
-        if (v.clip_pos.w <= kNearEpsilon) continue;
-        fragments += draw_point(target, state, to_screen(v), texture);
-      }
-      break;
-    }
-  }
-  return fragments;
-}
-
-std::uint64_t Rasterizer::draw_triangle(TargetView target,
-                                        const RasterState& state,
-                                        const ScreenVertex& a,
-                                        const ScreenVertex& b,
-                                        const ScreenVertex& c,
-                                        TextureView texture) {
+std::uint64_t raster_triangle(const TargetView& target,
+                              const RasterState& state, const ScreenVertex& a,
+                              const ScreenVertex& b, const ScreenVertex& c,
+                              TextureView texture, const PixelRect& limit) {
   const float area =
       (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
   if (area == 0.f) return 0;
   if (state.cull == CullMode::kBack && area > 0.f) return 0;
   if (state.cull == CullMode::kFront && area < 0.f) return 0;
 
-  const Bounds bounds = clip_bounds(target, state);
-  if (bounds.empty()) return 0;
-  const int x0 = std::max(bounds.x0, static_cast<int>(
-                                          std::floor(std::min({a.x, b.x, c.x}))));
-  const int y0 = std::max(bounds.y0, static_cast<int>(
-                                          std::floor(std::min({a.y, b.y, c.y}))));
-  const int x1 = std::min(bounds.x1, static_cast<int>(
-                                          std::ceil(std::max({a.x, b.x, c.x}))));
-  const int y1 = std::min(bounds.y1, static_cast<int>(
-                                          std::ceil(std::max({a.y, b.y, c.y}))));
+  const int x0 = std::max(limit.x0, static_cast<int>(
+                                        std::floor(std::min({a.x, b.x, c.x}))));
+  const int y0 = std::max(limit.y0, static_cast<int>(
+                                        std::floor(std::min({a.y, b.y, c.y}))));
+  const int x1 = std::min(limit.x1, static_cast<int>(
+                                        std::ceil(std::max({a.x, b.x, c.x}))));
+  const int y1 = std::min(limit.y1, static_cast<int>(
+                                        std::ceil(std::max({a.y, b.y, c.y}))));
   if (x0 >= x1 || y0 >= y1) return 0;
 
   const float inv_area = 1.f / area;
@@ -322,12 +161,13 @@ std::uint64_t Rasterizer::draw_triangle(TargetView target,
   return fragments;
 }
 
-std::uint64_t Rasterizer::draw_line(TargetView target, const RasterState& state,
-                                    const ScreenVertex& a,
-                                    const ScreenVertex& b,
-                                    TextureView texture) {
-  const Bounds bounds = clip_bounds(target, state);
-  if (bounds.empty()) return 0;
+// A line walks the same step sequence regardless of `limit`; fragments
+// whose pixel falls outside it are skipped, so the union over disjoint
+// tiles equals the full-target walk exactly.
+std::uint64_t raster_line(const TargetView& target, const RasterState& state,
+                          const ScreenVertex& a, const ScreenVertex& b,
+                          TextureView texture, const PixelRect& limit) {
+  if (limit.empty()) return 0;
   const float dx = b.x - a.x;
   const float dy = b.y - a.y;
   const int steps =
@@ -338,7 +178,7 @@ std::uint64_t Rasterizer::draw_line(TargetView target, const RasterState& state,
     const float t = static_cast<float>(i) / steps;
     const int x = static_cast<int>(std::round(a.x + dx * t));
     const int y = static_cast<int>(std::round(a.y + dy * t));
-    if (x < bounds.x0 || x >= bounds.x1 || y < bounds.y0 || y >= bounds.y1) {
+    if (x < limit.x0 || x >= limit.x1 || y < limit.y0 || y >= limit.y1) {
       continue;
     }
     const float z = a.z + (b.z - a.z) * t;
@@ -352,19 +192,17 @@ std::uint64_t Rasterizer::draw_line(TargetView target, const RasterState& state,
   return fragments;
 }
 
-std::uint64_t Rasterizer::draw_point(TargetView target,
-                                     const RasterState& state,
-                                     const ScreenVertex& v,
-                                     TextureView texture) {
-  const Bounds bounds = clip_bounds(target, state);
-  if (bounds.empty()) return 0;
+std::uint64_t raster_point(const TargetView& target, const RasterState& state,
+                           const ScreenVertex& v, TextureView texture,
+                           const PixelRect& limit) {
+  if (limit.empty()) return 0;
   const int half = std::max(0, static_cast<int>(state.point_size / 2.f));
   const int cx = static_cast<int>(std::round(v.x));
   const int cy = static_cast<int>(std::round(v.y));
   std::uint64_t fragments = 0;
   for (int y = cy - half; y <= cy + half; ++y) {
     for (int x = cx - half; x <= cx + half; ++x) {
-      if (x < bounds.x0 || x >= bounds.x1 || y < bounds.y0 || y >= bounds.y1) {
+      if (x < limit.x0 || x >= limit.x1 || y < limit.y0 || y >= limit.y1) {
         continue;
       }
       if (shade_fragment(target, state, x, y, v.z, v.color, v.texcoord,
@@ -374,6 +212,243 @@ std::uint64_t Rasterizer::draw_point(TargetView target,
     }
   }
   return fragments;
+}
+
+PixelRect triangle_bbox(const ScreenVertex& a, const ScreenVertex& b,
+                        const ScreenVertex& c, const PixelRect& clip) {
+  PixelRect box;
+  box.x0 = static_cast<int>(std::floor(std::min({a.x, b.x, c.x})));
+  box.y0 = static_cast<int>(std::floor(std::min({a.y, b.y, c.y})));
+  box.x1 = static_cast<int>(std::ceil(std::max({a.x, b.x, c.x})));
+  box.y1 = static_cast<int>(std::ceil(std::max({a.y, b.y, c.y})));
+  return intersect(box, clip);
+}
+
+}  // namespace
+
+PixelRect clip_rect(const TargetView& target, const RasterState& state) {
+  PixelRect b{0, 0, target.width, target.height};
+  const Viewport& vp = state.viewport;
+  if (vp.width > 0 && vp.height > 0) {
+    b.x0 = std::max(b.x0, vp.x);
+    b.y0 = std::max(b.y0, vp.y);
+    b.x1 = std::min(b.x1, vp.x + vp.width);
+    b.y1 = std::min(b.y1, vp.y + vp.height);
+  }
+  if (state.scissor.has_value()) {
+    const ScissorRect& sc = *state.scissor;
+    b.x0 = std::max(b.x0, sc.x);
+    b.y0 = std::max(b.y0, sc.y);
+    b.x1 = std::min(b.x1, sc.x + sc.width);
+    b.y1 = std::min(b.y1, sc.y + sc.height);
+  }
+  return b;
+}
+
+Color sample_texture(TextureView texture, Vec2 uv, TextureFilter filter,
+                     TextureWrap wrap) {
+  if (texture.texels == nullptr || texture.width <= 0 || texture.height <= 0) {
+    return {1.f, 1.f, 1.f, 1.f};
+  }
+  const auto texel_at = [&](int x, int y) {
+    x = wrap_coord(x, texture.width, wrap);
+    y = wrap_coord(y, texture.height, wrap);
+    return unpack_rgba8888(
+        texture.texels[static_cast<std::size_t>(y) * texture.stride_px + x]);
+  };
+  if (filter == TextureFilter::kNearest) {
+    const int x = static_cast<int>(std::floor(uv.x * texture.width));
+    const int y = static_cast<int>(std::floor(uv.y * texture.height));
+    return texel_at(x, y);
+  }
+  // Bilinear.
+  const float fx = uv.x * texture.width - 0.5f;
+  const float fy = uv.y * texture.height - 0.5f;
+  const int x0 = static_cast<int>(std::floor(fx));
+  const int y0 = static_cast<int>(std::floor(fy));
+  const float tx = fx - x0;
+  const float ty = fy - y0;
+  const Color c00 = texel_at(x0, y0);
+  const Color c10 = texel_at(x0 + 1, y0);
+  const Color c01 = texel_at(x0, y0 + 1);
+  const Color c11 = texel_at(x0 + 1, y0 + 1);
+  const Color top = c00 * (1.f - tx) + c10 * tx;
+  const Color bottom = c01 * (1.f - tx) + c11 * tx;
+  return top * (1.f - ty) + bottom * ty;
+}
+
+std::uint64_t build_screen_prims(const TargetView& target,
+                                 const RasterState& state, PrimitiveKind kind,
+                                 std::span<const ShadedVertex> vertices,
+                                 std::vector<ScreenPrim>& out) {
+  if (target.color == nullptr) return 0;
+  const PixelRect clip = clip_rect(target, state);
+
+  const Viewport vp = state.viewport.width > 0
+                          ? state.viewport
+                          : Viewport{0, 0, target.width, target.height};
+  const auto to_screen = [&](const ShadedVertex& v) {
+    ScreenVertex s;
+    const float inv_w = 1.f / v.clip_pos.w;
+    s.x = (v.clip_pos.x * inv_w * 0.5f + 0.5f) * vp.width + vp.x;
+    s.y = (1.f - (v.clip_pos.y * inv_w * 0.5f + 0.5f)) * vp.height + vp.y;
+    s.z = v.clip_pos.z * inv_w * 0.5f + 0.5f;
+    s.inv_w = inv_w;
+    s.color = v.color;
+    s.texcoord = v.texcoord;
+    return s;
+  };
+
+  std::uint64_t triangles = 0;
+  switch (kind) {
+    case PrimitiveKind::kTriangles: {
+      for (std::size_t i = 0; i + 2 < vertices.size(); i += 3) {
+        // Near-plane clip (w > epsilon) via Sutherland-Hodgman on w.
+        const ShadedVertex* tri[3] = {&vertices[i], &vertices[i + 1],
+                                      &vertices[i + 2]};
+        ShadedVertex clipped[4];
+        int clipped_count = 0;
+        for (int e = 0; e < 3 && clipped_count < 4; ++e) {
+          const ShadedVertex& cur = *tri[e];
+          const ShadedVertex& nxt = *tri[(e + 1) % 3];
+          const bool cur_in = cur.clip_pos.w > kNearEpsilon;
+          const bool nxt_in = nxt.clip_pos.w > kNearEpsilon;
+          if (cur_in) clipped[clipped_count++] = cur;
+          if (cur_in != nxt_in && clipped_count < 4) {
+            const float t = (kNearEpsilon - cur.clip_pos.w) /
+                            (nxt.clip_pos.w - cur.clip_pos.w);
+            ShadedVertex mid;
+            mid.clip_pos = cur.clip_pos + (nxt.clip_pos - cur.clip_pos) * t;
+            mid.color = cur.color + (nxt.color + cur.color * -1.f) * t;
+            mid.texcoord = {cur.texcoord.x + (nxt.texcoord.x - cur.texcoord.x) * t,
+                            cur.texcoord.y + (nxt.texcoord.y - cur.texcoord.y) * t};
+            clipped[clipped_count++] = mid;
+          }
+        }
+        if (clipped_count < 3) continue;
+        const ScreenVertex s0 = to_screen(clipped[0]);
+        for (int k = 1; k + 1 < clipped_count; ++k) {
+          ScreenPrim prim;
+          prim.kind = PrimitiveKind::kTriangles;
+          prim.v[0] = s0;
+          prim.v[1] = to_screen(clipped[k]);
+          prim.v[2] = to_screen(clipped[k + 1]);
+          prim.bbox = triangle_bbox(prim.v[0], prim.v[1], prim.v[2], clip);
+          out.push_back(prim);
+          ++triangles;
+        }
+      }
+      break;
+    }
+    case PrimitiveKind::kLines: {
+      for (std::size_t i = 0; i + 1 < vertices.size(); i += 2) {
+        if (vertices[i].clip_pos.w <= kNearEpsilon ||
+            vertices[i + 1].clip_pos.w <= kNearEpsilon) {
+          continue;
+        }
+        ScreenPrim prim;
+        prim.kind = PrimitiveKind::kLines;
+        prim.v[0] = to_screen(vertices[i]);
+        prim.v[1] = to_screen(vertices[i + 1]);
+        // Step rounding can land one pixel past the float extent; pad the
+        // bbox so tile coverage never misses a plotted pixel (the walk's
+        // own limit check rejects strays exactly).
+        PixelRect box;
+        box.x0 = static_cast<int>(
+                     std::floor(std::min(prim.v[0].x, prim.v[1].x))) - 1;
+        box.y0 = static_cast<int>(
+                     std::floor(std::min(prim.v[0].y, prim.v[1].y))) - 1;
+        box.x1 = static_cast<int>(
+                     std::ceil(std::max(prim.v[0].x, prim.v[1].x))) + 1;
+        box.y1 = static_cast<int>(
+                     std::ceil(std::max(prim.v[0].y, prim.v[1].y))) + 1;
+        prim.bbox = intersect(box, clip);
+        out.push_back(prim);
+      }
+      break;
+    }
+    case PrimitiveKind::kPoints: {
+      const int half = std::max(0, static_cast<int>(state.point_size / 2.f));
+      for (const ShadedVertex& v : vertices) {
+        if (v.clip_pos.w <= kNearEpsilon) continue;
+        ScreenPrim prim;
+        prim.kind = PrimitiveKind::kPoints;
+        prim.v[0] = to_screen(v);
+        const int cx = static_cast<int>(std::round(prim.v[0].x));
+        const int cy = static_cast<int>(std::round(prim.v[0].y));
+        prim.bbox = intersect(PixelRect{cx - half, cy - half, cx + half + 1,
+                                        cy + half + 1},
+                              clip);
+        out.push_back(prim);
+      }
+      break;
+    }
+  }
+  return triangles;
+}
+
+std::uint64_t raster_screen_prim(const TargetView& target,
+                                 const RasterState& state,
+                                 const ScreenPrim& prim, TextureView texture,
+                                 const PixelRect& raw_limit) {
+  // The bbox already carries viewport ∩ scissor ∩ target, so the effective
+  // rect is the same whether `raw_limit` is one tile or the whole target.
+  const PixelRect limit = intersect(raw_limit, prim.bbox);
+  if (limit.empty()) return 0;
+  switch (prim.kind) {
+    case PrimitiveKind::kTriangles:
+      return raster_triangle(target, state, prim.v[0], prim.v[1], prim.v[2],
+                             texture, limit);
+    case PrimitiveKind::kLines:
+      return raster_line(target, state, prim.v[0], prim.v[1], texture, limit);
+    case PrimitiveKind::kPoints:
+      return raster_point(target, state, prim.v[0], texture, limit);
+  }
+  return 0;
+}
+
+void clear_rect(const TargetView& target,
+                const std::optional<ScissorRect>& scissor, bool clear_color,
+                Color color, bool clear_depth, float depth_value,
+                const PixelRect& limit) {
+  RasterState bounds_state;
+  bounds_state.scissor = scissor;
+  const PixelRect b = intersect(clip_rect(target, bounds_state), limit);
+  if (b.empty()) return;
+  const std::uint32_t packed = pack_rgba8888(color);
+  for (int y = b.y0; y < b.y1; ++y) {
+    if (clear_color) {
+      std::uint32_t* row =
+          &target.color[static_cast<std::size_t>(y) * target.stride_px];
+      std::fill(row + b.x0, row + b.x1, packed);
+    }
+    if (clear_depth && target.depth != nullptr) {
+      float* row = &target.depth[static_cast<std::size_t>(y) * target.width];
+      std::fill(row + b.x0, row + b.x1, depth_value);
+    }
+  }
+}
+
+std::uint64_t Rasterizer::draw(TargetView target, const RasterState& state,
+                               PrimitiveKind kind,
+                               std::span<const ShadedVertex> vertices,
+                               TextureView texture) {
+  std::vector<ScreenPrim> prims;
+  triangles_ += build_screen_prims(target, state, kind, vertices, prims);
+  const PixelRect full{0, 0, target.width, target.height};
+  std::uint64_t fragments = 0;
+  for (const ScreenPrim& prim : prims) {
+    fragments += raster_screen_prim(target, state, prim, texture, full);
+  }
+  return fragments;
+}
+
+void Rasterizer::clear(TargetView target,
+                       const std::optional<ScissorRect>& scissor,
+                       bool clear_color, Color color, bool clear_depth,
+                       float depth_value) {
+  clear_rect(target, scissor, clear_color, color, clear_depth, depth_value,
+             PixelRect{0, 0, target.width, target.height});
 }
 
 }  // namespace cycada::gpu

@@ -1,9 +1,22 @@
 // The scan-line rasterizer at the bottom of the software GPU. Operates on
 // raw color/depth buffer views; GpuDevice owns resource lookup and hands the
 // rasterizer plain spans.
+//
+// Since PR 8 the rasterizer is split into the two stages the tile pipeline
+// needs (docs/PIPELINE.md): build_screen_prims() runs the vertex
+// post-processing once per draw (near-plane clip, perspective divide,
+// viewport transform, bounding boxes) on the binning thread, and
+// raster_screen_prim() shades one primitive clamped to an arbitrary pixel
+// rect — a 64x64 tile in the parallel path, the whole target in the serial
+// one. Per-fragment results depend only on the fragment's own inputs, so
+// rasterizing a primitive tile-by-tile produces bytes identical to scanning
+// its full bounding box, which is what makes N-worker output byte-equal to
+// single-threaded output.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -29,8 +42,63 @@ struct TextureView {
   int stride_px = 0;
 };
 
-// Rasterizes post-vertex-stage primitives into a target. Stateless apart
-// from the statistics accumulator the caller provides.
+// A vertex after perspective divide and viewport transform.
+struct ScreenVertex {
+  float x, y, z;  // window coordinates
+  float inv_w;    // 1/w for perspective-correct interpolation
+  Color color;
+  Vec2 texcoord;
+};
+
+// An inclusive-exclusive pixel rect (tile bounds, clip bounds, bboxes).
+struct PixelRect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool empty() const { return x0 >= x1 || y0 >= y1; }
+};
+
+inline PixelRect intersect(const PixelRect& a, const PixelRect& b) {
+  return PixelRect{std::max(a.x0, b.x0), std::max(a.y0, b.y0),
+                   std::min(a.x1, b.x1), std::min(a.y1, b.y1)};
+}
+
+// One post-transform primitive, ready to rasterize. `bbox` is the pixel
+// footprint already clamped to the draw's viewport/scissor clip bounds; the
+// binner intersects it with tile rects to decide coverage.
+struct ScreenPrim {
+  PrimitiveKind kind = PrimitiveKind::kTriangles;
+  ScreenVertex v[3];  // triangles use 3, lines 2, points 1
+  PixelRect bbox;
+};
+
+// The viewport ∩ scissor ∩ target rect a draw may touch.
+PixelRect clip_rect(const TargetView& target, const RasterState& state);
+
+// Vertex post-processing for one draw call: near-plane clipping (triangles
+// fan out via Sutherland-Hodgman on w), perspective divide, viewport
+// transform and per-primitive bounding boxes. Appends to `out`; returns the
+// number of triangles emitted (post-clip, for the device triangle counter).
+std::uint64_t build_screen_prims(const TargetView& target,
+                                 const RasterState& state, PrimitiveKind kind,
+                                 std::span<const ShadedVertex> vertices,
+                                 std::vector<ScreenPrim>& out);
+
+// Shades one primitive restricted to `limit` (already intersected with the
+// target; fragments outside it are not touched). Returns fragments shaded.
+// Pure function of its arguments — safe to call concurrently for disjoint
+// `limit` rects of the same target.
+std::uint64_t raster_screen_prim(const TargetView& target,
+                                 const RasterState& state,
+                                 const ScreenPrim& prim, TextureView texture,
+                                 const PixelRect& limit);
+
+// Clears color and/or depth inside scissor ∩ `limit`.
+void clear_rect(const TargetView& target,
+                const std::optional<ScissorRect>& scissor, bool clear_color,
+                Color color, bool clear_depth, float depth_value,
+                const PixelRect& limit);
+
+// Serial façade over the two stages (kept for direct users and as the
+// reference the tiled path must match byte-for-byte).
 class Rasterizer {
  public:
   // Draws vertices (grouped 3/2/1 per primitive by `kind`) under `state`.
@@ -47,27 +115,6 @@ class Rasterizer {
   std::uint64_t triangles_submitted() const { return triangles_; }
 
  private:
-  struct ScreenVertex {
-    float x, y, z;      // window coordinates
-    float inv_w;        // 1/w for perspective-correct interpolation
-    Color color;
-    Vec2 texcoord;
-  };
-
-  std::uint64_t draw_triangle(TargetView target, const RasterState& state,
-                              const ScreenVertex& a, const ScreenVertex& b,
-                              const ScreenVertex& c, TextureView texture);
-  std::uint64_t draw_line(TargetView target, const RasterState& state,
-                          const ScreenVertex& a, const ScreenVertex& b,
-                          TextureView texture);
-  std::uint64_t draw_point(TargetView target, const RasterState& state,
-                           const ScreenVertex& v, TextureView texture);
-
-  // Emits one fragment: depth test, texturing, blending, write-back.
-  bool shade_fragment(TargetView target, const RasterState& state, int x,
-                      int y, float z, Color color, Vec2 uv,
-                      TextureView texture);
-
   std::uint64_t triangles_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "trace/trace.h"
 #include "util/faultpoint.h"
 #include "util/log.h"
+#include "util/thread_role.h"
 
 namespace cycada::kernel {
 
@@ -420,6 +421,16 @@ long sys_set_persona(Persona persona) {
   static trace::Counter& switches =
       trace::MetricsRegistry::instance().counter("persona.switches");
   switches.add();
+  // GPU tile workers execute pre-resolved raster work only; a persona
+  // crossing from one is a thread-ownership violation (docs/PIPELINE.md).
+  // Counted here, turned into a blocking finding by the analyzer's
+  // pipeline.worker-crossing rule.
+  if (util::current_thread_role() == util::ThreadRole::kTileWorker) {
+    static trace::Counter& worker_crossings =
+        trace::MetricsRegistry::instance().counter(
+            "pipeline.worker.crossings");
+    worker_crossings.add();
+  }
   SyscallArgs args;
   args.reg[0] = static_cast<std::uint64_t>(persona);
   return Kernel::instance().syscall(Sys::kSetPersona, args);

@@ -12,7 +12,8 @@
 // Categories in use across the pipeline: "persona" (set_persona syscalls),
 // "diplomat" (the 11-step call procedure), "impersonation" (thread identity
 // acquire/release and TLS migration), "linker" (dlopen/dlforce/dlsym),
-// "gl" (EAGL/EGL context operations), "frame" (SurfaceFlinger composition).
+// "gl" (EAGL/EGL context operations), "frame" (SurfaceFlinger composition),
+// "gpu" (the tile pipeline's bin/raster/tile spans, docs/PIPELINE.md).
 #pragma once
 
 #include <atomic>

@@ -123,6 +123,7 @@ const std::vector<std::string>& FaultRegistry::catalog() {
       "linker.dlopen",      "linker.dlforce",     "kernel.set_persona",
       "egl.create_context", "egl.create_surface", "gmem.allocate",
       "iosurface.lock",     "iosurface.unlock",   "dispatch.impersonate",
+      "gpu.tile_worker",
   };
   return *names;
 }

@@ -1,0 +1,40 @@
+// Thread-role marker for the GPU tile worker pool (docs/PIPELINE.md).
+//
+// Tile raster workers execute binned, pre-resolved work and must never
+// initiate persona crossings or diplomat calls — crossings stay on the
+// dispatch thread that recorded the commands. The pool tags its threads
+// with ScopedThreadRole; the persona syscall wrappers and the diplomat
+// dispatcher consult current_thread_role() and count any violation into the
+// "pipeline.worker.crossings" metric, which the analyzer's
+// pipeline.worker-crossing rule turns into a blocking finding
+// (src/analyze/pipeline_check.cpp).
+//
+// Header-only and util-level so both the bottom of the stack (gpu) and the
+// top (kernel, core) can see it without a dependency cycle.
+#pragma once
+
+namespace cycada::util {
+
+enum class ThreadRole : int {
+  kApp = 0,         // default: app / dispatch / bench threads
+  kTileWorker = 1,  // a GPU pipeline worker (raster helpers + coordinator)
+};
+
+inline thread_local ThreadRole t_thread_role = ThreadRole::kApp;
+
+inline ThreadRole current_thread_role() { return t_thread_role; }
+
+class ScopedThreadRole {
+ public:
+  explicit ScopedThreadRole(ThreadRole role) : previous_(t_thread_role) {
+    t_thread_role = role;
+  }
+  ~ScopedThreadRole() { t_thread_role = previous_; }
+  ScopedThreadRole(const ScopedThreadRole&) = delete;
+  ScopedThreadRole& operator=(const ScopedThreadRole&) = delete;
+
+ private:
+  ThreadRole previous_;
+};
+
+}  // namespace cycada::util

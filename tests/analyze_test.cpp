@@ -22,7 +22,9 @@
 #include "kernel/kernel.h"
 #include "kernel/libc.h"
 #include "linker/linker.h"
+#include "trace/metrics.h"
 #include "util/lock_order.h"
+#include "util/thread_role.h"
 
 namespace cycada::analyze {
 namespace {
@@ -183,6 +185,32 @@ TEST_F(AnalyzeTest, DetectsUnbalancedPersonaInDomesticCode) {
   Report report;
   check_diplomat_contracts(report);
   EXPECT_TRUE(report.has_rule("diplomat.unbalanced-persona"));
+}
+
+TEST_F(AnalyzeTest, DetectsPersonaCrossingFromTileWorker) {
+  trace::Counter& crossings = trace::MetricsRegistry::instance().counter(
+      "pipeline.worker.crossings");
+  const std::uint64_t before = crossings.value();
+  // Seeded violation: a thread wearing the tile-worker role initiates a
+  // persona switch (to its own persona — the guard counts the crossing
+  // regardless of destination).
+  const kernel::Persona current =
+      kernel::Kernel::instance().current_thread().persona();
+  {
+    util::ScopedThreadRole role(util::ThreadRole::kTileWorker);
+    kernel::sys_set_persona(current);
+  }
+  EXPECT_GT(crossings.value(), before);
+
+  Report report;
+  check_pipeline_isolation(report);
+  EXPECT_TRUE(report.has_rule("pipeline.worker-crossing"));
+
+  // Zeroed again, the checker runs clean (hygiene for single-process runs).
+  crossings.set(0);
+  Report clean;
+  check_pipeline_isolation(clean);
+  EXPECT_FALSE(clean.has_rule("pipeline.worker-crossing"));
 }
 
 TEST_F(AnalyzeTest, DetectsSkipOnNonDataDependentDiplomat) {
