@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Produces the committed benchmark baseline for this PR (BENCH_pr8.json):
+# Produces the committed benchmark baseline for this PR (BENCH_pr9.json):
 # a Release build of the bench targets, each run with CYCADA_BENCH_JSON
 # pointed at a temp file, merged into one document whose schema is described
 # in docs/BENCHMARKING.md. Counters are merged flat; histograms keep their
@@ -8,16 +8,19 @@
 # replays it at 4 threads so replay throughput rides the same gate; the
 # fig6 worker-sweep leg (docs/PIPELINE.md) runs PassMark at 1/2/4/8 tile
 # workers so the per-stage pipeline histograms and the raster speedup ride
-# it too.
+# it too; the chaos-soak leg (docs/ROBUSTNESS.md) records the watchdog's
+# escalation/recovery counters and stall histograms under deterministic
+# fault injection (soak.* keys — informational in bench_compare.sh, since
+# they measure injected faults, not code speed).
 # From the repo root:
 #
-#   ./scripts/bench_baseline.sh                # writes BENCH_pr8.json
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr9.json
 #   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
 #   BENCH_PR=6 ./scripts/bench_baseline.sh     # writes BENCH_pr6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${BENCH_PR:-8}"
+PR="${BENCH_PR:-9}"
 OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
 BUILD=build-bench
 
@@ -45,6 +48,10 @@ CYCADA_BENCH_JSON="${tmpdir}/replay.json" \
   --threads 4 --iterations 16 --verify >/dev/null
 echo "==> running fig6 worker sweep (1/2/4/8 tile workers)"
 CYCADA_BENCH_JSON="${tmpdir}/sweep.json" CYCADA_PASSMARK_SWEEP=1 \
+  "./${BUILD}/bench/fig6_passmark" >/dev/null
+echo "==> running fig6 chaos soak (4s budget, seed 42)"
+CYCADA_BENCH_JSON="${tmpdir}/soak.json" CYCADA_PASSMARK_SOAK_MS=4000 \
+  CYCADA_WATCHDOG_BUDGET_MS=50 CYCADA_CHAOS_SEED=42 \
   "./${BUILD}/bench/fig6_passmark" >/dev/null
 
 # Merge the two bench documents (shell-only; no python/jq dependency). Each
@@ -75,15 +82,18 @@ join_nonempty() {
   printf '%s' "$(join_nonempty "$(counters "${tmpdir}/table3.json")" \
     "$(counters "${tmpdir}/table2.json")" \
     "$(counters "${tmpdir}/replay.json")" \
-    "$(counters "${tmpdir}/sweep.json")")"
+    "$(counters "${tmpdir}/sweep.json")" \
+    "$(counters "${tmpdir}/soak.json")")"
   printf '},"histograms":{'
   printf '%s' "$(join_nonempty "$(histograms "${tmpdir}/table3.json")" \
     "$(histograms "${tmpdir}/table2.json")" \
     "$(histograms "${tmpdir}/replay.json")" \
-    "$(histograms "${tmpdir}/sweep.json")")"
+    "$(histograms "${tmpdir}/sweep.json")" \
+    "$(histograms "${tmpdir}/soak.json")")"
   printf '}}\n'
 } > "${OUT}"
 
 echo "==> wrote ${OUT}"
 grep -o '"table3.dispatch.[^,}]*' "${OUT}" | sed 's/"//g'
 grep -o '"fig6.sweep.[^,}]*' "${OUT}" | sed 's/"//g'
+grep -o '"soak.watchdog.[^,}]*' "${OUT}" | sed 's/"//g' | head -8

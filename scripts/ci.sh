@@ -3,7 +3,8 @@
 # build + full test suite + the cycada_check contract analyzer, the tile
 # pipeline determinism/scaling leg, the trace capture/replay leg, the
 # classification prover with its amendment proof gate, a fault-injected
-# cycada_check run that must degrade gracefully, and a TSan leg over the
+# cycada_check run that must degrade gracefully, a chaos soak that stalls
+# every fault probe under a tight watchdog budget, and a TSan leg over the
 # concurrency-sensitive suites. Fast enough for every push; the full
 # sanitizer matrix stays in scripts/check.sh (ci.yml also runs a focused
 # ASan+UBSan leg).
@@ -118,6 +119,18 @@ run env CYCADA_FAULT='linker.dlforce=every:1,egl.create_context=every:1' \
 # passmark workload must still finish with exit 0.
 echo "==> fig6_passmark under CYCADA_FAULT=all=prob:1000:42 (chaos mode)"
 run env CYCADA_FAULT='all=prob:1000:42' ./build/bench/fig6_passmark
+
+# --- Chaos soak (docs/ROBUSTNESS.md §recovery ladder) -------------------------
+# Fixed wall-clock budget with randomized stall + error faults on every
+# catalog probe and a tight watchdog budget. The harness itself asserts
+# liveness (no frame over its envelope), that the recovery ladder climbs
+# back to full-parallel once the faults clear, and that the analyzer finds
+# no persona/lock leaks afterwards. The seed is logged so any failure
+# reproduces bit-for-bit.
+SOAK_SEED="${CYCADA_CHAOS_SEED:-42}"
+echo "==> fig6_passmark chaos soak (8s budget, seed ${SOAK_SEED})"
+run env CYCADA_PASSMARK_SOAK_MS=8000 CYCADA_WATCHDOG_BUDGET_MS=50 \
+  CYCADA_CHAOS_SEED="${SOAK_SEED}" ./build/bench/fig6_passmark
 
 # --- TSan leg over the lock-free and fault-injection suites ------------------
 if [[ "${CYCADA_SKIP_TSAN:-0}" == "1" ]]; then

@@ -227,6 +227,12 @@ void check_replay_divergence(
 //   lint.allow-without-reason  a bare "cycada-lint: allow" marker; every
 //                              suppression must carry a justification,
 //                              "cycada-lint: allow(<reason>)"
+//   watchdog.unbounded-wait    an indefinite condition_variable/atomic
+//                              .wait( in a watchdog-supervised directory
+//                              (gpu/, android_gl/) — supervised domains
+//                              must use deadline-sliced wait_for loops so a
+//                              stalled producer can never hang them; true
+//                              idle parking carries a reasoned allow marker
 // Comment-only lines are skipped; a line containing a reasoned
 // "cycada-lint: allow(<reason>)" marker is exempt. `path` is used for
 // allowlisting and finding subjects.

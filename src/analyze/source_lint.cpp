@@ -30,6 +30,7 @@ const std::string kKeyCreateNeedle = std::string("pthread_key_") + "create";
 const std::string kKeyDeleteNeedle = std::string("pthread_key_") + "delete";
 const std::string kAllowMarker = std::string("cycada-lint: ") + "allow";
 const std::string kIosGlNeedle = std::string("IOS_") + "GL(";
+const std::string kWaitNeedle = std::string(".wa") + "it(";
 
 bool path_contains(const std::string& path, const char* fragment) {
   return path.find(fragment) != std::string::npos;
@@ -153,6 +154,19 @@ void lint_line(const std::string& path, int line_number,
                "raw " + kSetPersonaNeedle +
                    " outside the kernel/diplomat layers; use "
                    "kernel::ScopedPersona or a diplomat");
+  }
+
+  // Watchdog-supervised directories must not block without a deadline: a
+  // bare .wait( (condition_variable or C++20 atomic) can hang forever on a
+  // stalled producer, where a wait_for slice stays responsive and lets the
+  // enclosing WATCHDOG_SCOPE escalate. Idle parking (a worker with nothing
+  // owed to anyone) is legitimate and carries a reasoned allow marker.
+  if ((path_contains(path, "gpu/") || path_contains(path, "android_gl/")) &&
+      line.find(kWaitNeedle) != std::string::npos) {
+    report.add("lint", "watchdog.unbounded-wait", subject,
+               "indefinite wait in a watchdog-supervised domain; use a "
+               "deadline-sliced wait_for loop (or justify idle parking "
+               "with a reasoned allow marker)");
   }
 
   if (in_graphics_path(path) && !path_contains(path, "analyze/")) {

@@ -11,6 +11,7 @@
 #include "util/clock.h"
 #include "util/faultpoint.h"
 #include "util/log.h"
+#include "util/watchdog.h"
 
 namespace cycada::android_gl {
 
@@ -33,7 +34,17 @@ const gmem::GraphicBuffer& EglSurface::front_buffer() const {
 
 void EglSurface::sync_front() const {
   if (present_fence_ == gpu::kNoHandle) return;
-  device().wait_fence(present_fence_);
+  static trace::Counter& dropped =
+      trace::MetricsRegistry::instance().counter("watchdog.frames.dropped");
+  const std::int64_t budget_ms = util::Watchdog::instance().effective_budget_ms(
+      util::kWatchdogPresentBudgetMs);
+  if (!device().wait_fence_for(present_fence_, budget_ms)) {
+    // Forced retire: the previous frame's raster is stuck past its budget.
+    // Scan out the front buffer as-is (one possibly-stale frame beats a
+    // hung compositor) and account the drop; the fence is abandoned so the
+    // next swap does not re-wait a dead frame.
+    dropped.add();
+  }
   present_fence_ = gpu::kNoHandle;
 }
 
@@ -345,6 +356,9 @@ EGLBoolean AndroidEgl::eglSwapBuffers(EglSurface* surface) {
     (void)context->connection->engine->set_default_target(
         surface->back_target());
   }
+  // Frame boundary for the recovery ladder's hysteresis: a swap with no
+  // stall in any supervised domain counts toward climbing back up a rung.
+  util::Watchdog::instance().note_frame();
   return EGL_TRUE;
 }
 

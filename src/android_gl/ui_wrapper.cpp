@@ -10,6 +10,7 @@
 #include "util/clock.h"
 #include "util/faultpoint.h"
 #include "util/log.h"
+#include "util/watchdog.h"
 
 namespace cycada::android_gl {
 
@@ -340,6 +341,9 @@ Status UiWrapper::swap_buffers() {
   device().submit_frame();
   back_ = 1 - back_;
   CYCADA_RETURN_IF_ERROR(engine_->set_default_target(targets_[back_]));
+  // Frame boundary for the watchdog's clean-frame hysteresis (the iOS
+  // stack presents through here rather than eglSwapBuffers).
+  util::Watchdog::instance().note_frame();
   return Status::ok();
 }
 
@@ -357,7 +361,15 @@ Status UiWrapper::set_tls(const std::vector<void*>& values) {
 
 void UiWrapper::sync_front() const {
   if (present_fence_ == gpu::kNoHandle) return;
-  device().wait_fence(present_fence_);
+  static trace::Counter& dropped =
+      trace::MetricsRegistry::instance().counter("watchdog.frames.dropped");
+  const std::int64_t budget_ms = util::Watchdog::instance().effective_budget_ms(
+      util::kWatchdogPresentBudgetMs);
+  if (!device().wait_fence_for(present_fence_, budget_ms)) {
+    // Forced retire, same protocol as EglSurface::sync_front: scan out the
+    // stale front buffer, drop the frame, abandon the fence.
+    dropped.add();
+  }
   present_fence_ = gpu::kNoHandle;
 }
 

@@ -5,6 +5,9 @@
 
 #include "trace/cyt.h"
 #include "trace/trace.h"
+#include "util/clock.h"
+#include "util/faultpoint.h"
+#include "util/watchdog.h"
 
 namespace cycada::core {
 
@@ -67,6 +70,10 @@ trace::Counter& flush_reason_counter(BatchFlushReason reason) {
 // queued call still runs exactly once, in order.
 void replay_batch(ThreadBatch& batch, BatchFlushReason reason) {
   TRACE_SCOPE("diplomat", "batch.flush");
+  // A flush replays up to size_cap foreign calls under one crossing; a
+  // stall anywhere inside (crossing syscalls, a replayed closure) overruns
+  // this scope and raises the kBatch rung.
+  WATCHDOG_SCOPE(util::WatchdogDomain::kBatch, util::kWatchdogBatchBudgetMs);
   std::vector<BatchItem> items = std::move(batch.items);
   batch.items.clear();
   DiplomatEntry& opener = *batch.opener;
@@ -195,6 +202,16 @@ bool batch_record(DiplomatEntry& entry, const DiplomatHooks& hooks,
                   std::function<void()> replay) {
   ThreadBatch& batch = t_batch;
   if (batch.scope_depth == 0 || !entry.batchable) return false;
+  if (util::Watchdog::instance().degraded(util::WatchdogDomain::kCrossing)) {
+    // Stalled-crossing rung: stop amortizing — run ordered plain calls
+    // until hysteresis clears the rung. Anything already queued flushes
+    // first so this call cannot overtake its predecessors.
+    static trace::Counter& fallback =
+        trace::MetricsRegistry::instance().counter("watchdog.batch.fallback");
+    fallback.add();
+    flush_current_batch(BatchFlushReason::kDegraded);
+    return false;
+  }
   const kernel::Persona caller =
       kernel::Kernel::instance().current_thread().persona();
   if (!batch.items.empty() && caller != batch.caller) {
@@ -249,6 +266,12 @@ BatchScope::~BatchScope() {
 namespace detail {
 
 std::uint64_t batched_crossing_begin() {
+  WATCHDOG_SCOPE(util::WatchdogDomain::kCrossing,
+                 util::kWatchdogCrossingBudgetMs);
+  const std::int64_t deadline =
+      now_ns() + util::Watchdog::instance().effective_budget_ms(
+                     util::kWatchdogCrossingBudgetMs) *
+                     1000000;
   for (int attempt = 0; attempt < kCrossingRetries; ++attempt) {
     const long token =
         kernel::sys_persona_batch_begin(kernel::Persona::kAndroid);
@@ -258,6 +281,10 @@ std::uint64_t batched_crossing_begin() {
           .add();
       return static_cast<std::uint64_t>(token);
     }
+    // A stall-injected syscall can burn the whole budget in one attempt;
+    // retrying past the deadline would multiply the hang. Give up and let
+    // the caller fall back to ordered plain calls.
+    if (now_ns() >= deadline) break;
     kernel::Kernel::instance().syscall(kernel::Sys::kYield);
   }
   return 0;
@@ -265,14 +292,32 @@ std::uint64_t batched_crossing_begin() {
 
 bool batched_crossing_end(std::uint64_t token, kernel::Persona restore,
                           int replayed_calls) {
+  WATCHDOG_SCOPE(util::WatchdogDomain::kCrossing,
+                 util::kWatchdogCrossingBudgetMs);
+  const std::int64_t deadline =
+      now_ns() + util::Watchdog::instance().effective_budget_ms(
+                     util::kWatchdogCrossingBudgetMs) *
+                     1000000;
   for (int attempt = 0; attempt < kCrossingRetries; ++attempt) {
     if (kernel::sys_persona_batch_end(token, restore, replayed_calls) == 0) {
       return true;
     }
+    if (now_ns() >= deadline) {
+      // Watchdog-backed bound on the forced-shut path: a close that both
+      // fails and stalls must not serialize three full stalls before the
+      // persona is repaired.
+      trace::MetricsRegistry::instance()
+          .counter("watchdog.close.bounded")
+          .add();
+      break;
+    }
     kernel::Kernel::instance().syscall(kernel::Sys::kYield);
   }
   // The crossing must close no matter what — a leaked Android persona (and
-  // a stuck token) would corrupt every later syscall on this thread.
+  // a stuck token) would corrupt every later syscall on this thread. The
+  // forced close is the ladder's last rung: suppressed, so it can be
+  // neither failed nor delayed by injection.
+  util::FaultSuppressionScope suppress;
   kernel::Kernel::instance().abort_persona_batch(restore);
   trace::MetricsRegistry::instance()
       .counter("dispatch.batch.close_forced")

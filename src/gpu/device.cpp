@@ -1,11 +1,14 @@
 #include "gpu/device.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "trace/metrics.h"
+#include "util/clock.h"
 #include "util/log.h"
+#include "util/watchdog.h"
 
 namespace cycada::gpu {
 
@@ -252,6 +255,30 @@ void GpuDevice::wait_fence(FenceHandle fence) {
   flush_locked(lock);
 }
 
+bool GpuDevice::wait_fence_for(FenceHandle fence, std::int64_t budget_ms) {
+  static trace::Counter& timeouts = trace::MetricsRegistry::instance().counter(
+      "watchdog.present.timeouts");
+  WATCHDOG_SCOPE(util::WatchdogDomain::kPresent,
+                 util::kWatchdogPresentBudgetMs);
+  std::unique_lock lock(mutex_);
+  auto it = fences_.find(fence);
+  if (it == fences_.end() || it->second) return true;
+  if (!drain_in_flight_for_locked(lock, budget_ms)) {
+    // Forced retire path: the frame is still in flight past its budget.
+    // The caller scans out the stale front buffer and drops this frame;
+    // the kPresent rung rises so hysteresis governs recovery.
+    timeouts.add();
+    util::Watchdog::instance().note_stall(util::WatchdogDomain::kPresent);
+    return false;
+  }
+  it = fences_.find(fence);
+  if (it == fences_.end() || it->second) return true;
+  // The fence is still in the record queue; synchronous execution on this
+  // thread always terminates, so it does not need its own deadline.
+  flush_locked(lock);
+  return true;
+}
+
 void GpuDevice::submit_frame() {
   std::unique_lock lock(mutex_);
   submit_frame_locked(lock);
@@ -266,7 +293,23 @@ void GpuDevice::flush() {
 void GpuDevice::finish() { flush(); }
 
 void GpuDevice::drain_in_flight_locked(std::unique_lock<std::mutex>& lock) {
-  retire_cv_.wait(lock, [this] { return !in_flight_; });
+  // Sliced rather than indefinite: the in-flight frame always terminates
+  // (bounded polls in the pool, finite injected stalls), so the slices are
+  // about staying inspectable — a missed notify can delay retire detection
+  // by one slice, never hang it.
+  while (in_flight_) {
+    retire_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+bool GpuDevice::drain_in_flight_for_locked(std::unique_lock<std::mutex>& lock,
+                                           std::int64_t budget_ms) {
+  const std::int64_t deadline = now_ns() + budget_ms * 1000000;
+  while (in_flight_) {
+    if (now_ns() >= deadline) return false;
+    retire_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  return true;
 }
 
 std::unique_ptr<FrameBatch> GpuDevice::resolve_batch_locked() {

@@ -87,6 +87,11 @@ class GpuDevice {
   // Blocks until the fence has signaled: waits out an in-flight frame that
   // contains it, then executes any still-recorded work.
   void wait_fence(FenceHandle fence);
+  // Deadline variant: waits at most budget_ms for the in-flight frame.
+  // Returns false on timeout (the fence stays unsignaled — the caller
+  // force-retires: scan out the stale front buffer, drop the frame), after
+  // recording a kPresent stall against the watchdog ladder.
+  bool wait_fence_for(FenceHandle fence, std::int64_t budget_ms);
 
   // Closes the recording queue as one frame and executes it — async on the
   // tile worker pool when it has >= 2 workers (at most one frame in flight;
@@ -161,6 +166,10 @@ class GpuDevice {
   // Blocks until no async frame is in flight (releases the lock while
   // waiting). Everything that touches resource memory calls this first.
   void drain_in_flight_locked(std::unique_lock<std::mutex>& lock);
+  // Deadline-bounded drain; false when the frame was still in flight after
+  // budget_ms.
+  bool drain_in_flight_for_locked(std::unique_lock<std::mutex>& lock,
+                                  std::int64_t budget_ms);
   // Resolves the record queue into plain-view steps, clearing it. Commands
   // naming destroyed targets are dropped, destroyed textures sample as
   // untextured — the old flush-time semantics, preserved.

@@ -1,6 +1,7 @@
 #include "gpu/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "trace/metrics.h"
@@ -8,6 +9,7 @@
 #include "util/clock.h"
 #include "util/faultpoint.h"
 #include "util/thread_role.h"
+#include "util/watchdog.h"
 
 namespace cycada::gpu {
 
@@ -111,7 +113,6 @@ struct TileWorkerPool::Phase {
     busy_ns.fetch_add(elapsed, std::memory_order_relaxed);
     tile_ns.record(elapsed);
     tiles_done.fetch_add(1, std::memory_order_release);
-    tiles_done.notify_all();
   }
 
   // Claim-and-steal loop for one participant. `slot` < ranges.size() owns
@@ -159,9 +160,20 @@ int TileWorkerPool::worker_count() {
   return configured_workers_;
 }
 
+void TileWorkerPool::wait_idle_locked(std::unique_lock<std::mutex>& lock) {
+  // Progress wait, not idle parking: the in-flight frame always terminates
+  // (run_phase's bounded polls and the kGpuPhase rung guarantee it), so the
+  // slices exist to keep the wait supervised rather than indefinite.
+  WATCHDOG_SCOPE(util::WatchdogDomain::kGpuPhase,
+                 util::kWatchdogGpuPhaseBudgetMs);
+  while (!(pending_batch_ == nullptr && !executing_)) {
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
 void TileWorkerPool::set_worker_count(int n) {
   std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return pending_batch_ == nullptr && !executing_; });
+  wait_idle_locked(lock);
   stop_threads_locked(lock);
   configured_workers_ = std::max(1, n);
   static trace::Counter& workers = metrics().counter("pipeline.workers");
@@ -195,7 +207,7 @@ void TileWorkerPool::stop_threads_locked(std::unique_lock<std::mutex>& lock) {
 
 void TileWorkerPool::shutdown() {
   std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return pending_batch_ == nullptr && !executing_; });
+  wait_idle_locked(lock);
   stop_threads_locked(lock);
 }
 
@@ -212,7 +224,7 @@ void TileWorkerPool::submit_async(
   ensure_started_locked();
   // Capacity 1: the device guarantees it never submits while a frame is in
   // flight (it waits for retire first), so this never blocks in practice.
-  idle_cv_.wait(lock, [this] { return pending_batch_ == nullptr && !executing_; });
+  wait_idle_locked(lock);
   pending_batch_ = std::move(batch);
   pending_retire_ = std::move(retire);
   work_cv_.notify_all();
@@ -220,7 +232,7 @@ void TileWorkerPool::submit_async(
 
 void TileWorkerPool::drain() {
   std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return pending_batch_ == nullptr && !executing_; });
+  wait_idle_locked(lock);
 }
 
 void TileWorkerPool::consumer_main() {
@@ -230,7 +242,9 @@ void TileWorkerPool::consumer_main() {
     std::function<void(std::unique_ptr<FrameBatch>)> retire;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] {
+      // Idle parking, not a progress wait: nothing is owed to anyone until
+      // a batch is submitted, so no deadline applies.
+      work_cv_.wait(lock, [this] {  // cycada-lint: allow(idle parking)
         return stopping_ || pending_batch_ != nullptr;
       });
       if (stopping_) return;
@@ -260,7 +274,7 @@ void TileWorkerPool::helper_main(int /*slot*/) {
     std::uint64_t joined_generation = 0;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] {
+      work_cv_.wait(lock, [this] {  // cycada-lint: allow(idle parking)
         return stopping_ || active_phase_.load(std::memory_order_relaxed) !=
                                 nullptr;
       });
@@ -271,8 +285,8 @@ void TileWorkerPool::helper_main(int /*slot*/) {
       // Check in under the lock: the coordinator clears active_phase_ under
       // the same lock before waiting for helpers_in_phase_ to hit zero, so a
       // checked-in helper always works on a live phase. The counter lives on
-      // the (immortal) pool, not the phase, so the final decrement/notify
-      // never races the coordinator freeing the phase.
+      // the (immortal) pool, not the phase, so the final decrement never
+      // races the coordinator freeing the phase.
       helpers_in_phase_.fetch_add(1, std::memory_order_relaxed);
     }
     // A fault-injected worker abandons the phase without claiming a tile;
@@ -283,20 +297,26 @@ void TileWorkerPool::helper_main(int /*slot*/) {
           phase->participants.fetch_add(1, std::memory_order_relaxed);
       phase->participate(static_cast<std::size_t>(slot_index));
     }
-    if (helpers_in_phase_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      helpers_in_phase_.notify_all();
-    }
+    helpers_in_phase_.fetch_sub(1, std::memory_order_acq_rel);
     // Wait for the phase to be retracted so one phase is never joined twice.
     // The generation guards against a new phase reusing the same address.
+    // Sliced: the coordinator always retracts once its poll drains the
+    // phase, so this terminates even if a notify is missed under stall.
     std::unique_lock lock(mutex_);
-    work_cv_.wait(lock, [this, joined_generation] {
-      return stopping_ || phase_generation_ != joined_generation ||
-             active_phase_.load(std::memory_order_relaxed) == nullptr;
-    });
+    while (!(stopping_ || phase_generation_ != joined_generation ||
+             active_phase_.load(std::memory_order_relaxed) == nullptr)) {
+      work_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
   }
 }
 
 void TileWorkerPool::run_phase(Phase& phase) {
+  // Supervises the whole publish -> raster -> retract bracket: a helper
+  // stalled mid-phase (hang-class injection, scheduler pathology) overruns
+  // this scope, the kGpuPhase rung rises, and subsequent frames raster
+  // serial until clean frames climb back down.
+  WATCHDOG_SCOPE(util::WatchdogDomain::kGpuPhase,
+                 util::kWatchdogGpuPhaseBudgetMs);
   const int tiles = phase.tile_count();
   // Publish the phase, wake helpers, and participate as the coordinator.
   {
@@ -314,22 +334,32 @@ void TileWorkerPool::run_phase(Phase& phase) {
         phase.participants.fetch_add(1, std::memory_order_relaxed);
     phase.participate(static_cast<std::size_t>(slot_index));
   }
-  // All tiles claimed; wait for stragglers mid-tile.
-  for (;;) {
-    const int done = phase.tiles_done.load(std::memory_order_acquire);
-    if (done >= tiles) break;
-    phase.tiles_done.wait(done);
+  // All tiles claimed; poll out stragglers mid-tile. A bounded poll (yield,
+  // then short sleeps) instead of an atomic wait keeps the coordinator
+  // responsive under a stalled helper — it burns 50us naps, never blocks
+  // indefinitely, and the enclosing watchdog scope times the whole drain.
+  for (int spin = 0;
+       phase.tiles_done.load(std::memory_order_acquire) < tiles; ++spin) {
+    if (spin < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
   }
-  // Retract the phase and wait out any helper still inside its epilogue.
+  // Retract the phase and poll out any helper still inside its epilogue
+  // (or asleep in a stall-injected fault probe before claiming a tile).
   {
     std::lock_guard lock(mutex_);
     active_phase_.store(nullptr, std::memory_order_relaxed);
   }
   work_cv_.notify_all();
-  for (;;) {
-    const int inside = helpers_in_phase_.load(std::memory_order_acquire);
-    if (inside == 0) break;
-    helpers_in_phase_.wait(inside);
+  for (int spin = 0;
+       helpers_in_phase_.load(std::memory_order_acquire) != 0; ++spin) {
+    if (spin < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
   }
 }
 
@@ -352,12 +382,22 @@ void execute_frame(FrameBatch& batch) {
   static util::FaultPoint& worker_fault =
       util::FaultRegistry::instance().point("gpu.tile_worker");
 
+  static trace::Counter& serial_forced =
+      metrics().counter("watchdog.serial_forced");
+
   frames.add();
   TileWorkerPool& pool = TileWorkerPool::instance();
   const int workers = pool.worker_count();
   // Frame-level fault probe: a failed pool degrades the whole frame to
   // single-threaded raster (the paper's graceful-degradation discipline).
-  const bool degrade_serial = worker_fault.should_fail();
+  // A raised kGpuPhase rung does the same — after a stalled phase the
+  // pipeline stays serial until the watchdog's clean-frame hysteresis
+  // lowers the rung back to zero.
+  const bool fault_serial = worker_fault.should_fail();
+  const bool watchdog_serial = util::Watchdog::instance().degraded(
+      util::WatchdogDomain::kGpuPhase);
+  const bool degrade_serial = fault_serial || watchdog_serial;
+  if (watchdog_serial) serial_forced.add();
   if (degrade_serial) degraded.add();
 
   // --- Bin stage (single-threaded, command order) ---------------------------

@@ -126,6 +126,10 @@ class TileWorkerPool {
   // Runs one phase's tiles on the caller plus any idle helpers.
   void run_phase(Phase& phase);
 
+  // Deadline-sliced wait for the async slot to go idle (supervised by the
+  // kGpuPhase watchdog domain; the in-flight frame always terminates).
+  void wait_idle_locked(std::unique_lock<std::mutex>& lock);
+
   std::mutex mutex_;
   std::condition_variable work_cv_;   // helpers + consumer wait here
   std::condition_variable idle_cv_;   // drain()/set_worker_count() wait here
@@ -141,8 +145,8 @@ class TileWorkerPool {
 
   // Current tile phase helpers can join (null when none). The generation is
   // bumped per publish so helpers never confuse two phases at one address;
-  // the helper count lives here (not on the phase) so the final
-  // decrement/notify cannot race phase destruction.
+  // the helper count lives here (not on the phase) so the final decrement
+  // cannot race phase destruction.
   std::atomic<Phase*> active_phase_{nullptr};
   std::uint64_t phase_generation_ = 0;
   std::atomic<int> helpers_in_phase_{0};

@@ -7,6 +7,7 @@
 #include "trace/metrics.h"
 #include "util/faultpoint.h"
 #include "util/retry.h"
+#include "util/watchdog.h"
 
 namespace cycada::ios_gl::eglbridge {
 
@@ -57,26 +58,44 @@ StatusOr<BridgeConnection> aegl_bridge_init(int gles_version, int width,
         }
         // Rungs 1-2 of the degradation ladder: a fresh (or warm-pooled)
         // replica, retried with backoff since injected and transient
-        // failures are expected to clear.
-        StatusOr<BridgeConnection> attempt = util::retry_with_backoff(
-            3, [&]() -> StatusOr<BridgeConnection> {
-              const int connection_id = egl->eglReInitializeMC();
-              if (connection_id <= 0) {
-                return Status::resource_exhausted("eglReInitializeMC failed");
-              }
-              android_gl::UiWrapper* wrapper =
-                  egl->connection_by_id(connection_id)->ui_wrapper;
-              const Status init =
-                  wrapper->reinitialize(gles_version, width, height);
-              if (!init.is_ok()) {
-                // Park the half-built replica back in the pool machinery
-                // before the next attempt (reuse tears it down again).
-                (void)egl->eglReleaseMC(connection_id);
-                return init;
-              }
-              return BridgeConnection{connection_id, wrapper, false};
-            });
+        // failures are expected to clear. When the watchdog has the kEgl
+        // domain degraded (repeated stalled/failed persona work during
+        // init), skip straight to the shared fallback instead of burning
+        // more stalled attempts — the shared copy needs no dlforce and no
+        // fresh vendor init.
+        StatusOr<BridgeConnection> attempt =
+            util::Watchdog::instance().degraded(util::WatchdogDomain::kEgl)
+                ? StatusOr<BridgeConnection>(Status::resource_exhausted(
+                      "watchdog: egl init degraded, using shared fallback"))
+                : util::retry_with_backoff(
+                      3, [&]() -> StatusOr<BridgeConnection> {
+                        WATCHDOG_SCOPE(util::WatchdogDomain::kEgl,
+                                       util::kWatchdogEglBudgetMs);
+                        const int connection_id = egl->eglReInitializeMC();
+                        if (connection_id <= 0) {
+                          return Status::resource_exhausted(
+                              "eglReInitializeMC failed");
+                        }
+                        android_gl::UiWrapper* wrapper =
+                            egl->connection_by_id(connection_id)->ui_wrapper;
+                        const Status init =
+                            wrapper->reinitialize(gles_version, width, height);
+                        if (!init.is_ok()) {
+                          // Park the half-built replica back in the pool
+                          // machinery before the next attempt (reuse tears
+                          // it down again).
+                          (void)egl->eglReleaseMC(connection_id);
+                          return init;
+                        }
+                        return BridgeConnection{connection_id, wrapper, false};
+                      });
         if (attempt.is_ok()) return attempt;
+        if (util::Watchdog::instance().degraded(util::WatchdogDomain::kEgl)) {
+          static trace::Counter& shared_forced =
+              trace::MetricsRegistry::instance().counter(
+                  "watchdog.egl.shared_forced");
+          shared_forced.add();
+        }
         // Rung 3: the refcounted shared connection. Degraded but alive —
         // and deliberately outside fault injection: the last rung of the
         // ladder must not itself be injectable.

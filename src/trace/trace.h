@@ -13,7 +13,9 @@
 // "diplomat" (the 11-step call procedure), "impersonation" (thread identity
 // acquire/release and TLS migration), "linker" (dlopen/dlforce/dlsym),
 // "gl" (EAGL/EGL context operations), "frame" (SurfaceFlinger composition),
-// "gpu" (the tile pipeline's bin/raster/tile spans, docs/PIPELINE.md).
+// "gpu" (the tile pipeline's bin/raster/tile spans, docs/PIPELINE.md),
+// "watchdog" (overdue-scope flags and recovery-ladder rung moves,
+// docs/ROBUSTNESS.md).
 #pragma once
 
 #include <atomic>

@@ -1,6 +1,8 @@
 #include "util/faultpoint.h"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "trace/metrics.h"
 #include "util/log.h"
@@ -46,7 +48,9 @@ FaultPoint::FaultPoint(std::string name)
       hits_metric_(&trace::MetricsRegistry::instance().counter(
           "fault." + name_ + ".hits")),
       fires_metric_(&trace::MetricsRegistry::instance().counter(
-          "fault." + name_ + ".fires")) {}
+          "fault." + name_ + ".fires")),
+      stalls_metric_(&trace::MetricsRegistry::instance().counter(
+          "fault." + name_ + ".stalls")) {}
 
 void FaultPoint::arm_once(std::uint64_t nth) {
   param_.store(nth == 0 ? 1 : nth, std::memory_order_relaxed);
@@ -67,14 +71,44 @@ void FaultPoint::arm_probability(std::uint32_t ppm, std::uint64_t seed) {
                  std::memory_order_release);
 }
 
+void FaultPoint::arm_stall(std::uint64_t ms, std::uint64_t every_nth) {
+  stall_every_.store(every_nth == 0 ? 1 : every_nth,
+                     std::memory_order_relaxed);
+  stall_ms_.store(ms, std::memory_order_release);
+}
+
+void FaultPoint::disarm_stall() {
+  stall_ms_.store(0, std::memory_order_release);
+}
+
 void FaultPoint::disarm() {
   trigger_.store(static_cast<int>(FaultTrigger::kDisarmed),
                  std::memory_order_release);
+  disarm_stall();
 }
 
 void FaultPoint::reset_stats() {
   hits_.store(0, std::memory_order_relaxed);
   fires_.store(0, std::memory_order_relaxed);
+  stall_hits_.store(0, std::memory_order_relaxed);
+  stalls_.store(0, std::memory_order_relaxed);
+}
+
+void FaultPoint::maybe_stall() {
+  // The stall channel honors suppression exactly like the fire channel:
+  // a recovery rung must not be delayable any more than it is failable.
+  if (FaultSuppressionScope::active()) return;
+  const std::uint64_t ms = stall_ms_.load(std::memory_order_relaxed);
+  if (ms == 0) return;
+  const std::uint64_t hit =
+      stall_hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t every = stall_every_.load(std::memory_order_relaxed);
+  if (hit % (every == 0 ? 1 : every) != 0) return;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  stalls_metric_->add();
+  // A bounded sleep, not a true hang: the injected delay just has to
+  // overrun a watchdog budget, and tests must still terminate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 thread_local int FaultSuppressionScope::t_depth = 0;
@@ -198,6 +232,16 @@ bool FaultRegistry::configure(std::string_view spec) {
           CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad every-N in '" << item << "'";
           return false;
         }
+      } else if (trigger == "stall") {
+        std::uint64_t every = 1;
+        if (parse_u64(arg1, value) && value > 0 &&
+            (arg2.empty() || (parse_u64(arg2, every) && every > 0))) {
+          target.arm_stall(value, every);
+        } else {
+          CYCADA_LOG(kWarn) << "CYCADA_FAULT: bad stall ms/N in '" << item
+                            << "'";
+          return false;
+        }
       } else if (trigger == "prob") {
         std::uint64_t seed = 1;
         if (parse_u64(arg1, value) && value <= 1000000 &&
@@ -210,7 +254,7 @@ bool FaultRegistry::configure(std::string_view spec) {
         }
       } else {
         CYCADA_LOG(kWarn) << "CYCADA_FAULT: unknown trigger in '" << item
-                          << "' (want once|every|prob|off)";
+                          << "' (want once|every|prob|stall|off)";
         return false;
       }
       return true;
@@ -247,8 +291,8 @@ std::vector<FaultPointInfo> FaultRegistry::snapshot() const {
   std::vector<FaultPointInfo> out;
   out.reserve(points_.size());
   for (const auto& point : points_) {
-    out.push_back(
-        {point->name(), point->trigger(), point->hits(), point->fires()});
+    out.push_back({point->name(), point->trigger(), point->hits(),
+                   point->fires(), point->stall_ms(), point->stalls()});
   }
   return out;
 }

@@ -17,14 +17,23 @@
 //   CYCADA_FAULT="gmem.allocate=prob:250000:42"   # 25% with seed 42
 //
 // Spec grammar (comma-separated): name=once | once:K | every:N |
-// prob:PPM[:SEED] | off. Unknown names register a new point (tests use
-// ad-hoc points); malformed entries are logged and skipped. The pseudo-name
-// "all" applies one trigger to every catalog probe at once — chaos mode:
+// prob:PPM[:SEED] | stall:MS[:N] | off. Unknown names register a new point
+// (tests use ad-hoc points); malformed entries are logged and skipped. The
+// pseudo-name "all" applies one trigger to every catalog probe at once —
+// chaos mode:
 //
 //   CYCADA_FAULT="all=prob:1000:7"   # 0.1% on every built-in probe, seed 7
 //
 // Every evaluation and every fire is exported through the PR 1 metrics
 // layer as fault.<name>.hits / fault.<name>.fires.
+//
+// The stall channel is orthogonal to the fire trigger: `stall:MS[:N]`
+// makes every Nth suppression-free traversal of the probe sleep MS
+// milliseconds *without* returning failure (hang-class injection — the
+// watchdog's food, docs/ROBUSTNESS.md). Because the channels are
+// independent, `name=stall:80,name=every:1` injects a stalled *and*
+// failing traversal, which is how the forced-close regression test drives
+// both at once. Stalls are tallied as fault.<name>.stalls.
 #pragma once
 
 #include <atomic>
@@ -76,8 +85,12 @@ class FaultPoint {
 
   const std::string& name() const { return name_; }
 
-  // The probe. Disarmed cost: one relaxed load + branch.
+  // The probe. Disarmed cost: two relaxed loads + branches (fire trigger
+  // and stall channel). A traversal first serves any armed stall, then
+  // evaluates the fire trigger, so a single traversal can both delay and
+  // fail.
   bool should_fail() {
+    if (stall_ms_.load(std::memory_order_relaxed) != 0) maybe_stall();
     if (trigger_.load(std::memory_order_relaxed) ==
         static_cast<int>(FaultTrigger::kDisarmed)) {
       return false;
@@ -90,6 +103,11 @@ class FaultPoint {
   void arm_every(std::uint64_t n);
   // ppm in [0, 1000000]; the seed makes the fire sequence reproducible.
   void arm_probability(std::uint32_t ppm, std::uint64_t seed = 1);
+  // Arm the orthogonal stall channel: every every_nth suppression-free
+  // traversal sleeps ms milliseconds (no failure returned).
+  void arm_stall(std::uint64_t ms, std::uint64_t every_nth = 1);
+  void disarm_stall();
+  // Disarms both the fire trigger and the stall channel.
   void disarm();
 
   FaultTrigger trigger() const {
@@ -101,10 +119,17 @@ class FaultPoint {
   std::uint64_t fires() const {
     return fires_.load(std::memory_order_relaxed);
   }
+  std::uint64_t stall_ms() const {
+    return stall_ms_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
   void reset_stats();
 
  private:
   bool evaluate();
+  void maybe_stall();
 
   const std::string name_;
   std::atomic<int> trigger_{static_cast<int>(FaultTrigger::kDisarmed)};
@@ -112,8 +137,14 @@ class FaultPoint {
   std::atomic<std::uint64_t> rng_state_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> fires_{0};
+  // Stall channel (orthogonal to the fire trigger above).
+  std::atomic<std::uint64_t> stall_ms_{0};
+  std::atomic<std::uint64_t> stall_every_{1};
+  std::atomic<std::uint64_t> stall_hits_{0};
+  std::atomic<std::uint64_t> stalls_{0};
   trace::Counter* hits_metric_;
   trace::Counter* fires_metric_;
+  trace::Counter* stalls_metric_;
 };
 
 struct FaultPointInfo {
@@ -121,6 +152,8 @@ struct FaultPointInfo {
   FaultTrigger trigger;
   std::uint64_t hits;
   std::uint64_t fires;
+  std::uint64_t stall_ms;
+  std::uint64_t stalls;
 };
 
 // Process-wide fault-point directory. The constructor eagerly registers the

@@ -76,6 +76,7 @@ const char* lock_level_name(int level) {
     case LockLevel::kThreadTls: return "thread-tls";
     case LockLevel::kEpoch: return "epoch";
     case LockLevel::kFaultRegistry: return "fault-registry";
+    case LockLevel::kWatchdog: return "watchdog";
     case LockLevel::kMetrics: return "metrics";
     case LockLevel::kTracer: return "tracer";
     case LockLevel::kLogEmit: return "log-emit";

@@ -570,6 +570,43 @@ TEST_F(AnalyzeTest, LintFlagsRefCaptureInBatchableDispatchSite) {
   EXPECT_TRUE(elsewhere.clean());
 }
 
+TEST_F(AnalyzeTest, LintFlagsUnboundedWaitInSupervisedDomains) {
+  // A bare .wait( in a watchdog-supervised directory can hang forever on a
+  // stalled producer — the watchdog can flag the scope but nothing inside
+  // the process can unwedge the waiter.
+  Report report;
+  lint_source_file("src/gpu/rogue.cpp",
+                   "void f() { done_cv_.wait(lock); }\n", report);
+  EXPECT_TRUE(report.has_rule("watchdog.unbounded-wait"));
+
+  Report egl;
+  lint_source_file("src/android_gl/rogue.cpp",
+                   "frame_cv_.wait(lock, [&] { return ready_; });\n", egl);
+  EXPECT_TRUE(egl.has_rule("watchdog.unbounded-wait"));
+
+  // The deadline-sliced form stays responsive and is the sanctioned idiom.
+  Report sliced;
+  lint_source_file(
+      "src/gpu/fine.cpp",
+      "done_cv_.wait_for(lock, std::chrono::milliseconds(5));\n", sliced);
+  EXPECT_TRUE(sliced.clean());
+
+  // Idle parking (a worker owing nothing to anyone) is legitimate when the
+  // line says why.
+  Report parked;
+  lint_source_file("src/gpu/fine.cpp",
+                   "work_cv_.wait(lock);  "
+                   "// cycada-lint: allow(idle park, owes no frame)\n",
+                   parked);
+  EXPECT_TRUE(parked.clean());
+
+  // Outside the supervised directories the rule never applies.
+  Report elsewhere;
+  lint_source_file("src/core/rogue.cpp",
+                   "void f() { done_cv_.wait(lock); }\n", elsewhere);
+  EXPECT_TRUE(elsewhere.clean());
+}
+
 // --- Classification universe (Table 2) ---------------------------------------
 
 TEST(ClassificationTest, Table2CountsMatchThePaper) {

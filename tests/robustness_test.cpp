@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -20,6 +22,7 @@
 #include "glcore/engine.h"
 #include "glport/system_config.h"
 #include "gpu/device.h"
+#include "gpu/pipeline.h"
 #include "ios_gl/eagl.h"
 #include "ios_gl/gles.h"
 #include "iosurface/iosurface.h"
@@ -27,10 +30,13 @@
 #include "kernel/libc.h"
 #include "passmark/passmark.h"
 #include "linker/linker.h"
+#include "trace/metrics.h"
+#include "util/clock.h"
 #include "util/epoch.h"
 #include "util/faultpoint.h"
 #include "util/lock_order.h"
 #include "util/retry.h"
+#include "util/watchdog.h"
 #include "util/rng.h"
 #include "webkit/browser.h"
 
@@ -1050,6 +1056,378 @@ TEST(RobustnessFaultSafetyTest, DetectsALeakedLock) {
   analyze::check_fault_safety(clean);
   EXPECT_FALSE(clean.has_rule("fault.lock-leak"));
   graph.reset();
+}
+
+// --- Stall channel: hang-class fault injection -------------------------------
+
+TEST(RobustnessFaultStallTest, StallDelaysWithoutFailingAndRespectsCadence) {
+  util::FaultPoint& point =
+      util::FaultRegistry::instance().point("test.stall.delay");
+  point.disarm();
+  point.reset_stats();
+  point.arm_stall(30, /*every_nth=*/2);
+  // 1st traversal: off-cadence, no sleep, no failure.
+  EXPECT_FALSE(point.should_fail());
+  EXPECT_EQ(point.stalls(), 0u);
+  // 2nd traversal: sleeps the armed 30 ms but still reports no failure —
+  // the stall channel is orthogonal to the fire trigger.
+  const std::int64_t start = now_ns();
+  EXPECT_FALSE(point.should_fail());
+  EXPECT_GE(now_ns() - start, 30'000'000);
+  EXPECT_EQ(point.stalls(), 1u);
+  EXPECT_EQ(point.fires(), 0u);
+  // disarm_stall clears the channel; the next traversal is instant again.
+  point.disarm_stall();
+  EXPECT_FALSE(point.should_fail());
+  EXPECT_EQ(point.stalls(), 1u);
+  point.disarm();
+}
+
+TEST(RobustnessFaultStallTest, SuppressionScopeMasksTheStallChannel) {
+  util::FaultPoint& point =
+      util::FaultRegistry::instance().point("test.stall.suppress");
+  point.disarm();
+  point.reset_stats();
+  point.arm_stall(40, 1);
+  {
+    // A recovery rung must not be delayable any more than it is failable:
+    // suppressed traversals neither sleep nor tally.
+    util::FaultSuppressionScope no_faults;
+    EXPECT_FALSE(point.should_fail());
+    EXPECT_EQ(point.stalls(), 0u);
+  }
+  EXPECT_FALSE(point.should_fail());
+  EXPECT_EQ(point.stalls(), 1u);
+  point.disarm();
+}
+
+TEST(RobustnessFaultConfigTest, StallGrammarArmsTheOrthogonalChannel) {
+  util::FaultRegistry& registry = util::FaultRegistry::instance();
+  util::FaultPoint& point = registry.point("test.cfg.stall");
+  point.disarm();
+  point.reset_stats();
+  EXPECT_TRUE(registry.configure("test.cfg.stall=stall:25"));
+  EXPECT_EQ(point.stall_ms(), 25u);
+  // stall arms only its own channel: the fire trigger stays disarmed.
+  EXPECT_EQ(point.trigger(), util::FaultTrigger::kDisarmed);
+  EXPECT_TRUE(registry.configure("test.cfg.stall=stall:40:3"));
+  EXPECT_EQ(point.stall_ms(), 40u);
+  // Both channels arm independently from one spec — the forced-close
+  // regression drives a stalled *and* failing traversal this way.
+  EXPECT_TRUE(
+      registry.configure("test.cfg.stall=stall:30,test.cfg.stall=every:2"));
+  EXPECT_EQ(point.stall_ms(), 30u);
+  EXPECT_EQ(point.trigger(), util::FaultTrigger::kEveryNth);
+  // off clears both channels.
+  EXPECT_TRUE(registry.configure("test.cfg.stall=off"));
+  EXPECT_EQ(point.stall_ms(), 0u);
+  EXPECT_EQ(point.trigger(), util::FaultTrigger::kDisarmed);
+  // Rejected: zero/garbage milliseconds, zero cadence, missing argument.
+  EXPECT_FALSE(registry.configure("test.cfg.stall=stall:0"));
+  EXPECT_FALSE(registry.configure("test.cfg.stall=stall:abc"));
+  EXPECT_FALSE(registry.configure("test.cfg.stall=stall:5:0"));
+  EXPECT_FALSE(registry.configure("test.cfg.stall=stall"));
+  EXPECT_EQ(point.stall_ms(), 0u);
+  registry.disarm_all();
+}
+
+// --- Watchdog supervision ----------------------------------------------------
+
+class RobustnessWatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Watchdog& watchdog = util::Watchdog::instance();
+    watchdog.set_enabled(true);
+    watchdog.set_budget_override_ms(0);
+    watchdog.reset();
+    util::FaultRegistry::instance().disarm_all();
+  }
+  void TearDown() override {
+    util::Watchdog& watchdog = util::Watchdog::instance();
+    watchdog.set_enabled(true);
+    watchdog.set_budget_override_ms(0);
+    watchdog.reset();
+    util::FaultRegistry::instance().disarm_all();
+  }
+
+  static std::uint64_t counter(const char* name) {
+    return trace::MetricsRegistry::instance().counter(name).value();
+  }
+};
+
+TEST_F(RobustnessWatchdogTest, OverdueScopeEscalatesAndCleanFramesRecover) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  watchdog.set_budget_override_ms(10);
+  const std::uint64_t overdue_before = counter("watchdog.batch.overdue");
+  const std::uint64_t up_before = counter("watchdog.rung_up");
+  {
+    WATCHDOG_SCOPE(util::WatchdogDomain::kBatch,
+                   util::kWatchdogBatchBudgetMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  // Whether the monitor or the destructor noticed first, exactly one side
+  // escalated (flagged_serial dedup): one overdue event, one rung.
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kBatch), 1);
+  EXPECT_TRUE(watchdog.degraded(util::WatchdogDomain::kBatch));
+  EXPECT_EQ(counter("watchdog.batch.overdue"), overdue_before + 1);
+  EXPECT_EQ(counter("watchdog.rung_up"), up_before + 1);
+
+  const std::uint64_t down_before = counter("watchdog.rung_down");
+  // The first frame after a stall absorbs the stalled-since-frame flag;
+  // then recovery_frames() consecutive clean frames drop one rung.
+  watchdog.note_frame();
+  for (int i = 0; i < watchdog.recovery_frames(); ++i) {
+    EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kBatch), 1) << "frame " << i;
+    watchdog.note_frame();
+  }
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kBatch), 0);
+  EXPECT_EQ(counter("watchdog.rung_down"), down_before + 1);
+}
+
+TEST_F(RobustnessWatchdogTest, MonitorFlagsAStuckScopeWhileItStillRuns) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  watchdog.set_budget_override_ms(10);
+  util::WatchdogScope scope(util::WatchdogDomain::kCompositor,
+                            util::kWatchdogCompositorBudgetMs);
+  // The whole point of the monitor thread: escalation must not wait for
+  // the stuck thread to come back and run its destructor. Poll the rung
+  // while the scope is still open.
+  const std::int64_t deadline = now_ns() + 2'000'000'000;
+  while (watchdog.rung(util::WatchdogDomain::kCompositor) == 0 &&
+         now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(watchdog.rung(util::WatchdogDomain::kCompositor), 0)
+      << "monitor never flagged an overdue scope still in flight";
+  EXPECT_TRUE(scope.overdue());
+}
+
+TEST_F(RobustnessWatchdogTest, DisabledWatchdogMakesScopesNoOps) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  watchdog.set_budget_override_ms(5);
+  watchdog.set_enabled(false);
+  {
+    WATCHDOG_SCOPE(util::WatchdogDomain::kBatch,
+                   util::kWatchdogBatchBudgetMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kBatch), 0);
+  watchdog.set_enabled(true);
+}
+
+// --- Recovery ladder: every rung fires under stall and climbs back -----------
+
+class RobustnessLadderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    glport::apply_system_config(glport::SystemConfig::kCycadaIos);
+    util::FaultRegistry::instance().disarm_all();
+    util::Watchdog::instance().set_budget_override_ms(0);
+    util::Watchdog::instance().reset();
+    saved_workers_ = gpu::TileWorkerPool::instance().worker_count();
+  }
+  void TearDown() override {
+    util::FaultRegistry::instance().disarm_all();
+    util::Watchdog::instance().set_budget_override_ms(0);
+    util::Watchdog::instance().reset();
+    gpu::TileWorkerPool::instance().set_worker_count(saved_workers_);
+    gpu::GpuDevice::instance().reset();
+  }
+
+  static std::uint64_t counter(const char* name) {
+    return trace::MetricsRegistry::instance().counter(name).value();
+  }
+
+  // Clears hysteresis: absorb any stalled-since-frame flag, then feed
+  // enough clean frames to walk every domain from kMaxRung back to 0.
+  static void run_clean_frames() {
+    util::Watchdog& watchdog = util::Watchdog::instance();
+    const int frames =
+        1 + util::Watchdog::kMaxRung * watchdog.recovery_frames();
+    for (int i = 0; i < frames; ++i) watchdog.note_frame();
+  }
+
+  // One small frame through the device: a clear plus one triangle.
+  static void render_frame() {
+    gpu::GpuDevice& dev = gpu::GpuDevice::instance();
+    const gpu::RenderTargetHandle target = dev.create_target(128, 128, false);
+    dev.submit_clear(target, std::nullopt, true, {0.f, 0.f, 0.f, 1.f}, false,
+                     1.f);
+    gpu::ShadedVertex a, b, c;
+    a.clip_pos = {-1.f, -1.f, 0.f, 1.f};
+    b.clip_pos = {1.f, -1.f, 0.f, 1.f};
+    c.clip_pos = {0.f, 1.f, 0.f, 1.f};
+    dev.submit_draw(target, gpu::RasterState{}, gpu::PrimitiveKind::kTriangles,
+                    {a, b, c});
+    dev.submit_frame();
+    dev.finish();
+    EXPECT_TRUE(dev.destroy_target(target).is_ok());
+  }
+
+  int saved_workers_ = 1;
+};
+
+TEST_F(RobustnessLadderTest, StuckTilePhaseDegradesToSerialAndClimbsBack) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  gpu::TileWorkerPool::instance().set_worker_count(2);
+  watchdog.set_budget_override_ms(20);
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("gpu.tile_worker");
+  fault.arm_stall(60, 1);  // every helper traversal sleeps past the budget
+  // A helper that joins a phase stalls it past the budget and the phase
+  // scope escalates. On a loaded single-core host the helper may miss a
+  // given (tiny) phase entirely, so drive frames until one sticks.
+  for (int frame = 0;
+       frame < 20 && !watchdog.degraded(util::WatchdogDomain::kGpuPhase);
+       ++frame) {
+    render_frame();
+  }
+  fault.disarm_stall();
+  ASSERT_TRUE(watchdog.degraded(util::WatchdogDomain::kGpuPhase))
+      << "no stalled phase escalated in 20 frames";
+
+  // While the rung is up, frames raster serial (and are counted as forced).
+  const std::uint64_t forced_before = counter("watchdog.serial_forced");
+  render_frame();
+  EXPECT_GT(counter("watchdog.serial_forced"), forced_before);
+
+  // Hysteresis climbs back to full-parallel: clean frames clear the rung
+  // and the next frame is not forced serial.
+  run_clean_frames();
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kGpuPhase), 0);
+  const std::uint64_t forced_recovered = counter("watchdog.serial_forced");
+  render_frame();
+  EXPECT_EQ(counter("watchdog.serial_forced"), forced_recovered);
+}
+
+TEST_F(RobustnessLadderTest, OverduePresentFenceForcesRetireAndDropsFrame) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  gpu::GpuDevice& dev = gpu::GpuDevice::instance();
+  gpu::TileWorkerPool::instance().set_worker_count(2);
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("gpu.tile_worker");
+
+  const gpu::RenderTargetHandle target = dev.create_target(128, 128, false);
+  dev.submit_clear(target, std::nullopt, true, {1.f, 0.f, 0.f, 1.f}, false,
+                   1.f);
+  const gpu::FenceHandle fence = dev.submit_fence();
+  fault.arm_stall(120, 1);  // the in-flight frame stalls well past the wait
+  dev.submit_frame();  // async: in_flight_ until the consumer retires it
+  const std::uint64_t timeouts_before = counter("watchdog.present.timeouts");
+  // The bounded wait gives up instead of hanging the present path: the
+  // caller scans out the stale front buffer and drops the frame.
+  EXPECT_FALSE(dev.wait_fence_for(fence, 10));
+  EXPECT_EQ(counter("watchdog.present.timeouts"), timeouts_before + 1);
+  EXPECT_TRUE(watchdog.degraded(util::WatchdogDomain::kPresent));
+  fault.disarm_stall();
+
+  // The frame was dropped, not lost: once the stall clears, the same fence
+  // retires and the ladder climbs back.
+  dev.finish();
+  EXPECT_TRUE(dev.fence_signaled(fence));
+  run_clean_frames();
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kPresent), 0);
+  EXPECT_TRUE(dev.destroy_target(target).is_ok());
+}
+
+TEST_F(RobustnessLadderTest, StalledBatchCrossingFallsBackToPlainCalls) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  core::DiplomatEntry& entry = core::DiplomatRegistry::instance().entry(
+      "glEnable", core::DiplomatPattern::kDirect);
+  ASSERT_TRUE(entry.batchable);
+
+  watchdog.note_stall(util::WatchdogDomain::kCrossing);
+  const std::uint64_t fallback_before = counter("watchdog.batch.fallback");
+  {
+    core::BatchScope scope;
+    // Degraded crossing: stop amortizing, run ordered plain calls.
+    EXPECT_FALSE(core::batch_record(entry, {}, [] {}));
+    EXPECT_EQ(core::pending_batched_calls(), 0u);
+  }
+  EXPECT_EQ(counter("watchdog.batch.fallback"), fallback_before + 1);
+
+  // Hysteresis clears the rung and batching resumes.
+  run_clean_frames();
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kCrossing), 0);
+  {
+    core::BatchScope scope;
+    EXPECT_TRUE(core::batch_record(entry, {}, [] {}));
+    core::flush_current_batch(core::BatchFlushReason::kExplicit);
+  }
+}
+
+// The PR's regression pin: a batch whose close both FAILS and STALLS must
+// still restore the caller's persona inside a watchdog-backed bound — one
+// stalled attempt, not kCrossingRetries of them serialized back to back.
+TEST_F(RobustnessLadderTest, ForcedCloseStaysBoundedUnderStall) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  util::FaultPoint& fault =
+      util::FaultRegistry::instance().point("kernel.set_persona");
+  const kernel::Persona caller =
+      kernel::Kernel::instance().current_thread().persona();
+
+  // Open a real crossing cleanly first; only the close is hostile.
+  const std::uint64_t token = core::detail::batched_crossing_begin();
+  ASSERT_NE(token, 0u);
+
+  fault.reset_stats();
+  watchdog.set_budget_override_ms(10);
+  ASSERT_TRUE(util::FaultRegistry::instance().configure(
+      "kernel.set_persona=stall:80,kernel.set_persona=every:1"));
+  const std::uint64_t bounded_before = counter("watchdog.close.bounded");
+  const std::uint64_t forced_before = counter("dispatch.batch.close_forced");
+  EXPECT_FALSE(core::detail::batched_crossing_end(token, caller, 1));
+  fault.disarm();
+  watchdog.set_budget_override_ms(0);
+
+  // Exactly one stalled+failed attempt burned the whole budget; the
+  // deadline then cut the retry loop and the (suppressed, so neither
+  // failable nor delayable) forced close repaired the persona.
+  EXPECT_EQ(fault.fires(), 1u);
+  EXPECT_EQ(fault.stalls(), 1u);
+  EXPECT_EQ(counter("watchdog.close.bounded"), bounded_before + 1);
+  EXPECT_EQ(counter("dispatch.batch.close_forced"), forced_before + 1);
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(), caller);
+
+  // The token was cleared: a fresh crossing opens and closes normally.
+  const std::uint64_t next = core::detail::batched_crossing_begin();
+  ASSERT_NE(next, 0u);
+  EXPECT_TRUE(core::detail::batched_crossing_end(next, caller, 1));
+  EXPECT_EQ(kernel::Kernel::instance().current_thread().persona(), caller);
+
+  analyze::Report report;
+  analyze::check_fault_safety(report);
+  EXPECT_TRUE(report.clean()) << [&report] {
+    std::ostringstream os;
+    report.print(os);
+    return os.str();
+  }();
+}
+
+TEST_F(RobustnessLadderTest, EglRungSendsInitStraightToSharedFallback) {
+  util::Watchdog& watchdog = util::Watchdog::instance();
+  watchdog.note_stall(util::WatchdogDomain::kEgl);
+  const std::uint64_t shared_before = counter("watchdog.egl.shared_forced");
+  {
+    // Rungs 1-2 (fresh/warm replica) are skipped entirely: no point burning
+    // more stalled attempts when init work is already known to hang.
+    auto context = ios_gl::EAGLContext::init_with_api(
+        ios_gl::EAGLRenderingAPI::kOpenGLES2, 16, 16);
+    ASSERT_TRUE(context.is_ok());
+    EXPECT_TRUE((*context)->degraded());
+    EXPECT_EQ(counter("watchdog.egl.shared_forced"), shared_before + 1);
+    ios_gl::EAGLContext::clear_current_context();
+  }
+
+  // Clean frames clear the rung; the next init mints a real replica again.
+  run_clean_frames();
+  EXPECT_EQ(watchdog.rung(util::WatchdogDomain::kEgl), 0);
+  auto recovered = ios_gl::EAGLContext::init_with_api(
+      ios_gl::EAGLRenderingAPI::kOpenGLES2, 16, 16);
+  ASSERT_TRUE(recovered.is_ok());
+  EXPECT_FALSE((*recovered)->degraded());
+  EXPECT_EQ(counter("watchdog.egl.shared_forced"), shared_before + 1);
+  ios_gl::EAGLContext::clear_current_context();
 }
 
 // --- Trace capture under fault injection -------------------------------------

@@ -285,10 +285,12 @@ int main(int argc, char** argv) {
                 second.value()->degraded() ? "yes" : "no");
     for (const util::FaultPointInfo& info :
          util::FaultRegistry::instance().snapshot()) {
-      if (info.hits == 0) continue;
-      std::printf("  fault %s: %llu hit(s), %llu fire(s)\n", info.name.c_str(),
+      if (info.hits == 0 && info.stalls == 0) continue;
+      std::printf("  fault %s: %llu hit(s), %llu fire(s), %llu stall(s)\n",
+                  info.name.c_str(),
                   static_cast<unsigned long long>(info.hits),
-                  static_cast<unsigned long long>(info.fires));
+                  static_cast<unsigned long long>(info.fires),
+                  static_cast<unsigned long long>(info.stalls));
     }
     for (const trace::CounterSnapshot& counter :
          trace::MetricsRegistry::instance().snapshot().counters) {
