@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Produces the committed benchmark baseline for this PR (BENCH_pr9.json):
+# Produces the committed benchmark baseline for this PR (BENCH_pr10.json):
 # a Release build of the bench targets, each run with CYCADA_BENCH_JSON
 # pointed at a temp file, merged into one document whose schema is described
 # in docs/BENCHMARKING.md. Counters are merged flat; histograms keep their
@@ -11,16 +11,19 @@
 # it too; the chaos-soak leg (docs/ROBUSTNESS.md) records the watchdog's
 # escalation/recovery counters and stall histograms under deterministic
 # fault injection (soak.* keys — informational in bench_compare.sh, since
-# they measure injected faults, not code speed).
+# they measure injected faults, not code speed); the fleet leg
+# (docs/SESSIONS.md) drives 16 concurrent sessions through cycada_fleet so
+# multi-app throughput and frame-latency tails (fleet.frame_p99_ns) ride
+# the lower-is-better gate.
 # From the repo root:
 #
-#   ./scripts/bench_baseline.sh                # writes BENCH_pr9.json
+#   ./scripts/bench_baseline.sh                # writes BENCH_pr10.json
 #   BENCH_OUT=/tmp/b.json ./scripts/bench_baseline.sh
 #   BENCH_PR=6 ./scripts/bench_baseline.sh     # writes BENCH_pr6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${BENCH_PR:-9}"
+PR="${BENCH_PR:-10}"
 OUT="${BENCH_OUT:-BENCH_pr${PR}.json}"
 BUILD=build-bench
 
@@ -29,7 +32,7 @@ cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> building bench targets"
 cmake --build "${BUILD}" -j --target table3_microbench \
   table2_diplomat_breakdown cycada_trace_gen cycada_replay \
-  fig6_passmark >/dev/null
+  fig6_passmark cycada_fleet >/dev/null
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
@@ -53,6 +56,10 @@ echo "==> running fig6 chaos soak (4s budget, seed 42)"
 CYCADA_BENCH_JSON="${tmpdir}/soak.json" CYCADA_PASSMARK_SOAK_MS=4000 \
   CYCADA_WATCHDOG_BUDGET_MS=50 CYCADA_CHAOS_SEED=42 \
   "./${BUILD}/bench/fig6_passmark" >/dev/null
+echo "==> running cycada_fleet (16 sessions, 4 frames, verified)"
+CYCADA_BENCH_JSON="${tmpdir}/fleet.json" \
+  "./${BUILD}/tools/cycada_fleet" --sessions 16 --frames 4 --verify \
+  >/dev/null
 
 # Merge the two bench documents (shell-only; no python/jq dependency). Each
 # emits {"counters":{...},"histograms":{...}}; the counters object is flat
@@ -83,13 +90,15 @@ join_nonempty() {
     "$(counters "${tmpdir}/table2.json")" \
     "$(counters "${tmpdir}/replay.json")" \
     "$(counters "${tmpdir}/sweep.json")" \
-    "$(counters "${tmpdir}/soak.json")")"
+    "$(counters "${tmpdir}/soak.json")" \
+    "$(counters "${tmpdir}/fleet.json")")"
   printf '},"histograms":{'
   printf '%s' "$(join_nonempty "$(histograms "${tmpdir}/table3.json")" \
     "$(histograms "${tmpdir}/table2.json")" \
     "$(histograms "${tmpdir}/replay.json")" \
     "$(histograms "${tmpdir}/sweep.json")" \
-    "$(histograms "${tmpdir}/soak.json")")"
+    "$(histograms "${tmpdir}/soak.json")" \
+    "$(histograms "${tmpdir}/fleet.json")")"
   printf '}}\n'
 } > "${OUT}"
 
@@ -97,3 +106,4 @@ echo "==> wrote ${OUT}"
 grep -o '"table3.dispatch.[^,}]*' "${OUT}" | sed 's/"//g'
 grep -o '"fig6.sweep.[^,}]*' "${OUT}" | sed 's/"//g'
 grep -o '"soak.watchdog.[^,}]*' "${OUT}" | sed 's/"//g' | head -8
+grep -o '"fleet.[^,}]*' "${OUT}" | sed 's/"//g'

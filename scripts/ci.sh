@@ -105,6 +105,16 @@ run env CYCADA_CLASSIFY_AMEND="${tracedir}/classification_amendments" \
   ./build/tools/cycada_replay "$(pwd)/tests/data/golden_sunspider.cyt" \
   --threads 2 --iterations 2 --verify
 
+# --- Fleet leg (docs/SESSIONS.md) --------------------------------------------
+# Eight concurrent sessions in one process, each replaying the golden
+# PassMark capture as in-session load before rendering. --verify gates
+# byte-identical per-session screen hashes against a default-session
+# reference, zero session errors, zero cross-session leak evidence, and
+# all sessions destroyed on exit.
+echo "==> cycada_fleet (8 sessions, golden PassMark replay, verified)"
+run ./build/tools/cycada_fleet --sessions 8 --frames 3 \
+  --replay "$(pwd)/tests/data/golden_passmark.cyt" --verify
+
 # --- Fault-injected analyzer run (docs/ROBUSTNESS.md) ------------------------
 # Persistent replica-mint failures: the workload must complete in degraded
 # mode with zero findings, not crash.
@@ -140,6 +150,6 @@ fi
 run cmake -B build-tsan -S . -DCYCADA_TSAN=ON
 run cmake --build build-tsan -j
 (cd build-tsan && run ctest --output-on-failure -j "$(nproc)" \
-  -R 'DispatchTest|Robustness|LinkerTest|BatchTest|PipelineTest')
+  -R 'DispatchTest|Robustness|LinkerTest|BatchTest|PipelineTest|SessionTest')
 
 echo "ci.sh: OK"

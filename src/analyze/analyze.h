@@ -160,6 +160,13 @@ void check_fault_safety(Report& report);
 //                             pre-resolved framebuffer work)
 void check_pipeline_isolation(Report& report);
 
+// Session isolation checker (docs/SESSIONS.md). Rules:
+//   session.cross-leak  a thread bound to one session touched another
+//                       session's kernel/linker/gpu/surface/gralloc/
+//                       iosurface state (one finding per live session and
+//                       layer with nonzero Session::check_access evidence)
+void check_session_isolation(Report& report);
+
 // --- Trace mining (docs/TRACING.md) -----------------------------------------
 
 struct TraceAuditOptions {

@@ -42,6 +42,7 @@ void check_all_runtime(Report& report) {
   check_replica_isolation(report);
   check_fault_safety(report);
   check_pipeline_isolation(report);
+  check_session_isolation(report);
 }
 
 }  // namespace cycada::analyze

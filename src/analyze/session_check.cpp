@@ -1,0 +1,28 @@
+// Session isolation checker (docs/SESSIONS.md). A fleet process hosts N
+// independent app sessions; nothing may reach across them. The evidence
+// comes from Session::check_access guards on the owning accessors' cold
+// paths: a thread bound to session A resolving session B's kernel, linker,
+// device, compositor or allocator records a per-layer counter on the
+// accessing session.
+#include <string>
+
+#include "analyze/analyze.h"
+#include "core/session.h"
+
+namespace cycada::analyze {
+
+void check_session_isolation(Report& report) {
+  for (const core::SessionRegistry::CrossLeak& leak :
+       core::SessionRegistry::instance().cross_leak_snapshot()) {
+    report.add("session", "session.cross-leak",
+               "s" + std::to_string(leak.session_id) + "(" +
+                   leak.session_name + "):" +
+                   core::session_layer_name(leak.layer),
+               std::to_string(leak.count) +
+                   " access(es) from threads bound to this session into "
+                   "another session's " +
+                   core::session_layer_name(leak.layer) + " state");
+  }
+}
+
+}  // namespace cycada::analyze

@@ -4,6 +4,7 @@
 
 #include "android_gl/ui_wrapper.h"
 #include "android_gl/vendor.h"
+#include "core/session.h"
 #include "gpu/device.h"
 #include "kernel/libc.h"
 #include "trace/metrics.h"
@@ -52,6 +53,17 @@ AndroidEgl::AndroidEgl() {
   tls_connection_key_ = kernel::libc::pthread_key_create();
   tls_context_key_ = kernel::libc::pthread_key_create();
   tls_error_key_ = kernel::libc::pthread_key_create();
+  // Per-session replica-pool policy: the hosting session may cap the live
+  // and warm replica pools (SessionConfig values of -1 keep the compiled
+  // defaults). Each session loads its own wrapper copy through its linker,
+  // so seeding at construction makes the limits naturally per-session.
+  const core::SessionConfig& config = core::Session::current().config();
+  if (config.max_live_replicas >= 0) {
+    max_live_replicas_ = config.max_live_replicas;
+  }
+  if (config.max_warm_replicas >= 0) {
+    max_warm_replicas_ = config.max_warm_replicas;
+  }
 }
 
 AndroidEgl::~AndroidEgl() {
@@ -613,11 +625,22 @@ AndroidEgl* open_android_egl() {
   if (!handle.is_ok()) return nullptr;
   auto* egl = static_cast<AndroidEgl*>(
       linker::Linker::instance().dlsym(handle.value(), "egl_wrapper"));
-  // The wrapper is process-shared; pin a reference so it is never unloaded
-  // (matches how libEGL stays resident for process lifetime). Pins from
-  // before a linker reset are stale but never dereferenced again.
-  static std::vector<linker::Handle>* pinned = new std::vector<linker::Handle>;
-  pinned->push_back(std::move(handle.value()));
+  // The wrapper stays resident for its session's lifetime (matches how
+  // libEGL stays resident for process lifetime). The pin lives in a session
+  // facet so a destroyed session releases its wrapper copy instead of
+  // leaking it; pins from before a linker reset are stale but never
+  // dereferenced again. Teardown tier 1, same as the linker facet: every
+  // library-holding facet must drop its handles in the linker tier so
+  // library-instance destructors (which reach into the kernel and GPU
+  // facets) never run after tier-0 state is gone. The pin is created after
+  // the linker, so within the tier it is released first and the linker's
+  // own teardown unloads the copies.
+  struct EglPin {
+    std::vector<linker::Handle> handles;
+  };
+  core::Session::current()
+      .facet<EglPin>(+[] { return new EglPin(); }, /*teardown_order=*/1)
+      .handles.push_back(std::move(handle.value()));
   return egl;
 }
 

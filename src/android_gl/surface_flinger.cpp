@@ -1,5 +1,7 @@
 #include "android_gl/surface_flinger.h"
 
+#include "core/session.h"
+
 #include <algorithm>
 #include <vector>
 
@@ -17,8 +19,13 @@ constexpr std::int64_t kFrameBudgetNs = 16'666'667;
 }  // namespace
 
 SurfaceFlinger& SurfaceFlinger::instance() {
-  static SurfaceFlinger* flinger = new SurfaceFlinger();
-  return *flinger;
+  // Per-session compositor facet: each session composes its own layer set.
+  // Default-session facets are immortal.
+  return core::Session::current().facet<SurfaceFlinger>(+[] {
+    SurfaceFlinger* flinger = new SurfaceFlinger();
+    flinger->owner_ = core::Session::constructing_owner();
+    return flinger;
+  });
 }
 
 void SurfaceFlinger::reset() {
@@ -30,6 +37,7 @@ void SurfaceFlinger::reset() {
 SurfaceFlinger::LayerId SurfaceFlinger::add_layer(EglSurface* surface, int x,
                                                   int y, int z_order,
                                                   float alpha) {
+  core::Session::check_access(owner_, core::SessionLayer::kSurface);
   std::lock_guard lock(mutex_);
   const LayerId id = next_id_++;
   layers_[id] = Layer{surface, x, y, z_order, std::clamp(alpha, 0.f, 1.f)};
@@ -66,6 +74,7 @@ std::size_t SurfaceFlinger::layer_count() const {
 
 Image SurfaceFlinger::compose(int display_width, int display_height) {
   TRACE_SCOPE("frame", "SurfaceFlinger.compose");
+  core::Session::check_access(owner_, core::SessionLayer::kSurface);
   // The composition handoff settles every layer's present fence; a layer
   // whose raster work is stuck would stall the whole display without this
   // supervision (the fence waits inside are themselves deadline-bounded).

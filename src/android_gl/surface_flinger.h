@@ -12,6 +12,10 @@
 #include "android_gl/egl.h"
 #include "util/image.h"
 
+namespace cycada::core {
+class Session;
+}  // namespace cycada::core
+
 namespace cycada::android_gl {
 
 class SurfaceFlinger {
@@ -35,8 +39,12 @@ class SurfaceFlinger {
   // last published.
   Image compose(int display_width, int display_height);
 
+  // The owning session (nullptr for directly constructed instances).
+  core::Session* owner() const { return owner_; }
+
  private:
   SurfaceFlinger() = default;
+  core::Session* owner_ = nullptr;  // set in instance()'s facet thunk
 
   struct Layer {
     EglSurface* surface = nullptr;

@@ -38,6 +38,8 @@
 
 namespace cycada::core {
 
+class Session;
+
 enum class DiplomatPattern : std::uint8_t {
   kDirect,         // straight invocation of one Android function
   kIndirect,       // small foreign-side wrapper redirecting/re-arranging
@@ -121,6 +123,10 @@ struct DiplomatEntry {
   // data behind Figures 7-10, now with percentiles rather than only means.
   trace::Histogram latency;
   DiplomatContract contract;
+  // Owning session for entries created with register_session_local();
+  // nullptr for entries in the shared table. Entries are immortal either
+  // way — a cached pointer outlives even the owning session.
+  Session* owner = nullptr;
 
   void record_latency(std::int64_t ns) { latency.record(ns); }
   std::int64_t total_ns() const { return latency.sum(); }
@@ -159,11 +165,14 @@ struct DispatchTable {
   // Name-sorted view for ordered iteration (snapshot output, docs).
   std::vector<std::pair<std::string_view, DiplomatId>> index;
   // Open-addressed hash index (linear probing, power-of-two sized, at most
-  // half full) for O(1) name lookup; slots hold ids, kInvalidDiplomatId
-  // marks empty.
-  std::vector<DiplomatId> buckets;
+  // half full) for O(1) name lookup; slots hold *positions* into `entries`
+  // (in the shared table positions and ids coincide; in a session's forked
+  // table a local entry can shadow a shared name, so its position and its
+  // id differ), kInvalidDiplomatId marks empty.
+  std::vector<std::uint32_t> buckets;
   std::uint32_t bucket_mask = 0;
 
+  DiplomatEntry* find_entry(std::string_view name) const;
   DiplomatId find(std::string_view name) const;
 };
 
@@ -183,6 +192,18 @@ class DiplomatRegistry {
   // wait-free and needs no epoch pin (only *tables* are reclaimed; entries
   // and segments live forever, like the step-1 symbol cache they back).
   DiplomatId resolve(std::string_view name, DiplomatPattern pattern);
+
+  // COW dispatch (docs/SESSIONS.md): registers an entry visible only to
+  // lookups made from the calling thread's session. The first local
+  // registration forks a private copy of the session's current table; every
+  // other session keeps reading the shared table untouched. A local entry
+  // shadows a shared entry of the same name within its session. Ids stay
+  // process-unique — locals descend from the top of the id space — so
+  // entry_by_id() works for every session's ids without a session check.
+  // From the default session (or an unbound thread) this is plain entry().
+  DiplomatEntry& register_session_local(std::string_view name,
+                                        DiplomatPattern pattern);
+
   DiplomatEntry& entry_by_id(DiplomatId id) const {
     const IdSegment* segment =
         segments_[id >> kSegmentShift].load(std::memory_order_acquire);
@@ -190,7 +211,8 @@ class DiplomatRegistry {
         std::memory_order_acquire);
   }
 
-  // The current published snapshot. The caller must hold a
+  // The current published *shared* snapshot (what every session without a
+  // fork dispatches through). The caller must hold a
   // util::EpochReclaimer::Guard for as long as it uses the reference:
   // superseded tables are retired to the reclaimer and freed once every
   // pinned epoch drains past them.
@@ -210,6 +232,10 @@ class DiplomatRegistry {
   // Registration slow path: copy the live table, append, publish (RCU-style
   // copy-and-publish; see docs/DISPATCH.md for the ordering contract).
   DiplomatEntry& register_slow(std::string_view name, DiplomatPattern pattern);
+  // Allocates an immortal entry and slots it into the by-id segment array.
+  // Caller holds writer_mutex_.
+  DiplomatEntry* allocate_entry_locked(std::string_view name,
+                                       DiplomatPattern pattern, DiplomatId id);
 
   // By-id dispatch storage: a two-level array of immortal segments, grown
   // (never moved) under the writer mutex. Two dependent acquire loads per
@@ -232,6 +258,11 @@ class DiplomatRegistry {
   // pointers/ids), guarded by writer_mutex_. Superseded DispatchTables, by
   // contrast, go to the EpochReclaimer in register_slow().
   std::vector<std::unique_ptr<DiplomatEntry>> owned_;
+  // Session-local ids descend from the top of the segment id space so
+  // shared ids (ascending, == table position) never renumber. The shared
+  // table keeps its dense id == position invariant forever.
+  DiplomatId next_session_local_id_ =
+      static_cast<DiplomatId>(kSegmentSize * kMaxSegments) - 1;
   std::atomic<bool> profiling_{false};
 };
 

@@ -1,6 +1,7 @@
 #include "core/impersonation.h"
 
 #include "core/batch.h"
+#include "core/session.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/faultpoint.h"
@@ -18,6 +19,7 @@ thread_local int t_graphics_depth = 0;
 // acquire load plus a vector copy, with no shared lock.
 struct KeyCache {
   std::uint64_t generation = ~0ull;
+  const GraphicsTlsTracker* tracker = nullptr;  // per-session identity
   std::vector<kernel::TlsKey> keys;
 };
 thread_local KeyCache t_key_cache;
@@ -25,6 +27,12 @@ thread_local KeyCache t_key_cache;
 // Most recent completed migration. Leaf mutex: nothing is acquired under it.
 std::mutex g_migration_mutex;
 std::optional<MigrationRecord> g_last_migration;
+
+// Process-wide generation source shared by every tracker instance. Session
+// churn recycles heap addresses, so the (tracker pointer, generation) pair
+// in KeyCache is only sound if no two tracker instances ever publish the
+// same generation value.
+std::atomic<std::uint64_t> g_generation_source{1};
 }  // namespace
 
 std::optional<MigrationRecord> last_migration() {
@@ -38,9 +46,21 @@ void clear_migration_record() {
 }
 
 GraphicsTlsTracker& GraphicsTlsTracker::instance() {
-  static GraphicsTlsTracker* tracker = new GraphicsTlsTracker();
-  return *tracker;
+  // Per-session facet: key membership tracked against the session's own
+  // kernel. Default-session facets are immortal.
+  return Session::current().facet<GraphicsTlsTracker>(+[] {
+    auto* tracker = new GraphicsTlsTracker();
+    tracker->owner_ = Session::constructing_owner();
+    return tracker;
+  });
 }
+
+GraphicsTlsTracker::GraphicsTlsTracker() {
+  generation_.store(g_generation_source.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_release);
+}
+
+GraphicsTlsTracker::~GraphicsTlsTracker() { reset(); }
 
 void GraphicsTlsTracker::install() {
   std::lock_guard lock(mutex_);
@@ -50,19 +70,22 @@ void GraphicsTlsTracker::install() {
       [this](kernel::TlsKey key) { on_key_created(key); });
   delete_hook_ = kernel.add_key_delete_hook(
       [this](kernel::TlsKey key) { on_key_deleted(key); });
+  hook_kernel_ = &kernel;
   installed_ = true;
 }
 
 void GraphicsTlsTracker::reset() {
   std::lock_guard lock(mutex_);
   if (installed_) {
-    kernel::Kernel& kernel = kernel::Kernel::instance();
-    kernel.remove_key_create_hook(create_hook_);
-    kernel.remove_key_delete_hook(delete_hook_);
+    // Remove the hooks from the kernel they were installed on — not from
+    // Kernel::instance(), which resolves against the *caller's* session.
+    hook_kernel_->remove_key_create_hook(create_hook_);
+    hook_kernel_->remove_key_delete_hook(delete_hook_);
     installed_ = false;
   }
   for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
-  generation_.fetch_add(1, std::memory_order_release);
+  generation_.store(g_generation_source.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_release);
   t_graphics_depth = 0;
   clear_migration_record();
 }
@@ -74,7 +97,9 @@ void GraphicsTlsTracker::set_slot(kernel::TlsKey key, bool tracked) {
   // graphics_keys()/generation(): a reader that sees the new generation
   // also sees the slot change when it rescans.
   if (slots_[key].exchange(value, std::memory_order_acq_rel) != value) {
-    generation_.fetch_add(1, std::memory_order_release);
+    generation_.store(
+        g_generation_source.fetch_add(1, std::memory_order_relaxed),
+        std::memory_order_release);
   }
 }
 
@@ -105,10 +130,11 @@ void GraphicsTlsTracker::on_key_deleted(kernel::TlsKey key) {
 }
 
 std::vector<kernel::TlsKey> GraphicsTlsTracker::graphics_keys() const {
+  Session::check_access(owner_, SessionLayer::kTls);
   const std::uint64_t generation =
       generation_.load(std::memory_order_acquire);
   KeyCache& cache = t_key_cache;
-  if (cache.generation != generation) {
+  if (cache.generation != generation || cache.tracker != this) {
     cache.keys.clear();
     for (kernel::TlsKey key = 0; key < kernel::kMaxTlsSlots; ++key) {
       if (slots_[key].load(std::memory_order_relaxed) != 0) {
@@ -116,6 +142,7 @@ std::vector<kernel::TlsKey> GraphicsTlsTracker::graphics_keys() const {
       }
     }
     cache.generation = generation;
+    cache.tracker = this;
   }
   return cache.keys;
 }

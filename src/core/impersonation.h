@@ -21,9 +21,16 @@
 
 namespace cycada::core {
 
+class Session;
+
 class GraphicsTlsTracker {
  public:
   static GraphicsTlsTracker& instance();
+
+  // Unregisters any installed kernel hooks. Runs only for per-session
+  // facets (the default session's tracker is immortal); the facet teardown
+  // order guarantees the kernel the hooks were installed on still exists.
+  ~GraphicsTlsTracker();
 
   // Registers the kernel hooks (idempotent). reset() unregisters and
   // forgets all tracked keys.
@@ -53,7 +60,11 @@ class GraphicsTlsTracker {
   }
 
  private:
-  GraphicsTlsTracker() = default;
+  friend class Session;
+  // Defined in impersonation.cpp: seeds generation_ from the process-wide
+  // source so a tracker constructed at a recycled address can never match
+  // another thread's cached (tracker, generation) pair.
+  GraphicsTlsTracker();
   void on_key_created(kernel::TlsKey key);
   void on_key_deleted(kernel::TlsKey key);
   void set_slot(kernel::TlsKey key, bool tracked);
@@ -71,6 +82,11 @@ class GraphicsTlsTracker {
   int create_hook_ = 0;
   int delete_hook_ = 0;
   bool installed_ = false;
+  // The kernel the hooks were installed on: resolved when install() runs,
+  // not at reset/destruction time, because teardown may run on a thread
+  // bound to a different session (whose Kernel::instance() differs).
+  kernel::Kernel* hook_kernel_ = nullptr;
+  Session* owner_ = nullptr;  // set in instance()'s facet thunk
 };
 
 // What the most recent completed ThreadImpersonation actually migrated.

@@ -7,6 +7,7 @@
 
 #include "core/batch.h"
 #include "core/diplomat.h"
+#include "core/session.h"
 #include "kernel/kernel.h"
 #include "trace/metrics.h"
 #include "util/clock.h"
@@ -186,8 +187,12 @@ StatusOr<ReplayStats> replay_trace(const trace::ParsedTrace& trace,
   const std::int64_t wall_start_ns = now_ns();
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(options.threads));
+  // Replay threads inherit the caller's session: a fleet session replaying
+  // a trace as load drives its own kernel/linker/device, not the default's.
+  Session* const session = &Session::current();
   for (int t = 0; t < options.threads; ++t) {
     workers.emplace_back([&, t] {
+      SessionScope scope(*session);
       kernel::Kernel::instance().register_current_thread(
           kernel::Persona::kIos);
       for (int iter = 0; iter < options.iterations; ++iter) {

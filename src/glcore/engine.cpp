@@ -11,11 +11,8 @@
 
 namespace cycada::glcore {
 
-namespace {
-gpu::GpuDevice& device() { return gpu::GpuDevice::instance(); }
-}  // namespace
-
-GlesEngine::GlesEngine(GlesEngineConfig config) : config_(std::move(config)) {
+GlesEngine::GlesEngine(GlesEngineConfig config)
+    : config_(std::move(config)), device_(&gpu::GpuDevice::instance()) {
   // Reserve this library copy's current-context TLS slot. Because this runs
   // inside the library constructor, DLR replicas each get their own slot —
   // and the kernel's key-creation hooks see it (paper §7.1).

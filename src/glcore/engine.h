@@ -21,6 +21,10 @@
 #include "glcore/context.h"
 #include "kernel/kernel.h"
 
+namespace cycada::gpu {
+class GpuDevice;
+}  // namespace cycada::gpu
+
 namespace cycada::glcore {
 
 // Behavior/identity knobs that differ between the Android (Tegra-like) and
@@ -241,6 +245,11 @@ class GlesEngine {
 
  private:
   GlContext* current();  // nullptr (and no error record) when none bound
+  // The GPU device this engine copy's handles were created on: captured at
+  // construction (the session that dlopened the vendor library), so GL
+  // calls always hit the device that owns the engine's textures and
+  // targets, whatever session the calling thread is bound to by then.
+  gpu::GpuDevice& device() const { return *device_; }
   GlContext* require_context();
   void record_error(GLenum error);
   TextureObject* bound_texture_object(GlContext& ctx);
@@ -255,6 +264,7 @@ class GlesEngine {
                        gpu::TextureHandle texture);
 
   GlesEngineConfig config_;
+  gpu::GpuDevice* device_ = nullptr;  // set in the constructor, never null
   kernel::TlsKey tls_key_ = kernel::kInvalidTlsKey;
   std::mutex contexts_mutex_;
   std::vector<std::unique_ptr<GlContext>> contexts_;

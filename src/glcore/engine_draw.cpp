@@ -15,7 +15,6 @@ namespace cycada::glcore {
 
 namespace {
 
-gpu::GpuDevice& device() { return gpu::GpuDevice::instance(); }
 
 std::size_t component_size(GLenum type) {
   switch (type) {

@@ -10,10 +10,6 @@
 
 namespace cycada::glcore {
 
-namespace {
-gpu::GpuDevice& device() { return gpu::GpuDevice::instance(); }
-}  // namespace
-
 void GlesEngine::glGetFloatv(GLenum pname, GLfloat* params) {
   GlContext* ctx = require_context();
   if (ctx == nullptr || params == nullptr) return;

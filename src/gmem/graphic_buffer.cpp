@@ -1,5 +1,6 @@
 #include "gmem/graphic_buffer.h"
 
+#include "core/session.h"
 #include "util/faultpoint.h"
 
 namespace cycada::gmem {
@@ -66,8 +67,13 @@ void GraphicBuffer::remove_egl_image_ref() {
 }
 
 GrallocAllocator& GrallocAllocator::instance() {
-  static GrallocAllocator* allocator = new GrallocAllocator();
-  return *allocator;
+  // Per-session allocator facet: buffer ids and live-byte accounting are
+  // per app instance. Default-session facets are immortal.
+  return core::Session::current().facet<GrallocAllocator>(+[] {
+    GrallocAllocator* allocator = new GrallocAllocator();
+    allocator->owner_ = core::Session::constructing_owner();
+    return allocator;
+  });
 }
 
 void GrallocAllocator::reset() {
@@ -78,6 +84,7 @@ void GrallocAllocator::reset() {
 
 StatusOr<std::shared_ptr<GraphicBuffer>> GrallocAllocator::allocate(
     int width, int height, PixelFormat format, std::uint32_t usage) {
+  core::Session::check_access(owner_, core::SessionLayer::kGralloc);
   if (width <= 0 || height <= 0 || width > 16384 || height > 16384) {
     return Status::invalid_argument("bad buffer dimensions");
   }

@@ -20,6 +20,10 @@
 #include "util/pixel.h"
 #include "util/status.h"
 
+namespace cycada::core {
+class Session;
+}  // namespace cycada::core
+
 namespace cycada::gmem {
 
 // Usage bitmask, gralloc style.
@@ -99,9 +103,13 @@ class GrallocAllocator {
   std::size_t live_buffers() const;
   std::size_t bytes_allocated() const;
 
+  // The owning session (nullptr for directly constructed instances).
+  core::Session* owner() const { return owner_; }
+
  private:
   GrallocAllocator() = default;
 
+  core::Session* owner_ = nullptr;  // set in instance()'s facet thunk
   mutable std::mutex mutex_;
   std::unordered_map<BufferId, std::weak_ptr<GraphicBuffer>> registry_;
   BufferId next_id_ = 1;

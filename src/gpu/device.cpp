@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "core/session.h"
 #include "trace/metrics.h"
 #include "util/clock.h"
 #include "util/log.h"
@@ -13,8 +14,14 @@
 namespace cycada::gpu {
 
 GpuDevice& GpuDevice::instance() {
-  static GpuDevice* device = new GpuDevice();  // intentionally immortal
-  return *device;
+  // Per-session device facet: each session records and submits its own
+  // frames (the TileWorkerPool underneath stays process-global — one
+  // physical GPU's worth of workers). Default-session facets are immortal.
+  return core::Session::current().facet<GpuDevice>(+[] {
+    GpuDevice* device = new GpuDevice();
+    device->owner_ = core::Session::constructing_owner();
+    return device;
+  });
 }
 
 void GpuDevice::reset() {
@@ -124,6 +131,7 @@ StatusOr<TextureView> GpuDevice::texture_view(TextureHandle handle) {
 
 RenderTargetHandle GpuDevice::create_target(int width, int height,
                                             bool with_depth) {
+  core::Session::check_access(owner_, core::SessionLayer::kGpu);
   std::lock_guard lock(mutex_);
   const RenderTargetHandle handle = next_handle_++;
   Target target;
@@ -280,6 +288,7 @@ bool GpuDevice::wait_fence_for(FenceHandle fence, std::int64_t budget_ms) {
 }
 
 void GpuDevice::submit_frame() {
+  core::Session::check_access(owner_, core::SessionLayer::kGpu);
   std::unique_lock lock(mutex_);
   submit_frame_locked(lock);
 }

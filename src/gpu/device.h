@@ -31,6 +31,10 @@
 #include "gpu/types.h"
 #include "util/status.h"
 
+namespace cycada::core {
+class Session;
+}  // namespace cycada::core
+
 namespace cycada::gpu {
 
 class GpuDevice {
@@ -39,8 +43,14 @@ class GpuDevice {
   static GpuDevice& instance();
 
   GpuDevice() = default;
+  // Per-session facet teardown: drain any frame in flight (the shared tile
+  // pool's retire callback captures `this`) before the storage goes away.
+  ~GpuDevice() { reset(); }
   GpuDevice(const GpuDevice&) = delete;
   GpuDevice& operator=(const GpuDevice&) = delete;
+
+  // The owning session (nullptr for directly constructed devices).
+  core::Session* owner() const { return owner_; }
 
   // Drops all resources and queued work (test support). Drains any frame in
   // flight first.
@@ -183,6 +193,7 @@ class GpuDevice {
   void submit_frame_locked(std::unique_lock<std::mutex>& lock);
   TargetView target_view_locked(const Target& target);
 
+  core::Session* owner_ = nullptr;  // set in instance()'s facet thunk
   mutable std::mutex mutex_;
   std::condition_variable retire_cv_;  // signaled when a frame retires
   std::unordered_map<TextureHandle, Texture> textures_;

@@ -3,6 +3,7 @@
 #include "core/batch.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
+#include "core/session.h"
 #include "glcore/gl_types.h"
 #include "util/faultpoint.h"
 
@@ -27,8 +28,13 @@ core::DiplomatHooks graphics_hooks() {
 }  // namespace
 
 LinuxCoreSurface& LinuxCoreSurface::instance() {
-  static LinuxCoreSurface* module = new LinuxCoreSurface();
-  return *module;
+  // Per-session surface registry facet. Default-session facets are
+  // immortal.
+  return core::Session::current().facet<LinuxCoreSurface>(+[] {
+    LinuxCoreSurface* module = new LinuxCoreSurface();
+    module->owner_ = core::Session::constructing_owner();
+    return module;
+  });
 }
 
 void LinuxCoreSurface::reset() {
@@ -38,6 +44,7 @@ void LinuxCoreSurface::reset() {
 }
 
 StatusOr<IOSurfaceRef> LinuxCoreSurface::create(const IOSurfaceProps& props) {
+  core::Session::check_access(owner_, core::SessionLayer::kIoSurface);
   if (props.width <= 0 || props.height <= 0) {
     return Status::invalid_argument("bad IOSurface dimensions");
   }

@@ -21,6 +21,10 @@
 #include "util/pixel.h"
 #include "util/status.h"
 
+namespace cycada::core {
+class Session;
+}  // namespace cycada::core
+
 namespace cycada::iosurface {
 
 using IOSurfaceId = std::uint32_t;
@@ -105,8 +109,12 @@ class LinuxCoreSurface {
 
   std::size_t live_surfaces() const;
 
+  // The owning session (nullptr for directly constructed instances).
+  core::Session* owner() const { return owner_; }
+
  private:
   LinuxCoreSurface() = default;
+  core::Session* owner_ = nullptr;  // set in instance()'s facet thunk
   mutable std::mutex mutex_;
   std::unordered_map<IOSurfaceId, std::weak_ptr<IOSurface>> registry_;
   IOSurfaceId next_id_ = 1;

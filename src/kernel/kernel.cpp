@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/session.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/faultpoint.h"
@@ -13,9 +14,20 @@ namespace cycada::kernel {
 
 namespace {
 // Thread-local cache of the calling thread's kernel state, invalidated when
-// the kernel generation changes (i.e. after reset()).
+// the kernel generation changes (i.e. after reset()) or when the thread
+// rebinds to a different session (each session owns its own Kernel facet,
+// so the cache is additionally keyed on the kernel's identity).
 thread_local ThreadState* t_cached_state = nullptr;
 thread_local std::uint64_t t_cached_generation = 0;
+thread_local const Kernel* t_cached_kernel = nullptr;
+
+// Generations are drawn from one process-wide source so every Kernel
+// instance — and every reset of one — gets a value no other kernel ever
+// had. Session churn recycles heap addresses: a new session's kernel can
+// land exactly where a destroyed one lived, and a per-instance counter
+// restarting at the same value would revalidate another thread's stale
+// (t_cached_kernel, t_cached_generation) pair against freed ThreadState.
+std::atomic<std::uint64_t> g_generation_source{1};
 
 // Sink that keeps the trap-model busywork observable so the optimizer cannot
 // delete it.
@@ -35,8 +47,14 @@ long linux_errno_to_darwin(long linux_errno) {
 }  // namespace
 
 Kernel& Kernel::instance() {
-  static Kernel* kernel = new Kernel();  // intentionally immortal
-  return *kernel;
+  // The current session's kernel facet. Default-session facets are never
+  // destroyed, preserving the old intentionally-immortal singleton lifetime
+  // for unbound (single-session) callers.
+  return core::Session::current().facet<Kernel>(+[] {
+    Kernel* kernel = new Kernel();
+    kernel->owner_ = core::Session::constructing_owner();
+    return kernel;
+  });
 }
 
 void Kernel::reset(TrapModel model) {
@@ -60,11 +78,12 @@ void Kernel::reset(TrapModel model) {
   }
   std::sort(foreign_sysno_table_.begin(), foreign_sysno_table_.end());
 
-  generation_.fetch_add(1);
+  generation_.store(g_generation_source.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_release);
 }
 
 ThreadState& Kernel::current_thread() {
-  if (t_cached_state != nullptr &&
+  if (t_cached_state != nullptr && t_cached_kernel == this &&
       t_cached_generation == generation_.load(std::memory_order_relaxed)) {
     return *t_cached_state;
   }
@@ -73,9 +92,13 @@ ThreadState& Kernel::current_thread() {
 
 ThreadState& Kernel::register_current_thread(Persona initial) {
   const std::uint64_t generation = generation_.load(std::memory_order_relaxed);
-  if (t_cached_state != nullptr && t_cached_generation == generation) {
+  if (t_cached_state != nullptr && t_cached_kernel == this &&
+      t_cached_generation == generation) {
     return *t_cached_state;  // already registered; initial persona ignored
   }
+  // Registration is the kernel's cold entry point for a thread, which makes
+  // it the natural place for the cross-session leak guard.
+  core::Session::check_access(owner_, core::SessionLayer::kKernel);
   const Tid tid = next_tid_.fetch_add(1);
   Tid leader = main_tid_.load();
   if (leader == kInvalidTid) {
@@ -95,6 +118,7 @@ ThreadState& Kernel::register_current_thread(Persona initial) {
   }
   t_cached_state = raw;
   t_cached_generation = generation;
+  t_cached_kernel = this;
   return *raw;
 }
 
@@ -322,6 +346,7 @@ long Kernel::sys_propagate_tls(ThreadState& caller, const SyscallArgs& args) {
 }
 
 StatusOr<TlsKey> Kernel::tls_key_create() {
+  core::Session::check_access(owner_, core::SessionLayer::kKernel);
   TlsKey key = kInvalidTlsKey;
   std::vector<std::pair<int, TlsKeyHook>> hooks;
   {

@@ -29,6 +29,10 @@
 #include "util/lock_order.h"
 #include "util/status.h"
 
+namespace cycada::core {
+class Session;
+}  // namespace cycada::core
+
 namespace cycada::kernel {
 
 // Slot-array TLS, one area per persona. Matches the paper's description of
@@ -165,7 +169,13 @@ class Kernel {
   // Generation counter; bumped by reset() to invalidate thread-local caches.
   std::uint64_t generation() const { return generation_.load(); }
 
+  // The session this kernel instance belongs to (nullptr only for kernels
+  // constructed outside the session facet machinery, e.g. in unit tests
+  // that instantiate subsystems directly).
+  core::Session* owner() const { return owner_; }
+
  private:
+  friend class core::Session;
   Kernel() { reset(); }
 
   long dispatch(ThreadState& thread, std::int32_t native_sysno,
@@ -181,6 +191,7 @@ class Kernel {
 
   TrapModel trap_model_ = TrapModel::kCycada;
   std::atomic<std::uint64_t> generation_{1};
+  core::Session* owner_ = nullptr;  // set in instance()'s facet thunk
 
   mutable util::OrderedMutex registry_mutex_{util::LockLevel::kKernelThreads,
                                              "kernel.threads"};

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "core/session.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/clock.h"
@@ -18,12 +19,32 @@ LibraryInstance* LoadContext::dep(std::string_view name) {
 }
 
 Linker& Linker::instance() {
-  static Linker* linker = new Linker();  // intentionally immortal
-  return *linker;
+  // Per-session linker facet: each session owns its images, loaded copies,
+  // replica namespaces and warm pools. Default-session facets are immortal.
+  // Teardown tier 1: destroying the linker unloads every library copy, and
+  // library-instance destructors reach into the session's kernel (TLS key
+  // deletes), GPU device (context/texture teardown) and EGL pins — all tier
+  // 0 facets that must still be alive, regardless of which facet happened
+  // to be created first.
+  return core::Session::current().facet<Linker>(
+      +[] {
+        Linker* linker = new Linker();
+        linker->owner_ = core::Session::constructing_owner();
+        return linker;
+      },
+      /*teardown_order=*/1);
 }
 
 Linker::Linker() {
   view_.store(new LinkerView(), std::memory_order_release);
+}
+
+Linker::~Linker() {
+  // The final snapshot is epoch-retired like any superseded one, so a
+  // reader still pinned on it survives the session teardown; the loaded_
+  // map's shared_ptrs unload every remaining copy (replicas included).
+  const LinkerView* last = view_.exchange(nullptr, std::memory_order_acq_rel);
+  if (last != nullptr) util::EpochReclaimer::instance().retire(last);
 }
 
 void Linker::publish_locked() {
@@ -74,6 +95,7 @@ bool Linker::has_image(std::string_view name) const {
 
 StatusOr<Handle> Linker::dlopen(std::string_view name, NamespaceId ns) {
   TRACE_SCOPE("linker", "dlopen");
+  core::Session::check_access(owner_, core::SessionLayer::kLinker);
   static util::FaultPoint& fault =
       util::FaultRegistry::instance().point("linker.dlopen");
   if (fault.should_fail()) {
@@ -141,6 +163,7 @@ StatusOr<Handle> Linker::dlopen_shared_fallback(std::string_view name) {
 
 StatusOr<Handle> Linker::dlforce(std::string_view name) {
   TRACE_SCOPE("linker", "dlforce");
+  core::Session::check_access(owner_, core::SessionLayer::kLinker);
   static util::FaultPoint& fault =
       util::FaultRegistry::instance().point("linker.dlforce");
   if (fault.should_fail()) {

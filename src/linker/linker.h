@@ -25,6 +25,10 @@
 #include "util/lock_order.h"
 #include "util/status.h"
 
+namespace cycada::core {
+class Session;
+}  // namespace cycada::core
+
 namespace cycada::linker {
 
 class Linker;
@@ -109,8 +113,13 @@ class LoadedLibrary {
 
   std::string name_;
   NamespaceId ns_;
-  std::unique_ptr<LibraryInstance> instance_;
+  // deps_ is declared before instance_ on purpose: members destroy in
+  // reverse order, so the instance (whose destructor may call into a
+  // dependency's replica — UiWrapper tears its contexts down through the
+  // vendor GLES engine) goes down while the dependency handles it relies
+  // on are still alive.
   std::vector<std::shared_ptr<LoadedLibrary>> deps_;
+  std::unique_ptr<LibraryInstance> instance_;
   int refcount_ = 0;
 };
 
@@ -206,7 +215,16 @@ class Linker {
   // load path. Cleared by reset().
   std::vector<std::string> replica_bypass_events() const;
 
+  // The owning session (nullptr for directly constructed instances).
+  core::Session* owner() const { return owner_; }
+
+  // Retires the final published view to the epoch reclaimer and unloads
+  // every copy. Runs only for per-session linker facets — the default
+  // session's linker is immortal.
+  ~Linker();
+
  private:
+  friend class core::Session;
   Linker();
 
   // The current published snapshot (never null after construction). The
@@ -235,6 +253,7 @@ class Linker {
   std::map<std::string, int, std::less<>> load_counts_;
   std::vector<std::string> replica_bypasses_;
   NamespaceId next_namespace_ = 1;
+  core::Session* owner_ = nullptr;  // set in instance()'s facet thunk
 };
 
 }  // namespace cycada::linker

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "core/session.h"
 #include "trace/metrics.h"
 #include "util/log.h"
 
@@ -18,6 +19,19 @@ std::uint64_t splitmix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+// -1 = no filter (faults apply to every session). See
+// FaultRegistry::set_session_filter.
+std::atomic<std::int64_t> g_session_filter{-1};
+
+// True when the calling thread's session is targeted by the filter (or no
+// filter is set). Off the disarmed fast path: only armed traversals pay the
+// session lookup.
+bool session_targeted() {
+  const std::int64_t filter = g_session_filter.load(std::memory_order_relaxed);
+  if (filter < 0) return true;
+  return static_cast<std::int64_t>(core::Session::current().id()) == filter;
 }
 
 bool parse_u64(std::string_view text, std::uint64_t& out) {
@@ -100,6 +114,7 @@ void FaultPoint::maybe_stall() {
   if (FaultSuppressionScope::active()) return;
   const std::uint64_t ms = stall_ms_.load(std::memory_order_relaxed);
   if (ms == 0) return;
+  if (!session_targeted()) return;
   const std::uint64_t hit =
       stall_hits_.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::uint64_t every = stall_every_.load(std::memory_order_relaxed);
@@ -117,6 +132,10 @@ bool FaultPoint::evaluate() {
   // Degraded-mode recovery rungs run fault-free (and untallied): a
   // suppressed traversal never happened as far as triggers are concerned.
   if (FaultSuppressionScope::active()) return false;
+  // A filtered-out session traverses armed probes as if disarmed: no hit,
+  // no fire, so the targeted session's deterministic trigger sequence is
+  // independent of its neighbors' traffic.
+  if (!session_targeted()) return false;
   // Arming between the fast-path check and here just means this traversal
   // counts against the new trigger; rearm races are benign by design.
   const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -157,17 +176,36 @@ const std::vector<std::string>& FaultRegistry::catalog() {
       "linker.dlopen",      "linker.dlforce",     "kernel.set_persona",
       "egl.create_context", "egl.create_surface", "gmem.allocate",
       "iosurface.lock",     "iosurface.unlock",   "dispatch.impersonate",
-      "gpu.tile_worker",
+      "gpu.tile_worker",    "session.create",
   };
   return *names;
 }
 
 FaultRegistry::FaultRegistry() {
   for (const std::string& name : catalog()) (void)point(name);
+  if (const char* filter = std::getenv("CYCADA_FAULT_SESSION");
+      filter != nullptr && *filter != '\0') {
+    std::uint64_t session_id = 0;
+    if (parse_u64(filter, session_id)) {
+      set_session_filter(static_cast<std::int64_t>(session_id));
+    } else {
+      CYCADA_LOG(kWarn) << "CYCADA_FAULT_SESSION: bad session id '" << filter
+                        << "'";
+    }
+  }
   if (const char* spec = std::getenv("CYCADA_FAULT");
       spec != nullptr && *spec != '\0') {
     (void)configure(spec);
   }
+}
+
+void FaultRegistry::set_session_filter(std::int64_t session_id) {
+  g_session_filter.store(session_id < 0 ? -1 : session_id,
+                         std::memory_order_relaxed);
+}
+
+std::int64_t FaultRegistry::session_filter() {
+  return g_session_filter.load(std::memory_order_relaxed);
 }
 
 FaultPoint& FaultRegistry::point(std::string_view name) {

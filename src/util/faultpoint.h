@@ -175,6 +175,14 @@ class FaultRegistry {
   // by the metrics registry and reset with it).
   void reset();
 
+  // Per-session fault targeting: when a filter is set, probes only count
+  // and fire on threads whose core::Session::current() has that id; every
+  // other session traverses probes as if disarmed. -1 clears the filter.
+  // Seeded from CYCADA_FAULT_SESSION; the fleet harness uses it to drive
+  // chaos into one session while its neighbors stay clean.
+  static void set_session_filter(std::int64_t session_id);
+  static std::int64_t session_filter();
+
   std::vector<FaultPointInfo> snapshot() const;
 
   // The built-in probe names, in registration order.

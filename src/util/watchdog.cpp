@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "core/session.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/clock.h"
@@ -12,6 +13,17 @@ namespace cycada::util {
 namespace {
 
 constexpr std::int64_t kMonitorPeriodMs = 2;
+
+static_assert(static_cast<int>(WatchdogDomain::kCount) <=
+                  core::WatchdogLadder::kMaxDomains,
+              "WatchdogLadder is sized without including watchdog.h");
+
+// The ladder the calling thread's stalls and frames land on. Never null:
+// every session (the default included) acquires a pooled ladder at
+// construction.
+core::WatchdogLadder& current_ladder() {
+  return *core::Session::current().watchdog_ladder();
+}
 
 std::string domain_metric(const char* domain, const char* suffix) {
   return std::string("watchdog.") + domain + suffix;
@@ -76,8 +88,19 @@ void Watchdog::set_recovery_frames(int frames) {
   recovery_frames_.store(frames > 0 ? frames : 1, std::memory_order_relaxed);
 }
 
+int Watchdog::rung(WatchdogDomain domain) const {
+  return current_ladder()
+      .domains[static_cast<int>(domain)]
+      .rung.load(std::memory_order_relaxed);
+}
+
 void Watchdog::note_stall(WatchdogDomain domain) {
-  DomainState& state = domains_[static_cast<int>(domain)];
+  note_stall_on(current_ladder(), domain);
+}
+
+void Watchdog::note_stall_on(core::WatchdogLadder& ladder,
+                             WatchdogDomain domain) {
+  auto& state = ladder.domains[static_cast<int>(domain)];
   state.stalled_since_frame.store(true, std::memory_order_relaxed);
   state.clean_streak.store(0, std::memory_order_relaxed);
   const int rung = state.rung.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -91,8 +114,9 @@ void Watchdog::note_stall(WatchdogDomain domain) {
 
 void Watchdog::note_frame() {
   const int recovery = recovery_frames();
+  core::WatchdogLadder& ladder = current_ladder();
   for (int i = 0; i < static_cast<int>(WatchdogDomain::kCount); ++i) {
-    DomainState& state = domains_[i];
+    auto& state = ladder.domains[i];
     if (state.stalled_since_frame.exchange(false,
                                            std::memory_order_relaxed)) {
       state.clean_streak.store(0, std::memory_order_relaxed);
@@ -117,10 +141,11 @@ void Watchdog::note_frame() {
 }
 
 void Watchdog::reset() {
-  for (auto& state : domains_) {
-    state.rung.store(0, std::memory_order_relaxed);
-    state.clean_streak.store(0, std::memory_order_relaxed);
-    state.stalled_since_frame.store(false, std::memory_order_relaxed);
+  // Every live session's ladder, not just the caller's: tests that wedge a
+  // fleet session and then reset must not leave a stranger degraded.
+  for (core::Session* session :
+       core::SessionRegistry::instance().live_sessions()) {
+    session->watchdog_ladder()->reset();
   }
 }
 
@@ -161,12 +186,14 @@ bool Watchdog::claim_overdue(watchdog_detail::ThreadSlots::Slot& slot,
          serial;
 }
 
-void Watchdog::count_overdue(WatchdogDomain domain, std::int64_t stall_ns) {
+void Watchdog::count_overdue(WatchdogDomain domain,
+                             core::WatchdogLadder* ladder,
+                             std::int64_t stall_ns) {
   DomainState& state = domains_[static_cast<int>(domain)];
   state.overdue_metric->add();
   if (stall_ns > 0) state.stall_histogram->record(stall_ns);
   TRACE_INSTANT("watchdog", watchdog_domain_name(domain));
-  note_stall(domain);
+  note_stall_on(ladder != nullptr ? *ladder : current_ladder(), domain);
 }
 
 void Watchdog::count_stall_latency(WatchdogDomain domain,
@@ -218,7 +245,7 @@ void Watchdog::monitor_main() {
         if (claim_overdue(slot, serial)) continue;  // already escalated
         const auto domain = static_cast<WatchdogDomain>(
             slot.domain.load(std::memory_order_relaxed));
-        count_overdue(domain,
+        count_overdue(domain, slot.ladder.load(std::memory_order_relaxed),
                       now - slot.enter_ns.load(std::memory_order_relaxed));
         CYCADA_LOG(kWarn) << "watchdog: " << watchdog_domain_name(domain)
                           << " scope overdue ("
@@ -241,11 +268,13 @@ WatchdogScope::WatchdogScope(WatchdogDomain domain, std::int64_t budget_ms)
   if (depth >= watchdog_detail::ThreadSlots::kMaxDepth) return;
   enter_ns_ = now_ns();
   budget_ns_ = watchdog.effective_budget_ms(budget_ms) * 1000000;
+  ladder_ = &current_ladder();
   auto& slot = slots.slots[depth];
   serial_ = slot.serial.load(std::memory_order_relaxed) + 1;
   slot.enter_ns.store(enter_ns_, std::memory_order_relaxed);
   slot.deadline_ns.store(enter_ns_ + budget_ns_, std::memory_order_relaxed);
   slot.domain.store(static_cast<int>(domain), std::memory_order_relaxed);
+  slot.ladder.store(ladder_, std::memory_order_relaxed);
   slot.serial.store(serial_, std::memory_order_release);
   slots.depth.store(depth + 1, std::memory_order_release);
   slots_ = &slots;
@@ -260,8 +289,10 @@ WatchdogScope::~WatchdogScope() {
   if (elapsed <= budget_ns_) return;
   Watchdog& watchdog = Watchdog::instance();
   // The monitor may have beaten us to it; exactly one side escalates.
+  // Escalate against the ladder recorded at push time: the scope may be
+  // unwinding after a SessionScope inside it already rebound the thread.
   if (!watchdog.claim_overdue(*slot_, serial_)) {
-    watchdog.count_overdue(domain_, elapsed);
+    watchdog.count_overdue(domain_, ladder_, elapsed);
   } else {
     // Monitor already counted the overdue event; still record how long the
     // stall actually lasted end to end.

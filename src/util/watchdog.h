@@ -51,6 +51,10 @@ class Counter;
 class Histogram;
 }  // namespace cycada::trace
 
+namespace cycada::core {
+struct WatchdogLadder;
+}  // namespace cycada::core
+
 namespace cycada::util {
 
 enum class WatchdogDomain : int {
@@ -92,6 +96,12 @@ struct ThreadSlots {
     // flagged_serial.exchange(serial): whoever exchanges first escalates.
     std::atomic<std::uint64_t> serial{0};
     std::atomic<std::uint64_t> flagged_serial{0};
+    // The recovery ladder of the session the scope-pushing thread was
+    // bound to (never null once serial is published): the monitor thread
+    // escalates against *this* ladder, not its own session's. Ladders are
+    // immortal pooled blocks (core/session.h), so a stale pointer read
+    // after the session died still dereferences safely.
+    std::atomic<core::WatchdogLadder*> ladder{nullptr};
   };
   Slot slots[kMaxDepth];
   std::atomic<int> depth{0};
@@ -122,21 +132,22 @@ class Watchdog {
     return override_ms > 0 ? override_ms : site_budget_ms;
   }
 
-  // Recovery-ladder state. rung 0 = healthy; each stall raises the
-  // domain's rung (clamped to kMaxRung), each run of recovery_frames()
-  // clean frames lowers it by one.
-  int rung(WatchdogDomain domain) const {
-    return domains_[static_cast<int>(domain)].rung.load(
-        std::memory_order_relaxed);
-  }
+  // Recovery-ladder state, per session: rung 0 = healthy; each stall
+  // raises the domain's rung (clamped to kMaxRung), each run of
+  // recovery_frames() clean frames lowers it by one. These read/advance
+  // the *calling thread's session* ladder (the default session's for
+  // unbound threads), so one wedged app degrades only its own pipeline.
+  int rung(WatchdogDomain domain) const;
   bool degraded(WatchdogDomain domain) const { return rung(domain) > 0; }
 
-  // Records a stall against the domain (called by the monitor, by scope
-  // destructors that outlived their budget, and by sites whose bounded
-  // wait timed out).
+  // Records a stall against the domain on the calling session's ladder
+  // (called by scope destructors that outlived their budget and by sites
+  // whose bounded wait timed out; the monitor escalates via the slot's
+  // recorded ladder instead).
   void note_stall(WatchdogDomain domain);
 
-  // Frame boundary for hysteresis; called once per presented frame.
+  // Frame boundary for hysteresis; called once per presented frame, on
+  // the presenting thread, against its session's ladder.
   void note_frame();
 
   int recovery_frames() const {
@@ -144,7 +155,8 @@ class Watchdog {
   }
   void set_recovery_frames(int frames);
 
-  // Drops every rung to 0 and clears hysteresis state (tests).
+  // Drops every rung to 0 and clears hysteresis state (tests) — on every
+  // live session's ladder.
   void reset();
 
   // --- scope/monitor internals (used by WatchdogScope) ---
@@ -154,7 +166,8 @@ class Watchdog {
   // caller that sees false performs the escalation.
   bool claim_overdue(watchdog_detail::ThreadSlots::Slot& slot,
                      std::uint64_t serial);
-  void count_overdue(WatchdogDomain domain, std::int64_t stall_ns);
+  void count_overdue(WatchdogDomain domain, core::WatchdogLadder* ladder,
+                     std::int64_t stall_ns);
   void count_stall_latency(WatchdogDomain domain, std::int64_t stall_ns);
 
  private:
@@ -162,11 +175,13 @@ class Watchdog {
   void monitor_main();
   void stop_monitor();
   static void atexit_hook();
+  void note_stall_on(core::WatchdogLadder& ladder, WatchdogDomain domain);
 
+  // Ladder state (rung/streak/stalled-flag) lives on the sessions'
+  // WatchdogLadder blocks; only the process-global metric handles stay
+  // here (one overdue counter and stall histogram per domain, shared by
+  // every session).
   struct DomainState {
-    std::atomic<int> rung{0};
-    std::atomic<int> clean_streak{0};
-    std::atomic<bool> stalled_since_frame{false};
     trace::Counter* overdue_metric = nullptr;
     trace::Histogram* stall_histogram = nullptr;
   };
@@ -204,6 +219,7 @@ class WatchdogScope {
  private:
   watchdog_detail::ThreadSlots* slots_ = nullptr;
   watchdog_detail::ThreadSlots::Slot* slot_ = nullptr;
+  core::WatchdogLadder* ladder_ = nullptr;
   std::uint64_t serial_ = 0;
   std::int64_t enter_ns_ = 0;
   std::int64_t budget_ns_ = 0;

@@ -16,6 +16,8 @@
 #include "core/classification.h"
 #include "core/diplomat.h"
 #include "core/impersonation.h"
+#include "core/session.h"
+#include "glport/gl_port.h"
 #include "glport/system_config.h"
 #include "ios_gl/eagl.h"
 #include "ios_gl/gles.h"
@@ -931,6 +933,65 @@ TEST_F(AnalyzeTest, ClassifyProvesAmendmentsOverTheGoldenCorpus) {
   auto parsed = core::parse_classification_amendments(rendered);
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
   EXPECT_EQ(parsed->batchable, proposed);
+}
+
+// --- Session isolation (docs/SESSIONS.md) ----------------------------------
+
+TEST_F(AnalyzeTest, DetectsCrossSessionAccess) {
+  core::SessionRegistry& registry = core::SessionRegistry::instance();
+  registry.clear_cross_leak_evidence();
+  auto a = registry.create("leak-a");
+  auto b = registry.create("leak-b");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+
+  // Materialize session B's kernel, then touch it from a thread bound to
+  // session A — the exact bug class the rule exists for.
+  kernel::Kernel* b_kernel = nullptr;
+  {
+    core::SessionScope scope(**b);
+    b_kernel = &kernel::Kernel::instance();
+  }
+  {
+    core::SessionScope scope(**a);
+    b_kernel->register_current_thread(kernel::Persona::kIos);
+  }
+
+  Report report;
+  check_session_isolation(report);
+  EXPECT_TRUE(report.has_rule("session.cross-leak"));
+
+  registry.clear_cross_leak_evidence();
+  Report clean;
+  check_session_isolation(clean);
+  EXPECT_FALSE(clean.has_rule("session.cross-leak"));
+
+  registry.destroy(*a);
+  registry.destroy(*b);
+}
+
+TEST_F(AnalyzeTest, SessionBoundWorkloadStaysClean) {
+  core::SessionRegistry& registry = core::SessionRegistry::instance();
+  registry.clear_cross_leak_evidence();
+  auto session = registry.create("clean-fleet");
+  ASSERT_TRUE(session.is_ok());
+  {
+    // A well-behaved fleet member: binds, registers with its *own* kernel,
+    // renders against its own facet stack.
+    core::SessionScope scope(**session);
+    kernel::Kernel::instance().register_current_thread(kernel::Persona::kIos);
+    core::GraphicsTlsTracker::instance().install();
+    auto port = glport::make_ios_port();
+    ASSERT_TRUE(port->init(32, 32, 1).is_ok());
+    port->begin_frame();
+    port->clear_color(0.2f, 0.4f, 0.6f, 1.0f);
+    port->clear(glcore::GL_COLOR_BUFFER_BIT);
+    ASSERT_TRUE(port->present().is_ok());
+  }
+  Report report;
+  check_session_isolation(report);
+  EXPECT_FALSE(report.has_rule("session.cross-leak"));
+  registry.destroy(*session);
 }
 
 }  // namespace
